@@ -1,0 +1,74 @@
+// Figure 8 — MultiLogVC vs GraFBoost, plus the adapted-GraFBoost graph
+// coloring comparison from §VIII.
+//
+// Per the paper: GraFBoost does not load only active graph data, so the
+// PageRank comparison covers the first iteration only (paper: 2.8x average,
+// ~4x on the larger YWS). The adapted single-log GraFBoost (no combine,
+// every message preserved) runs graph coloring end-to-end (paper: 2.72x CF,
+// 2.67x YWS in MultiLogVC's favor).
+#include "apps/coloring.hpp"
+#include "apps/pagerank.hpp"
+#include "bench/harness/bench_common.hpp"
+#include "common/format.hpp"
+
+namespace mlvc::bench {
+namespace {
+
+StepCallback first_superstep_only() {
+  return [](const core::SuperstepStats&) { return false; };
+}
+
+void run() {
+  print_header("Figure 8 + adapted-GraFBoost comparison",
+               "PR first iteration: MultiLogVC 2.8x GraFBoost on average "
+               "(4x on YWS); adapted GraFBoost for GC: 2.72x (CF), 2.67x "
+               "(YWS)");
+  // Tighter budget than the other benches: the paper's defining regime for
+  // this figure is log >> sort memory (29 GB of updates vs a 1 GB host on
+  // friendster). With the generous 1 MiB budget a sorted run would span the
+  // whole vertex range and GraFBoost's early combine would collapse the log
+  // to ~V records — a small-scale artifact the authors' datasets never hit.
+  // 256 KiB keeps run_size << V, the paper's operating point.
+  const ScaledConfig cfg{.memory_budget = 256_KiB, .max_supersteps = 15};
+
+  metrics::Table pr_table({"dataset", "app", "paper_speedup", "speedup",
+                           "mlvc_pages", "grafboost_pages"});
+  for (const auto& data : {make_cf(), make_yws()}) {
+    apps::PageRank app;
+    const auto mlvc = run_mlvc(data, app, cfg, first_superstep_only());
+    const auto gb =
+        run_grafboost(data, app, cfg, /*use_combine=*/true,
+                      first_superstep_only());
+    pr_table.add_row({data.name, "pagerank(iter1)",
+                      data.name == "CF" ? "~2.8" : "~4.0",
+                      format_fixed(metrics::speedup(gb, mlvc), 2),
+                      std::to_string(mlvc.total_pages()),
+                      std::to_string(gb.total_pages())});
+  }
+  pr_table.print();
+  pr_table.write_csv(metrics::csv_dir_from_env(), "fig8_grafboost_pr");
+
+  std::cout << "\n--- adapted GraFBoost (single log, all messages kept) ---\n";
+  metrics::Table gc_table({"dataset", "app", "paper_speedup", "speedup",
+                           "mlvc_seconds", "adapted_gb_seconds"});
+  for (const auto& data : {make_cf(), make_yws()}) {
+    apps::GraphColoring app;
+    const auto mlvc = run_mlvc(data, app, cfg);
+    const auto gb = run_grafboost(data, app, cfg, /*use_combine=*/false);
+    gc_table.add_row({data.name, "graph_coloring",
+                      data.name == "CF" ? "2.72" : "2.67",
+                      format_fixed(metrics::speedup(gb, mlvc), 2),
+                      format_fixed(mlvc.modeled_total_seconds(), 3),
+                      format_fixed(gb.modeled_total_seconds(), 3)});
+  }
+  gc_table.print();
+  gc_table.write_csv(metrics::csv_dir_from_env(), "fig8_grafboost_gc");
+}
+
+}  // namespace
+}  // namespace mlvc::bench
+
+int main() {
+  mlvc::bench::run();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Google-benchmark microbenches for the substrate hot paths: page-accounted
+// storage I/O, multi-log append/spill/load, in-memory sort+group, and the
+// external sorter. These guard against regressions in the layers every
+// engine sits on.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "grafboost/external_sorter.hpp"
+#include "graph/generators.hpp"
+#include "multilog/multilog_store.hpp"
+#include "multilog/record.hpp"
+#include "multilog/sort_group.hpp"
+#include "ssd/storage.hpp"
+
+namespace {
+
+using namespace mlvc;
+
+void BM_StorageAppendRead(benchmark::State& state) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  ssd::Blob& blob = storage.create_blob("bench", ssd::IoCategory::kMisc);
+  std::vector<char> page(16_KiB, 'x');
+  std::uint64_t pages = 0;
+  for (auto _ : state) {
+    blob.append(page.data(), page.size());
+    blob.read(pages * page.size(), page.data(), page.size());
+    ++pages;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(pages * page.size() * 2));
+}
+BENCHMARK(BM_StorageAppendRead);
+
+void BM_MultiLogAppend(benchmark::State& state) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  auto intervals = graph::VertexIntervals::uniform(1u << 20, 1u << 14);
+  multilog::MultiLogStore store(storage, "bench", intervals,
+                                {.record_size = 8});
+  SplitMix64 rng(1);
+  struct Rec {
+    VertexId dst;
+    std::uint32_t payload;
+  };
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    Rec rec{static_cast<VertexId>(rng.next_below(1u << 20)),
+            static_cast<std::uint32_t>(n)};
+    store.append(rec.dst, &rec);
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MultiLogAppend);
+
+void BM_MultiLogRoundTrip(benchmark::State& state) {
+  const std::int64_t messages = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ssd::TempDir dir;
+    ssd::Storage storage(dir.path());
+    auto intervals = graph::VertexIntervals::uniform(1u << 16, 1u << 12);
+    multilog::MultiLogStore store(storage, "bench", intervals,
+                                  {.record_size = 8});
+    SplitMix64 rng(7);
+    state.ResumeTiming();
+
+    struct Rec {
+      VertexId dst;
+      std::uint32_t payload;
+    };
+    for (std::int64_t i = 0; i < messages; ++i) {
+      Rec rec{static_cast<VertexId>(rng.next_below(1u << 16)), 0u};
+      store.append(rec.dst, &rec);
+    }
+    store.swap_generations();
+    std::vector<std::byte> bytes;
+    for (IntervalId i = 0; i < intervals.count(); ++i) {
+      store.load_interval(i, bytes);
+    }
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * messages);
+}
+BENCHMARK(BM_MultiLogRoundTrip)->Arg(100000);
+
+void BM_SortGroup(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  SplitMix64 rng(3);
+  std::vector<multilog::Record<std::uint32_t>> base(n);
+  for (auto& r : base) {
+    r.dst = static_cast<VertexId>(rng.next_below(1u << 18));
+    r.payload = 1;
+  }
+  for (auto _ : state) {
+    auto records = base;
+    multilog::sort_records(records);
+    const auto combined = multilog::combine_sorted(
+        records, [](std::uint32_t a, std::uint32_t b) { return a + b; });
+    benchmark::DoNotOptimize(combined);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SortGroup)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ExternalSorter(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t payload;
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    ssd::TempDir dir;
+    ssd::Storage storage(dir.path());
+    grafboost::ExternalSorter::Config cfg;
+    cfg.record_size = sizeof(Rec);
+    cfg.memory_budget_bytes = 256_KiB;
+    grafboost::ExternalSorter sorter(storage, "bench", cfg);
+    SplitMix64 rng(11);
+    state.ResumeTiming();
+
+    for (std::int64_t i = 0; i < n; ++i) {
+      Rec rec{static_cast<std::uint32_t>(rng.next_below(1u << 20)),
+              static_cast<std::uint32_t>(i)};
+      sorter.add(&rec);
+    }
+    auto stream = sorter.finish();
+    Rec rec{};
+    std::uint64_t count = 0;
+    while (stream->next(&rec)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExternalSorter)->Arg(1 << 18);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    graph::RmatParams p;
+    p.scale = 14;
+    p.edge_factor = 8;
+    p.seed = 5;
+    auto edges = graph::generate_rmat(p);
+    benchmark::DoNotOptimize(edges.num_edges());
+  }
+}
+BENCHMARK(BM_RmatGeneration);
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Related-engines comparison (§IX of the paper).
+//
+// The paper positions MultiLogVC against the broader design space:
+// edge-centric streaming engines (X-Stream/GridGraph) "aim to sequentially
+// access the graph data stored in secondary storage. However, their
+// efficiency suffers when graphs applications require random and sparse
+// accesses to graph data such as BFS". This bench runs BFS (sparse
+// frontier), delta-PageRank (dense then sparse) and WCC (dense then sparse)
+// on all four engines in this repo and reports modeled time and pages.
+#include "apps/bfs.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/wcc.hpp"
+#include "bench/harness/bench_common.hpp"
+#include "common/format.hpp"
+#include "xstream/apps.hpp"
+#include "xstream/engine.hpp"
+
+namespace mlvc::bench {
+namespace {
+
+template <typename XsApp>
+core::RunStats run_xstream(const Dataset& data, XsApp app,
+                           const ScaledConfig& cfg) {
+  ssd::TempDir dir("xs_bench");
+  ssd::Storage storage(dir.path(), cfg.device());
+  xstream::XStreamEngine<XsApp> engine(
+      storage, data.csr, app,
+      {.memory_budget_bytes = cfg.memory_budget,
+       .max_supersteps = cfg.max_supersteps});
+  return engine.run();
+}
+
+void add_row(metrics::Table& table, const Dataset& data, const char* app,
+             const core::RunStats& stats, const core::RunStats& baseline) {
+  table.add_row({data.name, app, stats.engine,
+                 format_fixed(stats.modeled_total_seconds(), 3),
+                 std::to_string(stats.total_pages()),
+                 format_fixed(metrics::speedup(baseline, stats), 2),
+                 std::to_string(stats.supersteps.size())});
+}
+
+void run() {
+  print_header(
+      "Related engines: MultiLogVC vs GraphChi vs GraFBoost vs X-Stream",
+      "§IX: edge-centric streaming wins on dense scans but 'efficiency "
+      "suffers' on sparse/random access patterns like BFS");
+  metrics::Table table({"dataset", "app", "engine", "modeled_s", "pages",
+                        "speedup_vs_graphchi", "supersteps"});
+  const ScaledConfig cfg{.memory_budget = 1_MiB, .max_supersteps = 15};
+  const ScaledConfig bfs_cfg{.memory_budget = 1_MiB, .max_supersteps = 40};
+
+  for (const auto& data : {make_cf(), make_yws()}) {
+    {  // BFS — the sparse-frontier case.
+      apps::Bfs app{.source = 0};
+      const auto gc = run_graphchi(data, app, bfs_cfg);
+      add_row(table, data, "bfs", gc, gc);
+      add_row(table, data, "bfs", run_mlvc(data, app, bfs_cfg), gc);
+      add_row(table, data, "bfs", run_grafboost(data, app, bfs_cfg, true),
+              gc);
+      add_row(table, data, "bfs",
+              run_xstream(data, xstream::XsBfs{.source = 0}, bfs_cfg), gc);
+    }
+    {  // PageRank — dense early supersteps.
+      apps::PageRank app;
+      const auto gc = run_graphchi(data, app, cfg);
+      add_row(table, data, "pagerank", gc, gc);
+      add_row(table, data, "pagerank", run_mlvc(data, app, cfg), gc);
+      add_row(table, data, "pagerank",
+              run_grafboost(data, app, cfg, true), gc);
+      add_row(table, data, "pagerank",
+              run_xstream(data, xstream::XsPageRank{}, cfg), gc);
+    }
+    {  // WCC — dense start, fast collapse.
+      apps::Wcc app;
+      const auto gc = run_graphchi(data, app, cfg);
+      add_row(table, data, "wcc", gc, gc);
+      add_row(table, data, "wcc", run_mlvc(data, app, cfg), gc);
+      add_row(table, data, "wcc", run_grafboost(data, app, cfg, true), gc);
+      add_row(table, data, "wcc", run_xstream(data, xstream::XsWcc{}, cfg),
+              gc);
+    }
+  }
+  // The §IX claim needs a high-diameter graph to show: on a road-network
+  // grid a BFS frontier stays tiny for hundreds of supersteps, and an
+  // engine that streams every edge every superstep pays the full graph
+  // hundreds of times over.
+  {
+    Dataset road{"ROAD",
+                 graph::CsrGraph::from_edge_list(graph::generate_grid(200, 150))};
+    const ScaledConfig road_cfg{.memory_budget = 1_MiB,
+                                .max_supersteps = 400};
+    apps::Bfs app{.source = 0};
+    const auto gc = run_graphchi(road, app, road_cfg);
+    add_row(table, road, "bfs", gc, gc);
+    add_row(table, road, "bfs", run_mlvc(road, app, road_cfg), gc);
+    add_row(table, road, "bfs", run_grafboost(road, app, road_cfg, true),
+            gc);
+    add_row(table, road, "bfs",
+            run_xstream(road, xstream::XsBfs{.source = 0}, road_cfg), gc);
+  }
+
+  table.print();
+  table.write_csv(metrics::csv_dir_from_env(), "related_engines");
+}
+
+}  // namespace
+}  // namespace mlvc::bench
+
+int main() {
+  mlvc::bench::run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reachability on a road-network-like grid — the frontier workload where
+// the paper's active-vertex argument is most extreme: a BFS wavefront on a
+// high-diameter graph touches a sliver of the graph per superstep, yet a
+// shard-based engine reloads everything every superstep.
+//
+// Also demonstrates the per-superstep callback API (early stop once a
+// target is reached) and the edge-log ablation toggle.
+#include <iostream>
+
+#include "apps/bfs.hpp"
+#include "common/format.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+mlvc::core::RunStats route(const mlvc::graph::CsrGraph& csr,
+                           mlvc::VertexId source, bool enable_edge_log,
+                           std::vector<std::uint32_t>* out) {
+  using namespace mlvc;
+  core::EngineOptions options;
+  options.memory_budget_bytes = 1_MiB;
+  options.max_supersteps = 500;
+  options.enable_edge_log = enable_edge_log;
+
+  ssd::TempDir workdir("roads");
+  ssd::DeviceConfig device;
+  device.page_size = 4_KiB;
+  ssd::Storage storage(workdir.path(), device);
+  graph::StoredCsrGraph stored(
+      storage, "roads", csr,
+      core::partition_for_app<apps::Bfs>(csr, options));
+  apps::Bfs bfs{.source = source};
+  core::MultiLogVCEngine<apps::Bfs> engine(stored, bfs, options);
+  auto stats = engine.run();
+  if (out != nullptr) *out = engine.values();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlvc;
+
+  // A 300x200 "city grid": 60k intersections, diameter ~500.
+  constexpr VertexId kWidth = 300, kHeight = 200;
+  const auto csr =
+      graph::CsrGraph::from_edge_list(graph::generate_grid(kWidth, kHeight));
+  std::cout << "road grid: " << kWidth << " x " << kHeight << " = "
+            << format_count(csr.num_vertices()) << " intersections\n";
+
+  std::vector<std::uint32_t> hops;
+  const auto stats = route(csr, /*source=*/0, /*enable_edge_log=*/true, &hops);
+  const VertexId opposite = kWidth * kHeight - 1;
+  std::cout << "hops from corner to corner: " << hops[opposite]
+            << " (expect " << (kWidth - 1) + (kHeight - 1) << ")\n";
+  std::cout << "run: " << stats.supersteps.size() << " supersteps, "
+            << format_count(stats.total_pages()) << " pages, "
+            << format_fixed(stats.modeled_total_seconds(), 3)
+            << " s modeled\n";
+
+  // Frontier profile: tiny active sets for hundreds of supersteps — the
+  // regime where CSR + multi-log crushes whole-shard reloading.
+  std::cout << "\nfrontier size every 50 supersteps:";
+  for (std::size_t s = 0; s < stats.supersteps.size(); s += 50) {
+    std::cout << " " << stats.supersteps[s].active_vertices;
+  }
+  std::cout << "\n";
+
+  // Edge-log ablation (§V.C). Note the honest outcome: a pure BFS wavefront
+  // never revisits a vertex, so the history predictor ("active in the last
+  // N supersteps") has nothing to predict and the edge log buys ~nothing —
+  // exactly why the paper's Figure 9 gains come from recurring-activity
+  // applications (MIS, random walk), not BFS.
+  const auto no_el = route(csr, 0, /*enable_edge_log=*/false, nullptr);
+  std::uint64_t hits = 0;
+  for (const auto& s : stats.supersteps) hits += s.edge_log_hits;
+  std::cout << "\nedge-log ablation: " << format_count(stats.total_pages())
+            << " pages with vs " << format_count(no_el.total_pages())
+            << " without (" << hits
+            << " edge-log hits — a moving wavefront defeats history-based "
+               "prediction, as expected)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Web page ranking on a web-scale-shaped graph — the paper's PageRank
+// workload, including the §V.D combine optimization path and the §V.F
+// asynchronous computation model.
+#include <algorithm>
+#include <iostream>
+
+#include "apps/pagerank.hpp"
+#include "common/format.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+mlvc::core::RunStats rank_once(const mlvc::graph::CsrGraph& csr,
+                               mlvc::core::ComputationModel model,
+                               std::vector<float>* out_ranks) {
+  using namespace mlvc;
+  core::EngineOptions options;
+  options.memory_budget_bytes = 2_MiB;
+  options.max_supersteps = 15;
+  options.model = model;
+
+  ssd::TempDir workdir("webrank");
+  ssd::DeviceConfig device;
+  device.page_size = 4_KiB;
+  ssd::Storage storage(workdir.path(), device);
+  graph::StoredCsrGraph stored(
+      storage, "web", csr,
+      core::partition_for_app<apps::PageRank>(csr, options));
+
+  apps::PageRank pr;
+  pr.threshold = 0.05f;  // tighter than the paper's 0.4 for a fuller ranking
+  core::MultiLogVCEngine<apps::PageRank> engine(stored, pr, options);
+  auto stats = engine.run();
+  if (out_ranks != nullptr) *out_ranks = engine.values();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlvc;
+
+  const auto csr =
+      graph::CsrGraph::from_edge_list(graph::make_yws_like(/*scale=*/15));
+  std::cout << "web graph: " << format_count(csr.num_vertices())
+            << " pages, " << format_count(csr.num_edges())
+            << " hyperlinks\n\n";
+
+  std::vector<float> ranks;
+  const auto sync_stats =
+      rank_once(csr, core::ComputationModel::kSynchronous, &ranks);
+
+  std::vector<VertexId> order(csr.num_vertices());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) order[v] = v;
+  std::partial_sort(order.begin(), order.begin() + 10, order.end(),
+                    [&](VertexId a, VertexId b) { return ranks[a] > ranks[b]; });
+  std::cout << "top pages by rank:\n";
+  for (int i = 0; i < 10; ++i) {
+    std::cout << "  #" << i + 1 << "  page " << order[i] << "  rank "
+              << format_fixed(ranks[order[i]], 2) << "  (out-links "
+              << csr.out_degree(order[i]) << ")\n";
+  }
+
+  std::cout << "\nsynchronous run:  " << sync_stats.supersteps.size()
+            << " supersteps, " << format_count(sync_stats.total_pages())
+            << " pages, "
+            << format_fixed(sync_stats.modeled_total_seconds(), 3)
+            << " s modeled\n";
+
+  // §V.F asynchronous mode: updates produced earlier in a superstep can be
+  // delivered to intervals processed later in the same superstep, typically
+  // converging in fewer supersteps.
+  const auto async_stats =
+      rank_once(csr, core::ComputationModel::kAsynchronous, nullptr);
+  std::cout << "asynchronous run: " << async_stats.supersteps.size()
+            << " supersteps, " << format_count(async_stats.total_pages())
+            << " pages, "
+            << format_fixed(async_stats.modeled_total_seconds(), 3)
+            << " s modeled\n";
+  return 0;
+}

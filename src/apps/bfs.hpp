@@ -1,0 +1,52 @@
+// Breadth-first search (§VII, "merging updates acceptable").
+//
+// Value = distance from the source (kUnreached until discovered);
+// Message = candidate distance. Combine = min, so the §V.D optimization
+// path applies. Activity pattern: the frontier starts at one vertex and
+// widens — the paper's Figure 5 workload.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/types.hpp"
+#include "core/message_range.hpp"
+
+namespace mlvc::apps {
+
+struct Bfs {
+  using Value = std::uint32_t;
+  using Message = std::uint32_t;
+  static constexpr bool kHasCombine = true;
+  static constexpr bool kNeedsWeights = false;
+  static constexpr Value kUnreached = std::numeric_limits<Value>::max();
+
+  VertexId source = 0;
+
+  const char* name() const { return "bfs"; }
+
+  Message combine(const Message& a, const Message& b) const {
+    return a < b ? a : b;
+  }
+
+  Value initial_value(VertexId) const { return kUnreached; }
+  bool initially_active(VertexId v) const { return v == source; }
+
+  template <typename Ctx>
+  void process(Ctx& ctx, const core::MessageRange<Message>& msgs) const {
+    Message candidate = kUnreached;
+    if (ctx.superstep() == 0 && ctx.id() == source) candidate = 0;
+    for (const Message& m : msgs) {
+      candidate = candidate < m ? candidate : m;
+    }
+    if (candidate < ctx.value()) {
+      ctx.set_value(candidate);
+      if (candidate + 1 != kUnreached) {
+        ctx.send_to_all_neighbors(candidate + 1);
+      }
+    }
+    ctx.deactivate();  // re-activated only by a shorter-distance message
+  }
+};
+
+}  // namespace mlvc::apps

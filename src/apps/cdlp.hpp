@@ -1,0 +1,69 @@
+// Community detection by label propagation (Raghavan et al., the paper's
+// CDLP reference; §VII "merging updates not possible").
+//
+// Each vertex adopts the most frequent label among its neighbors' latest
+// labels. The mode cannot be computed from a single merged value, so every
+// message must be preserved — the workload class that motivates the
+// multi-log design. Ties break toward the smaller label so results are
+// deterministic across engines regardless of message order.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/message_range.hpp"
+
+namespace mlvc::apps {
+
+struct Cdlp {
+  using Value = VertexId;    // community label
+  using Message = VertexId;  // sender's new label
+
+  static constexpr bool kHasCombine = false;
+  static constexpr bool kNeedsWeights = false;
+
+  const char* name() const { return "cdlp"; }
+
+  Value initial_value(VertexId v) const { return v; }
+  bool initially_active(VertexId) const { return true; }
+
+  template <typename Ctx>
+  void process(Ctx& ctx, const core::MessageRange<Message>& msgs) const {
+    if (ctx.superstep() == 0) {
+      ctx.send_to_all_neighbors(ctx.value());
+      ctx.deactivate();
+      return;
+    }
+    if (msgs.empty()) {
+      ctx.deactivate();
+      return;
+    }
+    // Most frequent incoming label; ties -> smallest label.
+    std::vector<VertexId> labels;
+    labels.reserve(msgs.size());
+    for (const Message& m : msgs) labels.push_back(m);
+    std::sort(labels.begin(), labels.end());
+
+    VertexId best_label = labels.front();
+    std::size_t best_count = 0;
+    std::size_t i = 0;
+    while (i < labels.size()) {
+      std::size_t j = i + 1;
+      while (j < labels.size() && labels[j] == labels[i]) ++j;
+      if (j - i > best_count) {
+        best_count = j - i;
+        best_label = labels[i];
+      }
+      i = j;
+    }
+
+    if (best_label != ctx.value()) {
+      ctx.set_value(best_label);
+      ctx.send_to_all_neighbors(best_label);
+    }
+    ctx.deactivate();
+  }
+};
+
+}  // namespace mlvc::apps

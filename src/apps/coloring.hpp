@@ -1,0 +1,102 @@
+// Greedy graph coloring (after PowerGraph's coloring, the paper's GC
+// reference; §VII "merging updates not possible").
+//
+// Speculative coloring with conflict re-announcement:
+//  - superstep 0: everyone takes color 0 and announces (id, color);
+//  - a vertex that sees an announcement with its own color from a
+//    higher-priority neighbor (smaller id) recolors to a random member of
+//    {0..degree} minus the colors announced by higher-priority neighbors
+//    this superstep, then announces the change;
+//  - a vertex that sees a *lower*-priority neighbor announce its color
+//    re-announces without changing, forcing that neighbor to move.
+//
+// Invariants: every color change is announced, and every announcement that
+// creates/reveals a conflict triggers a response from the conflicting
+// endpoint — so no conflicting edge can go permanently silent, and an
+// all-quiet state is a valid coloring. The *random* candidate choice (from
+// the deterministic per-(vertex, superstep) stream, so engines agree)
+// breaks the livelock a smallest-color rule admits: with fixed state a
+// vertex cannot remember colors of neighbors that stayed silent this
+// superstep, and deterministic choices can cycle through the same
+// conflicting colors forever; randomization over ≥1 candidates converges
+// with probability 1 (standard distributed Δ+1-coloring argument).
+// Messages carry (id, color) and must all be inspected individually — not
+// combinable, the workload class the multi-log exists for.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/message_range.hpp"
+
+namespace mlvc::apps {
+
+struct GraphColoring {
+  using Value = std::uint32_t;  // color
+
+  struct Message {
+    VertexId src;
+    std::uint32_t color;
+  };
+
+  static constexpr bool kHasCombine = false;
+  static constexpr bool kNeedsWeights = false;
+
+  const char* name() const { return "graph_coloring"; }
+
+  Value initial_value(VertexId) const { return 0; }
+  bool initially_active(VertexId) const { return true; }
+
+  /// Smaller id = higher priority (keeps its color in a conflict).
+  static bool higher_priority(VertexId other, VertexId self) {
+    return other < self;
+  }
+
+  template <typename Ctx>
+  void process(Ctx& ctx, const core::MessageRange<Message>& msgs) const {
+    if (ctx.superstep() == 0) {
+      ctx.send_to_all_neighbors(Message{ctx.id(), ctx.value()});
+      ctx.deactivate();
+      return;
+    }
+
+    bool conflict_with_higher = false;
+    bool outranked_conflict = false;
+    std::vector<std::uint32_t> taken;  // colors of higher-priority neighbors
+    for (const Message& m : msgs) {
+      if (higher_priority(m.src, ctx.id())) {
+        taken.push_back(m.color);
+        if (m.color == ctx.value()) conflict_with_higher = true;
+      } else if (m.color == ctx.value()) {
+        outranked_conflict = true;  // they must move; remind them we exist
+      }
+    }
+
+    if (conflict_with_higher) {
+      std::sort(taken.begin(), taken.end());
+      taken.erase(std::unique(taken.begin(), taken.end()), taken.end());
+      // Candidates: {0..degree} minus taken. degree+1 colors always leave
+      // at least one candidate free.
+      std::vector<std::uint32_t> candidates;
+      const std::uint32_t limit =
+          static_cast<std::uint32_t>(ctx.out_degree());
+      std::size_t t = 0;
+      for (std::uint32_t c = 0; c <= limit; ++c) {
+        while (t < taken.size() && taken[t] < c) ++t;
+        if (t < taken.size() && taken[t] == c) continue;
+        candidates.push_back(c);
+      }
+      auto rng = ctx.rng();
+      const std::uint32_t color =
+          candidates[rng.next_below(candidates.size())];
+      ctx.set_value(color);
+      ctx.send_to_all_neighbors(Message{ctx.id(), color});
+    } else if (outranked_conflict) {
+      ctx.send_to_all_neighbors(Message{ctx.id(), ctx.value()});
+    }
+    ctx.deactivate();
+  }
+};
+
+}  // namespace mlvc::apps

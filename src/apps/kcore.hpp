@@ -1,0 +1,63 @@
+// k-core membership by iterative peeling.
+//
+// A vertex belongs to the k-core iff it survives repeated removal of all
+// vertices with (residual) degree < k. Vertex-centric formulation: a removed
+// vertex announces its removal once; survivors decrement their residual
+// degree by the number of removal announcements received and re-check.
+// Extends the paper's application set with a classic degree-pruning
+// workload whose active set collapses extremely fast — peeling cascades are
+// short and localized, a best case for active-vertex-selective I/O.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "core/message_range.hpp"
+
+namespace mlvc::apps {
+
+struct KCore {
+  struct Value {
+    std::uint32_t residual_degree;
+    std::uint8_t removed;  // 0 = still in candidate core
+    std::uint8_t pad[3] = {0, 0, 0};
+  };
+  /// One removal announcement; count is combinable by summation.
+  using Message = std::uint32_t;
+  static constexpr bool kHasCombine = true;
+  static constexpr bool kNeedsWeights = false;
+
+  std::uint32_t k = 3;
+
+  const char* name() const { return "kcore"; }
+
+  Message combine(const Message& a, const Message& b) const { return a + b; }
+
+  Value initial_value(VertexId) const { return {0, 0, {0, 0, 0}}; }
+  bool initially_active(VertexId) const { return true; }
+
+  template <typename Ctx>
+  void process(Ctx& ctx, const core::MessageRange<Message>& msgs) const {
+    Value v = ctx.value();
+    if (ctx.superstep() == 0) {
+      v.residual_degree = static_cast<std::uint32_t>(ctx.out_degree());
+    }
+    if (v.removed) {
+      ctx.deactivate();
+      return;
+    }
+    std::uint32_t removals = 0;
+    for (const Message& m : msgs) removals += m;
+    v.residual_degree = removals >= v.residual_degree
+                            ? 0
+                            : v.residual_degree - removals;
+    if (v.residual_degree < k) {
+      v.removed = 1;
+      ctx.send_to_all_neighbors(1);
+    }
+    ctx.set_value(v);
+    ctx.deactivate();  // survivors sleep until a neighbor is peeled
+  }
+};
+
+}  // namespace mlvc::apps

@@ -1,0 +1,106 @@
+// Maximal independent set — Luby's algorithm in the Pregel formulation of
+// Salihoglu & Widom (the paper's MIS reference; §VII "merging updates not
+// possible").
+//
+// Rounds of two supersteps:
+//  - selection (even superstep): every undecided vertex draws a random
+//    priority (deterministically from (seed, vertex, round)) and announces
+//    (priority, id) to its neighbors;
+//  - resolution (odd superstep): an undecided vertex whose own priority
+//    strictly beats every announced undecided neighbor's joins the MIS and
+//    announces that; a vertex hearing an in-MIS neighbor leaves (NotInMis).
+//
+// Every neighbor's priority must be inspected individually — not
+// combinable. Decided vertices deactivate; the algorithm converges when all
+// vertices are decided.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/message_range.hpp"
+
+namespace mlvc::apps {
+
+struct Mis {
+  enum State : std::uint8_t { kUndecided = 0, kInMis = 1, kNotInMis = 2 };
+
+  using Value = std::uint8_t;  // State
+
+  struct Message {
+    enum Kind : std::uint8_t { kPriority = 0, kInMisAnnounce = 1 };
+    float priority;
+    VertexId src;
+    std::uint8_t kind;
+  };
+
+  static constexpr bool kHasCombine = false;
+  static constexpr bool kNeedsWeights = false;
+
+  std::uint64_t seed = 7;
+
+  const char* name() const { return "mis"; }
+
+  Value initial_value(VertexId) const { return kUndecided; }
+  bool initially_active(VertexId) const { return true; }
+
+  float priority_of(VertexId v, Superstep round) const {
+    return static_cast<float>(stream_for(seed, v, round).next_double());
+  }
+
+  template <typename Ctx>
+  void process(Ctx& ctx, const core::MessageRange<Message>& msgs) const {
+    const Superstep round = ctx.superstep() / 2;
+    const bool selection_phase = ctx.superstep() % 2 == 0;
+
+    // Decided vertices only linger to hear stray messages; stay silent.
+    if (ctx.value() != kUndecided) {
+      ctx.deactivate();
+      return;
+    }
+
+    if (selection_phase) {
+      // Did an in-MIS announcement arrive from the previous resolution?
+      for (const Message& m : msgs) {
+        if (m.kind == Message::kInMisAnnounce) {
+          ctx.set_value(kNotInMis);
+          ctx.deactivate();
+          return;
+        }
+      }
+      ctx.send_to_all_neighbors(
+          Message{priority_of(ctx.id(), round), ctx.id(), Message::kPriority});
+      return;  // stay active for the resolution phase
+    }
+
+    // Resolution phase.
+    for (const Message& m : msgs) {
+      if (m.kind == Message::kInMisAnnounce) {
+        ctx.set_value(kNotInMis);
+        ctx.deactivate();
+        return;
+      }
+    }
+    const float own = priority_of(ctx.id(), round);
+    bool is_max = true;
+    for (const Message& m : msgs) {
+      if (m.kind != Message::kPriority) continue;
+      // Strict win; ties break toward the smaller vertex id.
+      if (m.priority > own || (m.priority == own && m.src < ctx.id())) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) {
+      ctx.set_value(kInMis);
+      ctx.send_to_all_neighbors(
+          Message{0.0f, ctx.id(), Message::kInMisAnnounce});
+      ctx.deactivate();
+      return;
+    }
+    // Still undecided; stay active for the next selection phase.
+  }
+};
+
+}  // namespace mlvc::apps

@@ -1,0 +1,73 @@
+// Random walk (after DrunkardMob, the paper's RW reference; §VII).
+//
+// Per the paper's setup: every 1000th vertex is a walk source; each walk
+// runs for up to 10 steps. A message is one walker (its remaining hop
+// budget) — walkers are individual entities, so messages cannot be merged.
+// Value = number of walker visits, the quantity DrunkardMob-style engines
+// aggregate.
+//
+// Walker moves are drawn from the deterministic (seed, vertex, superstep)
+// stream, so a single engine is reproducible run-to-run; across engines the
+// per-walker draws may associate differently (message order is a multiset),
+// which only permutes walkers, not the visit process.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "core/message_range.hpp"
+
+namespace mlvc::apps {
+
+struct RandomWalk {
+  using Value = std::uint32_t;  // visit count
+
+  struct Message {
+    std::uint16_t hops_left;
+    std::uint16_t pad = 0;
+  };
+
+  static constexpr bool kHasCombine = false;
+  static constexpr bool kNeedsWeights = false;
+
+  /// Every `source_stride`-th vertex is a walk source (paper: 1000).
+  VertexId source_stride = 1000;
+  /// Walks started per source — the paper's "10 iterations".
+  std::uint16_t walks_per_source = 10;
+  /// Maximum steps per walk (paper: 10).
+  std::uint16_t max_steps = 10;
+
+  const char* name() const { return "random_walk"; }
+
+  Value initial_value(VertexId) const { return 0; }
+  bool initially_active(VertexId v) const { return v % source_stride == 0; }
+
+  template <typename Ctx>
+  void process(Ctx& ctx, const core::MessageRange<Message>& msgs) const {
+    auto rng = ctx.rng();
+    std::uint32_t visits = 0;
+
+    const auto forward = [&](std::uint16_t hops_left) {
+      ++visits;
+      if (hops_left == 0 || ctx.out_degree() == 0) return;  // walk ends
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(ctx.out_degree())));
+      ctx.send(ctx.out_edge(pick),
+               Message{static_cast<std::uint16_t>(hops_left - 1), 0});
+    };
+
+    if (ctx.superstep() == 0 && initially_active(ctx.id())) {
+      for (std::uint16_t w = 0; w < walks_per_source; ++w) {
+        forward(max_steps);  // spawn this source's walkers
+      }
+    }
+    for (const Message& m : msgs) {
+      forward(m.hops_left);
+    }
+
+    if (visits > 0) ctx.set_value(ctx.value() + visits);
+    ctx.deactivate();  // re-activated when a walker arrives
+  }
+};
+
+}  // namespace mlvc::apps

@@ -1,0 +1,50 @@
+// Single-source shortest paths over weighted edges (Bellman-Ford style
+// relaxation in BSP rounds).
+//
+// Not part of the paper's §VII set, but the natural companion to BFS and
+// the application that exercises the framework's weighted-graph path: the
+// graph must be stored with_weights, and the engines read the CSR val
+// vector (or its edge-log copy) alongside the adjacency.
+#pragma once
+
+#include <limits>
+
+#include "common/types.hpp"
+#include "core/message_range.hpp"
+
+namespace mlvc::apps {
+
+struct Sssp {
+  using Value = float;    // tentative distance
+  using Message = float;  // candidate distance
+  static constexpr bool kHasCombine = true;
+  static constexpr bool kNeedsWeights = true;
+  static constexpr Value kUnreached = std::numeric_limits<float>::infinity();
+
+  VertexId source = 0;
+
+  const char* name() const { return "sssp"; }
+
+  Message combine(const Message& a, const Message& b) const {
+    return a < b ? a : b;
+  }
+
+  Value initial_value(VertexId) const { return kUnreached; }
+  bool initially_active(VertexId v) const { return v == source; }
+
+  template <typename Ctx>
+  void process(Ctx& ctx, const core::MessageRange<Message>& msgs) const {
+    float candidate = kUnreached;
+    if (ctx.superstep() == 0 && ctx.id() == source) candidate = 0.0f;
+    for (const Message& m : msgs) candidate = std::min(candidate, m);
+    if (candidate < ctx.value()) {
+      ctx.set_value(candidate);
+      for (std::size_t i = 0; i < ctx.out_degree(); ++i) {
+        ctx.send(ctx.out_edge(i), candidate + ctx.out_weight(i));
+      }
+    }
+    ctx.deactivate();  // re-activated by a shorter path
+  }
+};
+
+}  // namespace mlvc::apps

@@ -1,0 +1,42 @@
+// Weakly connected components by minimum-label spreading.
+//
+// Every vertex adopts the smallest vertex id it has heard of; labels
+// converge to each component's minimum id. min is associative and
+// commutative, so the §V.D combine path applies. (examples/custom_app.cpp
+// walks through writing this program from scratch; this is the library
+// version.)
+#pragma once
+
+#include "common/types.hpp"
+#include "core/message_range.hpp"
+
+namespace mlvc::apps {
+
+struct Wcc {
+  using Value = VertexId;    // component label
+  using Message = VertexId;  // candidate label
+  static constexpr bool kHasCombine = true;
+  static constexpr bool kNeedsWeights = false;
+
+  const char* name() const { return "wcc"; }
+
+  Message combine(const Message& a, const Message& b) const {
+    return a < b ? a : b;
+  }
+
+  Value initial_value(VertexId v) const { return v; }
+  bool initially_active(VertexId) const { return true; }
+
+  template <typename Ctx>
+  void process(Ctx& ctx, const core::MessageRange<Message>& msgs) const {
+    VertexId best = ctx.value();
+    for (const Message& m : msgs) best = best < m ? best : m;
+    if (ctx.superstep() == 0 || best < ctx.value()) {
+      ctx.set_value(best);
+      ctx.send_to_all_neighbors(best);
+    }
+    ctx.deactivate();
+  }
+};
+
+}  // namespace mlvc::apps

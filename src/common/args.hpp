@@ -1,0 +1,59 @@
+// A small command-line argument parser for the tools/ binaries.
+//
+// Supports --name value and --name=value forms, typed getters with
+// defaults, required arguments, and generated usage text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mlvc {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Declare an option (for usage text); `def` empty string = required.
+  ArgParser& option(const std::string& name, const std::string& help,
+                    const std::string& def = "") {
+    declared_.push_back({name, help, def});
+    return *this;
+  }
+
+  /// Parse argv; throws InvalidArgument for unknown or malformed options.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::string get_string(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  std::uint64_t get_bytes(const std::string& name, std::uint64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_flag(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Declared {
+    std::string name;
+    std::string help;
+    std::string def;
+  };
+  std::string program_;
+  std::string description_;
+  std::vector<Declared> declared_;
+  std::map<std::string, std::string> values_;
+};
+
+/// Parse "64M", "1G", "4096", "512K" into bytes.
+std::uint64_t parse_bytes(const std::string& text);
+
+}  // namespace mlvc

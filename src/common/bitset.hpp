@@ -1,0 +1,187 @@
+// Dynamic bitsets used for active-vertex tracking and the edge-log
+// optimizer's activity history (§V.C of the paper).
+//
+// Two flavors:
+//  - DynamicBitset: single-threaded, compact, fast popcount.
+//  - AtomicBitset : concurrent set() so parallel vertex processing can mark
+//    next-superstep activations without locks.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mlvc {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t n, bool value = false) { resize(n, value); }
+
+  void resize(std::size_t n, bool value = false) {
+    size_ = n;
+    words_.assign(word_count(n), value ? ~0ull : 0ull);
+    trim();
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  bool test(std::size_t i) const {
+    MLVC_CHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ull;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    MLVC_CHECK(i < size_);
+    const std::uint64_t mask = 1ull << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void clear_all() { std::fill(words_.begin(), words_.end(), 0ull); }
+  void set_all() {
+    std::fill(words_.begin(), words_.end(), ~0ull);
+    trim();
+  }
+
+  std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (std::uint64_t w : words_) total += std::popcount(w);
+    return total;
+  }
+
+  bool any() const noexcept {
+    for (std::uint64_t w : words_) {
+      if (w) return true;
+    }
+    return false;
+  }
+
+  /// Calls fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int bit = std::countr_zero(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Calls fn(index) for every set bit in [begin, end), ascending.
+  template <typename Fn>
+  void for_each_set_in_range(std::size_t begin, std::size_t end,
+                             Fn&& fn) const {
+    MLVC_CHECK(begin <= end && end <= size_);
+    if (begin == end) return;
+    const std::size_t first_word = begin / 64;
+    const std::size_t last_word = (end - 1) / 64;
+    for (std::size_t wi = first_word; wi <= last_word; ++wi) {
+      std::uint64_t w = words_[wi];
+      if (wi == first_word && begin % 64 != 0) {
+        w &= ~0ull << (begin % 64);
+      }
+      if (wi == last_word && end % 64 != 0) {
+        w &= (1ull << (end % 64)) - 1;
+      }
+      while (w) {
+        const int bit = std::countr_zero(w);
+        fn(wi * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Raw word access for serialization (checkpointing).
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+  void load_words(std::span<const std::uint64_t> w) {
+    MLVC_CHECK(w.size() == words_.size());
+    std::copy(w.begin(), w.end(), words_.begin());
+    trim();
+  }
+
+  /// Bitwise OR with another bitset of the same size.
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    MLVC_CHECK(size_ == other.size_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+ private:
+  static std::size_t word_count(std::size_t n) { return (n + 63) / 64; }
+  void trim() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ull << (size_ % 64)) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Concurrent-write bitset: set() from many threads is safe; readers must
+/// synchronize externally (the engine reads only between supersteps).
+class AtomicBitset {
+ public:
+  AtomicBitset() = default;
+  explicit AtomicBitset(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n) {
+    size_ = n;
+    words_ = std::vector<std::atomic<std::uint64_t>>((n + 63) / 64);
+    clear_all();
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  /// Returns true if the bit transitioned 0 -> 1 (first setter wins).
+  bool set(std::size_t i) {
+    MLVC_CHECK(i < size_);
+    const std::uint64_t mask = 1ull << (i & 63);
+    const std::uint64_t prev =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (prev & mask) == 0;
+  }
+
+  bool test(std::size_t i) const {
+    MLVC_CHECK(i < size_);
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1ull;
+  }
+
+  void clear_all() {
+    for (auto& w : words_) w.store(0ull, std::memory_order_relaxed);
+  }
+
+  std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const auto& w : words_) {
+      total += std::popcount(w.load(std::memory_order_relaxed));
+    }
+    return total;
+  }
+
+  /// Snapshot into a plain bitset (called between supersteps).
+  DynamicBitset snapshot() const {
+    DynamicBitset out(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (test(i)) out.set(i);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace mlvc

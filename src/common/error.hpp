@@ -1,0 +1,86 @@
+// Error handling utilities.
+//
+// Policy (see DESIGN.md §6): unrecoverable environment failures (I/O errors,
+// budget misconfiguration) throw exceptions derived from mlvc::Error;
+// programming errors are caught by MLVC_CHECK, which is active in all build
+// types — an out-of-core engine that silently corrupts a log is worse than
+// one that aborts.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mlvc {
+
+/// Base class for all MultiLogVC exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a storage backend operation fails (open/read/write/sync).
+class IoError : public Error {
+ public:
+  IoError(std::string_view op, std::string_view path, int err)
+      : Error(format(op, path, err)), errno_value_(err) {}
+
+  int errno_value() const noexcept { return errno_value_; }
+
+ private:
+  static std::string format(std::string_view op, std::string_view path,
+                            int err) {
+    std::ostringstream os;
+    os << "I/O error: " << op << " on '" << path << "': " << std::strerror(err)
+       << " (errno " << err << ")";
+    return os.str();
+  }
+  int errno_value_;
+};
+
+/// Raised when a configured memory budget cannot accommodate a request
+/// (e.g. a single vertex's worst-case updates exceed the sort budget).
+class BudgetError : public Error {
+ public:
+  explicit BudgetError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on malformed input (bad edge list file, invalid options).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MLVC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace mlvc
+
+/// Always-on invariant check. Throws mlvc::Error on failure so tests can
+/// assert on violations and tools get a stack-unwound, message-bearing exit.
+#define MLVC_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::mlvc::detail::check_failed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                   \
+  } while (0)
+
+#define MLVC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream mlvc_os_;                                      \
+      mlvc_os_ << msg;                                                  \
+      ::mlvc::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                   mlvc_os_.str());                    \
+    }                                                                   \
+  } while (0)

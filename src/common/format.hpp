@@ -1,0 +1,49 @@
+// Small formatting helpers for reports and logs.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace mlvc {
+
+/// "12.3 GiB", "640 KiB", ...
+inline std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  if (unit == 0) {
+    os << bytes << " B";
+  } else {
+    os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << " "
+       << kUnits[unit];
+  }
+  return os.str();
+}
+
+/// "1,234,567"
+inline std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+inline std::string format_fixed(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace mlvc

@@ -1,0 +1,110 @@
+// Host memory budget accounting (§V.A and Figure 4 of the paper).
+//
+// The paper partitions a fixed host budget (default 1 GB) into:
+//   X% (75) — sort-and-group working memory,
+//   A% ( 5) — multi-log write buffers (top pages),
+//   B% ( 5) — edge-log buffers,
+//   remainder — graph loader buffers (row pointers, adjacency pages) and
+//               engine bookkeeping.
+// We reproduce that split, scaled down so synthetic graphs keep the paper's
+// memory:graph ratio (see DESIGN.md §2).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mlvc {
+
+struct BudgetSplit {
+  double sort_fraction = 0.75;      // X% in Figure 4
+  double log_buffer_fraction = 0.05;  // A%
+  double edge_log_fraction = 0.05;    // B%
+  // Remainder goes to the graph loader + misc.
+};
+
+/// Tracks charges against a fixed budget. Thread-safe. Over-subscription
+/// throws BudgetError — the engines size their buffers up front, so hitting
+/// this at runtime is a logic error worth failing loudly on.
+class MemoryBudget {
+ public:
+  MemoryBudget(std::string name, std::size_t total_bytes)
+      : name_(std::move(name)), total_(total_bytes), used_(0) {}
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t used() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+  std::size_t available() const noexcept {
+    const std::size_t u = used();
+    return u >= total_ ? 0 : total_ - u;
+  }
+
+  void charge(std::size_t bytes) {
+    const std::size_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+    if (prev + bytes > total_) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      throw BudgetError("memory budget '" + name_ + "' exhausted: need " +
+                        std::to_string(bytes) + " bytes, " +
+                        std::to_string(total_ - std::min(total_, prev)) +
+                        " available of " + std::to_string(total_));
+    }
+  }
+
+  void release(std::size_t bytes) noexcept {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::size_t total_;
+  std::atomic<std::size_t> used_;
+};
+
+/// RAII charge against a budget.
+class BudgetCharge {
+ public:
+  BudgetCharge() = default;
+  BudgetCharge(MemoryBudget& budget, std::size_t bytes)
+      : budget_(&budget), bytes_(bytes) {
+    budget_->charge(bytes_);
+  }
+  ~BudgetCharge() { reset(); }
+
+  BudgetCharge(BudgetCharge&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  BudgetCharge& operator=(BudgetCharge&& other) noexcept {
+    if (this != &other) {
+      reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  BudgetCharge(const BudgetCharge&) = delete;
+  BudgetCharge& operator=(const BudgetCharge&) = delete;
+
+  void reset() noexcept {
+    if (budget_ != nullptr) {
+      budget_->release(bytes_);
+      budget_ = nullptr;
+      bytes_ = 0;
+    }
+  }
+
+  std::size_t bytes() const noexcept { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace mlvc

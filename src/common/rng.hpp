@@ -1,0 +1,64 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomness in the framework (R-MAT generation, MIS priorities, random
+// walks) flows through SplitMix64 streams seeded explicitly, so every bench
+// and test is reproducible bit-for-bit (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+namespace mlvc {
+
+/// SplitMix64: tiny, statistically solid, and — unlike std::mt19937 —
+/// cheap to seed per-vertex so parallel loops can derive an independent
+/// stream from (seed, vertex) without sharing state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // our bounds are far below 2^64 so bias is negligible for simulation use.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless hash of (seed, a, b) to a SplitMix64 stream. Used to give each
+/// (vertex, superstep) pair an independent deterministic stream regardless
+/// of processing order — essential because engines process vertices in
+/// different orders but must produce identical algorithm results.
+inline SplitMix64 stream_for(std::uint64_t seed, std::uint64_t a,
+                             std::uint64_t b = 0) noexcept {
+  SplitMix64 mix(seed ^ (a * 0xD6E8FEB86659FD93ull) ^
+                 (b * 0xA5A5A5A5A5A5A5A5ull));
+  mix.next();  // decorrelate nearby seeds
+  return mix;
+}
+
+}  // namespace mlvc

@@ -1,0 +1,59 @@
+// A small fixed-size thread pool.
+//
+// Used by ssd::AsyncIo to emulate the paper's asynchronous kernel I/O (§VI):
+// multiple outstanding page reads are issued to the storage backend from
+// dedicated I/O threads while the compute threads keep processing vertices.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlvc {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its result. Exceptions thrown by
+  /// the task are captured in the future.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  unsigned size() const noexcept { return static_cast<unsigned>(threads_.size()); }
+
+  /// Block until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mlvc

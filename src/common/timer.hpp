@@ -1,0 +1,50 @@
+// Wall-clock timing helpers used by the per-superstep statistics (RunStats)
+// and the bench harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mlvc {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t elapsed_nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on scope exit. Lets the engine
+/// attribute wall time to phases (load, sort, compute, spill) without
+/// littering the control flow with timer bookkeeping.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) noexcept : sink_(sink) {}
+  ~ScopedAccumulator() { sink_ += timer_.elapsed_seconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace mlvc

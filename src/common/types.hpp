@@ -1,0 +1,47 @@
+// Core scalar types shared by every MultiLogVC module.
+//
+// The paper (§VI) uses a 4-byte vertex id and an 8-byte row-pointer entry;
+// we mirror that so the on-disk CSR layout has the same density as the
+// authors' implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace mlvc {
+
+/// Vertex identifier. 4 bytes, per the paper's implementation notes (§VI).
+using VertexId = std::uint32_t;
+
+/// Index into the edge (colIdx/val) arrays. 8 bytes so graphs with more than
+/// 4G edges are representable, matching the paper's 8-byte rowPtr entries.
+using EdgeIndex = std::uint64_t;
+
+/// Identifier of a vertex interval (a contiguous group of vertices that
+/// shares one message log). Interval counts are small (<5000 in the paper),
+/// but we keep 32 bits for headroom.
+using IntervalId = std::uint32_t;
+
+/// Superstep (BSP iteration) number.
+using Superstep = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no interval".
+inline constexpr IntervalId kInvalidInterval =
+    std::numeric_limits<IntervalId>::max();
+
+/// Byte-size helpers.
+inline constexpr std::size_t operator""_KiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) << 10;
+}
+inline constexpr std::size_t operator""_MiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) << 20;
+}
+inline constexpr std::size_t operator""_GiB(unsigned long long v) {
+  return static_cast<std::size_t>(v) << 30;
+}
+
+}  // namespace mlvc

@@ -1,0 +1,561 @@
+// The MultiLogVC engine: Algorithm 1 of the paper.
+//
+// Per superstep:
+//   1. plan fused interval groups whose current message logs fit the sort
+//      budget (§V.A.2);
+//   2. per group: LoadLog() each interval's log (plus, in asynchronous mode,
+//      drain messages already produced this superstep for it), sort in
+//      memory by destination, optionally combine (§V.D), and
+//      ExtractActiveVert();
+//   3. per interval, in loader-budget-bounded batches of active vertices:
+//      gather vertex values, load adjacency through the Graph Loader Unit
+//      (edge-log hits first, then page-coalesced CSR reads), run the
+//      application's ProcessVertex in parallel, route its SendUpdate()s into
+//      the produce-generation multi-log, apply the §V.C edge-log decision,
+//      scatter values back;
+//   4. close the superstep: score/advance the predictor, summarize page
+//      utilization, apply buffered structural updates, swap log generations.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/bitset.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/graph_loader.hpp"
+#include "core/message_range.hpp"
+#include "core/options.hpp"
+#include "core/stats.hpp"
+#include "core/vertex_program.hpp"
+#include "core/vertex_value_store.hpp"
+#include "graph/stored_csr.hpp"
+#include "multilog/active_set.hpp"
+#include "multilog/edge_log.hpp"
+#include "multilog/multilog_store.hpp"
+#include "multilog/page_util.hpp"
+#include "multilog/predictor.hpp"
+#include "multilog/sort_group.hpp"
+
+namespace mlvc::core {
+
+/// Compute the paper's §V.A.1 interval partition for an app's message size.
+template <VertexApp App>
+graph::VertexIntervals partition_for_app(const graph::CsrGraph& csr,
+                                         const EngineOptions& options) {
+  const auto in_degrees = csr.in_degrees();
+  return graph::VertexIntervals::partition_by_in_degree(
+      in_degrees, sizeof(multilog::Record<typename App::Message>),
+      options.sort_budget());
+}
+
+template <VertexApp App>
+class MultiLogVCEngine {
+ public:
+  using Value = typename App::Value;
+  using Message = typename App::Message;
+  using Rec = multilog::Record<Message>;
+
+  MultiLogVCEngine(graph::StoredCsrGraph& graph, App app,
+                   EngineOptions options)
+      : graph_(graph),
+        app_(std::move(app)),
+        options_(options),
+        store_(graph.storage(), "mlvc", graph.intervals(),
+               multilog::MultiLogConfig{
+                   sizeof(Rec), options.log_buffer_budget()}),
+        edge_log_(graph.storage(), "mlvc",
+                  multilog::EdgeLogConfig{App::kNeedsWeights,
+                                          options.edge_log_budget()}),
+        predictor_(graph.num_vertices(), options.predictor_history),
+        util_tracker_(graph.storage().page_size(),
+                      options.page_util_threshold),
+        loader_(graph, &edge_log_, &util_tracker_,
+                GraphLoaderUnit::Config{App::kNeedsWeights,
+                                        options.enable_edge_log}),
+        values_(graph.storage(), "mlvc/values", graph.num_vertices(),
+                [this](VertexId v) { return app_.initial_value(v); },
+                options.values_on_storage),
+        sticky_active_(graph.num_vertices()) {
+    MLVC_CHECK_MSG(!App::kNeedsWeights || graph.has_weights(),
+                   "application '" << app_.name()
+                                   << "' needs edge weights but the stored "
+                                      "graph has none");
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (app_.initially_active(v)) sticky_active_.set(v);
+    }
+    stats_.engine = "MultiLogVC";
+    stats_.app = app_.name();
+  }
+
+  /// Run to convergence or options.max_supersteps. An optional callback is
+  /// invoked after each superstep with its stats (benches use this to stop
+  /// BFS at a traversal fraction, etc.); returning false stops the run.
+  /// Continues from the last executed superstep, so run() after
+  /// load_checkpoint() resumes where the checkpoint was taken.
+  template <typename StepFn>
+  RunStats run_with_callback(StepFn&& on_superstep) {
+    for (Superstep s = next_superstep_; s < options_.max_supersteps; ++s) {
+      const bool any_input =
+          store_.total_current_count() > 0 || sticky_active_.count() > 0;
+      if (!any_input) break;
+      SuperstepStats step = execute_superstep(s);
+      next_superstep_ = s + 1;
+      const bool keep_going = on_superstep(step);
+      stats_.supersteps.push_back(std::move(step));
+      if (!keep_going) break;
+    }
+    return stats_;
+  }
+
+  // ---- checkpoint / rollback (superstep-boundary fault tolerance) ---------
+  //
+  // A checkpoint captures everything needed to re-execute from the next
+  // superstep: the superstep counter, vertex values, the sticky-active set,
+  // and the pending (current-generation) message logs. The edge log is an
+  // optimization cache and is simply dropped on rollback. Limitation:
+  // structural updates already merged into the stored CSR are not rolled
+  // back — checkpoint before mutating the graph.
+
+  /// Persist a checkpoint into the graph's storage under `name`.
+  void save_checkpoint(const std::string& name) {
+    ssd::Blob& blob = graph_.storage().create_blob("mlvc/ckpt_" + name,
+                                                   ssd::IoCategory::kMisc);
+    const std::uint32_t magic = 0x4B435643u;  // "CVCK"
+    blob.append(&magic, 4);
+    blob.append(&next_superstep_, 4);
+    const auto words = sticky_active_.words();
+    const std::uint64_t n_words = words.size();
+    blob.append(&n_words, 8);
+    blob.append(words.data(), words.size_bytes());
+    const IntervalId n_int = graph_.intervals().count();
+    blob.append(&n_int, 4);
+    std::vector<std::byte> bytes;
+    for (IntervalId i = 0; i < n_int; ++i) {
+      bytes.clear();
+      store_.load_interval(i, bytes);
+      const std::uint64_t n_bytes = bytes.size();
+      blob.append(&n_bytes, 8);
+      blob.append(bytes.data(), bytes.size());
+    }
+    const auto values = values_.all();
+    blob.append(values.data(), values.size() * sizeof(Value));
+  }
+
+  /// Roll engine state back to a previously saved checkpoint.
+  void load_checkpoint(const std::string& name) {
+    ssd::Blob& blob = graph_.storage().open_blob("mlvc/ckpt_" + name);
+    std::uint64_t off = 0;
+    const auto read = [&](void* out, std::size_t len) {
+      blob.read(off, out, len);
+      off += len;
+    };
+    std::uint32_t magic = 0;
+    read(&magic, 4);
+    MLVC_CHECK_MSG(magic == 0x4B435643u, "not a checkpoint blob");
+    read(&next_superstep_, 4);
+    std::uint64_t n_words = 0;
+    read(&n_words, 8);
+    std::vector<std::uint64_t> words(n_words);
+    read(words.data(), n_words * 8);
+    sticky_active_.load_words(words);
+    IntervalId n_int = 0;
+    read(&n_int, 4);
+    MLVC_CHECK(n_int == graph_.intervals().count());
+    store_.reset_all();
+    std::vector<std::byte> bytes;
+    for (IntervalId i = 0; i < n_int; ++i) {
+      std::uint64_t n_bytes = 0;
+      read(&n_bytes, 8);
+      bytes.resize(n_bytes);
+      read(bytes.data(), n_bytes);
+      store_.restore_current_interval(i, bytes);
+    }
+    std::vector<Value> values(graph_.num_vertices());
+    read(values.data(), values.size() * sizeof(Value));
+    values_.store_range(0, values);
+    // Drop the edge-log cache and any un-applied structural updates.
+    edge_log_.swap_generations();
+    edge_log_.swap_generations();
+    {
+      std::lock_guard<std::mutex> lock(structural_mutex_);
+      structural_queue_.clear();
+    }
+  }
+
+  RunStats run() {
+    return run_with_callback([](const SuperstepStats&) { return true; });
+  }
+
+  std::vector<Value> values() const { return values_.all(); }
+  const RunStats& stats() const { return stats_; }
+  graph::StoredCsrGraph& graph() { return graph_; }
+
+  // ---- the vertex context passed to App::process --------------------------
+  class Context {
+   public:
+    Context(MultiLogVCEngine& engine, VertexId v, Superstep superstep,
+            const AdjacencyBatch& batch, std::size_t slot, Value value)
+        : engine_(engine),
+          v_(v),
+          superstep_(superstep),
+          batch_(batch),
+          slot_(slot),
+          value_(value) {}
+
+    VertexId id() const { return v_; }
+    Superstep superstep() const { return superstep_; }
+    VertexId num_vertices() const { return engine_.graph_.num_vertices(); }
+
+    const Value& value() const { return value_; }
+    void set_value(const Value& v) {
+      value_ = v;
+      value_dirty_ = true;
+    }
+
+    std::size_t out_degree() const { return batch_.spans[slot_].length; }
+    VertexId out_edge(std::size_t i) const {
+      return batch_.adjacency[batch_.spans[slot_].offset + i];
+    }
+    float out_weight(std::size_t i) const {
+      return batch_.weights.empty()
+                 ? 1.0f
+                 : batch_.weights[batch_.spans[slot_].offset + i];
+    }
+    std::span<const VertexId> out_edges() const {
+      return {batch_.adjacency.data() + batch_.spans[slot_].offset,
+              batch_.spans[slot_].length};
+    }
+
+    void send(VertexId dst, const Message& m) {
+      multilog::append_record<Message>(engine_.store_, dst, m);
+      engine_.messages_produced_.fetch_add(1, std::memory_order_relaxed);
+      engine_.edges_activated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    void send_to_all_neighbors(const Message& m) {
+      for (std::size_t i = 0; i < out_degree(); ++i) send(out_edge(i), m);
+    }
+
+    void deactivate() { deactivated_ = true; }
+
+    /// §V.E structural updates; visible from the next superstep.
+    void add_edge(VertexId dst, float weight = 1.0f) {
+      engine_.queue_structural(
+          {graph::StructuralUpdate::Kind::kAddEdge, v_, dst, weight});
+    }
+    void remove_edge(VertexId dst) {
+      engine_.queue_structural(
+          {graph::StructuralUpdate::Kind::kRemoveEdge, v_, dst, 1.0f});
+    }
+
+    /// Deterministic per-(vertex, superstep) random stream.
+    SplitMix64 rng() const {
+      return stream_for(engine_.options_.seed, v_, superstep_);
+    }
+
+    bool deactivated() const { return deactivated_; }
+    bool value_dirty() const { return value_dirty_; }
+    const Value& current_value() const { return value_; }
+
+   private:
+    MultiLogVCEngine& engine_;
+    VertexId v_;
+    Superstep superstep_;
+    const AdjacencyBatch& batch_;
+    std::size_t slot_;
+    Value value_;
+    bool deactivated_ = false;
+    bool value_dirty_ = false;
+  };
+
+ private:
+  friend class Context;
+
+  struct ActiveVertex {
+    VertexId v;
+    std::uint32_t rec_begin = 0;  // slice of the group's sorted records
+    std::uint32_t rec_count = 0;
+  };
+
+  void queue_structural(const graph::StructuralUpdate& u) {
+    std::lock_guard<std::mutex> lock(structural_mutex_);
+    structural_queue_.push_back(u);
+  }
+
+  /// Greedy §V.A.2 fusion: consecutive intervals whose current logs (by the
+  /// per-interval message counters) fit the sort budget together.
+  std::vector<std::pair<IntervalId, IntervalId>> plan_groups() const {
+    std::vector<std::pair<IntervalId, IntervalId>> groups;
+    const IntervalId n = graph_.intervals().count();
+    if (!options_.enable_interval_fusion) {
+      for (IntervalId i = 0; i < n; ++i) groups.emplace_back(i, i + 1);
+      return groups;
+    }
+    const std::uint64_t budget = options_.sort_budget();
+    IntervalId begin = 0;
+    std::uint64_t acc = 0;
+    for (IntervalId i = 0; i < n; ++i) {
+      const std::uint64_t bytes = store_.current_bytes(i);
+      if (i > begin && acc + bytes > budget) {
+        groups.emplace_back(begin, i);
+        begin = i;
+        acc = 0;
+      }
+      acc += bytes;
+    }
+    groups.emplace_back(begin, n);
+    return groups;
+  }
+
+  SuperstepStats execute_superstep(Superstep s) {
+    SuperstepStats step;
+    step.superstep = s;
+    auto& storage = graph_.storage();
+    const auto io_before = storage.stats().snapshot();
+    const auto dev_before = storage.device().snapshot();
+    WallTimer wall;
+
+    messages_produced_.store(0, std::memory_order_relaxed);
+    edges_activated_.store(0, std::memory_order_relaxed);
+    DynamicBitset active_now(graph_.num_vertices());
+
+    std::uint64_t consumed = 0;
+    std::uint64_t active_count = 0;
+    std::uint64_t edge_log_hits = 0;
+
+    for (const auto& [g_begin, g_end] : plan_groups()) {
+      // ---- LoadLog + (async) drain ----------------------------------------
+      std::vector<std::byte> bytes;
+      for (IntervalId i = g_begin; i < g_end; ++i) {
+        store_.load_interval(i, bytes);
+        if (options_.model == ComputationModel::kAsynchronous) {
+          store_.drain_produce_interval(i, bytes);
+        }
+      }
+      std::vector<Rec> records = multilog::decode_records<Message>(bytes);
+      bytes.clear();
+      bytes.shrink_to_fit();
+      consumed += records.size();
+
+      // ---- sort + optional combine (§V.B, §V.D) ---------------------------
+      multilog::sort_records(records);
+      if constexpr (App::kHasCombine) {
+        if (options_.enable_combine) {
+          multilog::combine_sorted(records, [this](const Message& a,
+                                                   const Message& b) {
+            return app_.combine(a, b);
+          });
+        }
+      }
+      const auto offsets = multilog::group_offsets(
+          std::span<const Rec>(records.data(), records.size()));
+
+      // ---- ExtractActiveVert: receivers ∪ sticky actives ------------------
+      // Both inputs are ascending; merge per interval.
+      for (IntervalId i = g_begin; i < g_end; ++i) {
+        std::vector<ActiveVertex> actives =
+            collect_actives(i, records, offsets);
+        if (actives.empty()) continue;
+        active_count += actives.size();
+        process_interval(s, i, records, actives, active_now, edge_log_hits);
+      }
+    }
+
+    // ---- close the superstep ---------------------------------------------
+    const auto predictor_score = predictor_.score(active_now);
+    predictor_.observe(active_now);
+    const auto util = util_tracker_.finish_superstep();
+    apply_structural_updates();
+    store_.swap_generations();
+    edge_log_.swap_generations();
+
+    step.active_vertices = active_count;
+    step.messages_consumed = consumed;
+    step.messages_produced = messages_produced_.load();
+    step.edges_activated = edges_activated_.load();
+    step.pages_touched = util.pages_touched;
+    step.pages_inefficient = util.pages_inefficient;
+    step.pages_inefficient_predicted = util.inefficient_predicted;
+    step.edge_log_hits = edge_log_hits;
+    step.predicted_active = predictor_score.predicted_and_active;
+    step.total_wall_seconds = wall.elapsed_seconds();
+    step.compute_wall_seconds = step.total_wall_seconds;
+    step.io = storage.stats().snapshot() - io_before;
+    step.modeled_storage_seconds = storage.device().modeled_seconds_between(
+        dev_before, storage.device().snapshot());
+    return step;
+  }
+
+  /// Merge interval i's message receivers with its sticky-active vertices.
+  std::vector<ActiveVertex> collect_actives(
+      IntervalId i, const std::vector<Rec>& records,
+      const std::vector<std::size_t>& offsets) const {
+    const VertexId vb = graph_.intervals().begin(i);
+    const VertexId ve = graph_.intervals().end(i);
+    std::vector<ActiveVertex> actives;
+
+    // Locate this interval's group slice in the sorted records via binary
+    // search over the group offsets (offsets.back() is the end sentinel).
+    const std::size_t n_groups = offsets.empty() ? 0 : offsets.size() - 1;
+    std::size_t lo_g = 0, hi_g = n_groups;
+    while (lo_g < hi_g) {
+      const std::size_t mid = (lo_g + hi_g) / 2;
+      if (records[offsets[mid]].dst < vb) {
+        lo_g = mid + 1;
+      } else {
+        hi_g = mid;
+      }
+    }
+    std::size_t next_group = lo_g;
+    sticky_active_.for_each_set_in_range(vb, ve, [&](std::size_t sv) {
+      const VertexId v = static_cast<VertexId>(sv);
+      // Emit receiver groups before this sticky vertex.
+      while (next_group < n_groups && records[offsets[next_group]].dst < v) {
+        const VertexId dst = records[offsets[next_group]].dst;
+        if (dst >= ve) break;
+        actives.push_back(
+            {dst, static_cast<std::uint32_t>(offsets[next_group]),
+             static_cast<std::uint32_t>(offsets[next_group + 1] -
+                                        offsets[next_group])});
+        ++next_group;
+      }
+      if (next_group < n_groups && records[offsets[next_group]].dst == v) {
+        actives.push_back(
+            {v, static_cast<std::uint32_t>(offsets[next_group]),
+             static_cast<std::uint32_t>(offsets[next_group + 1] -
+                                        offsets[next_group])});
+        ++next_group;
+      } else {
+        actives.push_back({v, 0, 0});
+      }
+    });
+    while (next_group < n_groups && records[offsets[next_group]].dst < ve) {
+      actives.push_back(
+          {records[offsets[next_group]].dst,
+           static_cast<std::uint32_t>(offsets[next_group]),
+           static_cast<std::uint32_t>(offsets[next_group + 1] -
+                                      offsets[next_group])});
+      ++next_group;
+    }
+    return actives;
+  }
+
+  void process_interval(Superstep s, IntervalId interval,
+                        const std::vector<Rec>& records,
+                        const std::vector<ActiveVertex>& actives,
+                        DynamicBitset& active_now,
+                        std::uint64_t& edge_log_hits) {
+    // Batch by loader budget: adjacency bytes per vertex known from the
+    // in-memory degree array.
+    const std::size_t per_edge =
+        sizeof(VertexId) + (App::kNeedsWeights ? sizeof(float) : 0);
+    const std::size_t batch_budget =
+        std::max<std::size_t>(options_.loader_budget() / 2, 64_KiB);
+
+    std::size_t begin = 0;
+    while (begin < actives.size()) {
+      std::size_t end = begin;
+      std::uint64_t bytes = 0;
+      while (end < actives.size()) {
+        const std::uint64_t cost =
+            graph_.out_degree(actives[end].v) * per_edge;
+        if (end > begin && bytes + cost > batch_budget) break;
+        bytes += cost;
+        ++end;
+      }
+      process_batch(s, interval,
+                    std::span<const ActiveVertex>(actives.data() + begin,
+                                                  end - begin),
+                    records, active_now, edge_log_hits);
+      begin = end;
+    }
+  }
+
+  void process_batch(Superstep s, IntervalId interval,
+                     std::span<const ActiveVertex> batch,
+                     const std::vector<Rec>& records,
+                     DynamicBitset& active_now,
+                     std::uint64_t& edge_log_hits) {
+    std::vector<VertexId> ids(batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) ids[k] = batch[k].v;
+
+    AdjacencyBatch adj;
+    loader_.load(interval, ids, adj);
+    edge_log_hits += adj.edge_log_hits;
+
+    std::vector<Value> vals = values_.gather(ids);
+    std::vector<std::uint8_t> deactivated(batch.size(), 0);
+
+    parallel_for(std::size_t{0}, batch.size(), [&](std::size_t k) {
+      const ActiveVertex& av = batch[k];
+      Context ctx(*this, av.v, s, adj, k, vals[k]);
+      const MessageRange<Message> msgs = MessageRange<Message>::from_records(
+          std::span<const Rec>(records.data() + av.rec_begin, av.rec_count));
+      app_.process(ctx, msgs);
+      vals[k] = ctx.current_value();
+      deactivated[k] = ctx.deactivated() ? 1 : 0;
+
+      // §V.C edge-log decision: predicted active next superstep, edges came
+      // from an inefficiently used CSR page, and the vertex is low-degree
+      // enough that re-logging is worthwhile.
+      if (options_.enable_edge_log && !adj.from_edge_log[k] &&
+          adj.spans[k].length > 0 && predictor_.predict_active(av.v)) {
+        const double util = adj.start_page_util[k];
+        const double occupancy =
+            static_cast<double>(adj.spans[k].length * sizeof(VertexId)) /
+            static_cast<double>(graph_.storage().page_size());
+        if (util >= 0 && util < options_.page_util_threshold &&
+            occupancy < options_.page_util_threshold) {
+          const auto span = adj.spans[k];
+          edge_log_.log_edges(
+              av.v,
+              std::span<const VertexId>(adj.adjacency.data() + span.offset,
+                                        span.length),
+              App::kNeedsWeights
+                  ? std::span<const float>(adj.weights.data() + span.offset,
+                                           span.length)
+                  : std::span<const float>{});
+        }
+      }
+    });
+
+    // Serial post-pass: sticky bits, predictor input, values write-back.
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      active_now.set(batch[k].v);
+      sticky_active_.set(batch[k].v, deactivated[k] == 0);
+    }
+    values_.scatter(ids, vals);
+  }
+
+  void apply_structural_updates() {
+    std::vector<graph::StructuralUpdate> updates;
+    {
+      std::lock_guard<std::mutex> lock(structural_mutex_);
+      updates.swap(structural_queue_);
+    }
+    for (const auto& u : updates) graph_.buffer_update(u);
+  }
+
+  graph::StoredCsrGraph& graph_;
+  App app_;
+  EngineOptions options_;
+  multilog::MultiLogStore store_;
+  multilog::EdgeLog edge_log_;
+  multilog::HistoryPredictor predictor_;
+  multilog::PageUtilTracker util_tracker_;
+  GraphLoaderUnit loader_;
+  VertexValueStore<Value> values_;
+  DynamicBitset sticky_active_;
+  RunStats stats_;
+  Superstep next_superstep_ = 0;
+
+  std::atomic<std::uint64_t> messages_produced_{0};
+  std::atomic<std::uint64_t> edges_activated_{0};
+  std::mutex structural_mutex_;
+  std::vector<graph::StructuralUpdate> structural_queue_;
+};
+
+}  // namespace mlvc::core

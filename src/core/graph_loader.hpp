@@ -1,0 +1,87 @@
+// The Graph Loader Unit (§V.B.2 of the paper).
+//
+// Given the ascending list of active vertices inside one vertex interval,
+// fetch exactly the row-pointer and adjacency pages those vertices need:
+//
+//  * row pointers are read in coalesced windows ("loops over the row pointer
+//    array for the range of vertices in the active vertex list, each time
+//    fetching vertices that can fit in the graph data row pointer buffer");
+//  * adjacency ranges of vertices that share an SSD page are merged into a
+//    single read, so a page holding five active vertices' edges is fetched
+//    once — this is where CSR beats shards when the active set shrinks;
+//  * vertices present in the edge log (§V.C) are served from it instead of
+//    the CSR — the read-amplification optimization;
+//  * per-page useful-byte counts are recorded in the PageUtilTracker so the
+//    edge-log optimizer can classify inefficient pages (Figures 3 and 9).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/stored_csr.hpp"
+#include "multilog/edge_log.hpp"
+#include "multilog/page_util.hpp"
+
+namespace mlvc::core {
+
+/// Adjacency data for a batch of active vertices, flattened into shared
+/// buffers; spans[k] locates vertex k's slice.
+struct AdjacencyBatch {
+  struct Span {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+  };
+  std::vector<VertexId> adjacency;
+  std::vector<float> weights;       // parallel to adjacency when loaded
+  std::vector<Span> spans;          // one per requested vertex
+  std::vector<std::uint8_t> from_edge_log;  // one per requested vertex
+  /// Utilization (useful bytes / page size) of the CSR page holding the
+  /// vertex's adjacency start, as measured by this superstep's loads; -1 for
+  /// edge-log hits. Input to the §V.C logging decision.
+  std::vector<double> start_page_util;
+
+  std::uint64_t edge_log_hits = 0;
+
+  void clear() {
+    adjacency.clear();
+    weights.clear();
+    spans.clear();
+    from_edge_log.clear();
+    start_page_util.clear();
+    edge_log_hits = 0;
+  }
+};
+
+class GraphLoaderUnit {
+ public:
+  struct Config {
+    bool load_weights = false;
+    bool use_edge_log = true;
+  };
+
+  GraphLoaderUnit(graph::StoredCsrGraph& graph, multilog::EdgeLog* edge_log,
+                  multilog::PageUtilTracker* util_tracker, Config config)
+      : graph_(graph),
+        edge_log_(edge_log),
+        util_tracker_(util_tracker),
+        config_(config) {}
+
+  /// Load adjacency for `actives` (ascending, all inside interval i) into
+  /// `out` (cleared first).
+  void load(IntervalId interval, std::span<const VertexId> actives,
+            AdjacencyBatch& out);
+
+ private:
+  void load_from_csr(IntervalId interval,
+                     std::span<const VertexId> csr_vertices,
+                     std::span<const std::size_t> result_slots,
+                     AdjacencyBatch& out);
+
+  graph::StoredCsrGraph& graph_;
+  multilog::EdgeLog* edge_log_;
+  multilog::PageUtilTracker* util_tracker_;
+  Config config_;
+};
+
+}  // namespace mlvc::core

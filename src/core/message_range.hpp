@@ -1,0 +1,93 @@
+// A strided, read-only view over a vertex's incoming messages.
+//
+// MultiLogVC hands vertices their inbox as a slice of sorted log records
+// (<dst, payload> pairs); the GraphChi baseline hands a contiguous payload
+// array harvested from in-edge values. MessageRange abstracts both with
+// zero copies so application code is engine-agnostic.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <span>
+
+#include "multilog/record.hpp"
+
+namespace mlvc::core {
+
+template <typename Message>
+class MessageRange {
+ public:
+  MessageRange() = default;
+
+  static MessageRange from_records(
+      std::span<const multilog::Record<Message>> records) {
+    MessageRange r;
+    if (!records.empty()) {
+      r.base_ = reinterpret_cast<const std::byte*>(&records.front().payload);
+      r.stride_ = sizeof(multilog::Record<Message>);
+      r.count_ = records.size();
+    }
+    return r;
+  }
+
+  static MessageRange from_array(std::span<const Message> messages) {
+    MessageRange r;
+    if (!messages.empty()) {
+      r.base_ = reinterpret_cast<const std::byte*>(messages.data());
+      r.stride_ = sizeof(Message);
+      r.count_ = messages.size();
+    }
+    return r;
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  const Message& operator[](std::size_t i) const {
+    return *reinterpret_cast<const Message*>(base_ + i * stride_);
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Message;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Message*;
+    using reference = const Message&;
+
+    iterator(const std::byte* p, std::size_t stride)
+        : p_(p), stride_(stride) {}
+    reference operator*() const {
+      return *reinterpret_cast<const Message*>(p_);
+    }
+    pointer operator->() const {
+      return reinterpret_cast<const Message*>(p_);
+    }
+    iterator& operator++() {
+      p_ += stride_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.p_ == b.p_;
+    }
+
+   private:
+    const std::byte* p_;
+    std::size_t stride_;
+  };
+
+  iterator begin() const { return iterator(base_, stride_); }
+  iterator end() const { return iterator(base_ + count_ * stride_, stride_); }
+
+ private:
+  const std::byte* base_ = nullptr;
+  std::size_t stride_ = sizeof(Message);
+  std::size_t count_ = 0;
+};
+
+}  // namespace mlvc::core

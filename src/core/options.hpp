@@ -1,0 +1,79 @@
+// Engine configuration, mirroring the paper's Figure 4 memory layout and
+// the design knobs DESIGN.md calls out for ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/memory_budget.hpp"
+#include "common/types.hpp"
+#include "ssd/device_model.hpp"
+
+namespace mlvc::core {
+
+enum class ComputationModel {
+  /// Bulk-synchronous: messages sent in superstep s are visible in s+1.
+  kSynchronous,
+  /// §V.F asynchronous: messages may be delivered within the same superstep
+  /// (when the destination interval is processed after the send).
+  kAsynchronous,
+};
+
+struct EngineOptions {
+  /// Total host memory budget. The paper uses 1 GB against ~100 GB graphs;
+  /// scale this down with graph size to keep the ratio (DESIGN.md §2).
+  std::size_t memory_budget_bytes = 64_MiB;
+
+  /// Figure 4 split: X% sort/group, A% multi-log buffers, B% edge log.
+  BudgetSplit split{};
+
+  /// Stop after this many supersteps even without convergence. The paper
+  /// runs at most 15 (§VII).
+  Superstep max_supersteps = 15;
+
+  ComputationModel model = ComputationModel::kSynchronous;
+
+  /// §V.C edge-log optimizer. Off = every adjacency read hits the CSR.
+  bool enable_edge_log = true;
+
+  /// §V.A.2 interval fusion. Off = one interval per sort/group pass.
+  bool enable_interval_fusion = true;
+
+  /// §V.D combine path for associative+commutative apps. Off = all messages
+  /// preserved even when the app provides a combine operator.
+  bool enable_combine = true;
+
+  /// History depth N for the active-vertex predictor (paper uses 1).
+  unsigned predictor_history = 1;
+
+  /// Page-utilization threshold below which a page counts as inefficient
+  /// (paper uses 10%).
+  double page_util_threshold = 0.10;
+
+  /// Seed for all app-level randomness (MIS priorities, random walks).
+  std::uint64_t seed = 1;
+
+  /// Store vertex values on storage (true, the out-of-core default) or in
+  /// host memory (false; only sensible for unit tests).
+  bool values_on_storage = true;
+
+  // Derived budget slices --------------------------------------------------
+  std::size_t sort_budget() const {
+    return static_cast<std::size_t>(memory_budget_bytes *
+                                    split.sort_fraction);
+  }
+  std::size_t log_buffer_budget() const {
+    return static_cast<std::size_t>(memory_budget_bytes *
+                                    split.log_buffer_fraction);
+  }
+  std::size_t edge_log_budget() const {
+    return static_cast<std::size_t>(memory_budget_bytes *
+                                    split.edge_log_fraction);
+  }
+  /// Remainder: graph loader buffers (row pointers + adjacency pages).
+  std::size_t loader_budget() const {
+    return memory_budget_bytes - sort_budget() - log_buffer_budget() -
+           edge_log_budget();
+  }
+};
+
+}  // namespace mlvc::core

@@ -1,0 +1,86 @@
+// Per-superstep and per-run execution statistics.
+//
+// Every figure in the paper's evaluation is some view over these numbers:
+// active counts (Fig 2), page accesses (Fig 5b), storage/compute split
+// (Fig 5c), per-superstep relative time (Fig 7), predictor recall (Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ssd/io_stats.hpp"
+
+namespace mlvc::core {
+
+struct SuperstepStats {
+  Superstep superstep = 0;
+  std::uint64_t active_vertices = 0;
+  std::uint64_t messages_consumed = 0;
+  std::uint64_t messages_produced = 0;
+  /// Out-edges traversed by sends this superstep ("active edges" in Fig 2).
+  std::uint64_t edges_activated = 0;
+
+  ssd::IoStatsSnapshot io;  // traffic attributable to this superstep
+  double modeled_storage_seconds = 0;  // device model, this superstep
+  double compute_wall_seconds = 0;     // host time minus storage waits
+  double total_wall_seconds = 0;       // host wall clock for the superstep
+
+  /// Primary metric (DESIGN.md §4): host compute + modeled device time.
+  double modeled_total_seconds() const {
+    return compute_wall_seconds + modeled_storage_seconds;
+  }
+
+  // Edge-log optimizer observability (Figure 9).
+  std::uint64_t pages_touched = 0;
+  std::uint64_t pages_inefficient = 0;
+  std::uint64_t pages_inefficient_predicted = 0;
+  std::uint64_t edge_log_hits = 0;
+
+  // Predictor accuracy on vertices.
+  std::uint64_t predicted_active = 0;
+};
+
+struct RunStats {
+  std::string engine;
+  std::string app;
+  std::vector<SuperstepStats> supersteps;
+  double build_seconds = 0;  // graph/shard materialization, excluded from run
+
+  std::uint64_t total_pages_read() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.total_pages_read();
+    return t;
+  }
+  std::uint64_t total_pages_written() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.total_pages_written();
+    return t;
+  }
+  std::uint64_t total_pages() const {
+    return total_pages_read() + total_pages_written();
+  }
+  double modeled_storage_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.modeled_storage_seconds;
+    return t;
+  }
+  double compute_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.compute_wall_seconds;
+    return t;
+  }
+  double modeled_total_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.modeled_total_seconds();
+    return t;
+  }
+  std::uint64_t total_messages() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.messages_produced;
+    return t;
+  }
+};
+
+}  // namespace mlvc::core

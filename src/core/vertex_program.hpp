@@ -1,0 +1,73 @@
+// The vertex-centric programming model (§V.F of the paper).
+//
+// An application is a value type satisfying the VertexApp concept below. The
+// same application runs unmodified on MultiLogVC, on the GraphChi baseline,
+// and on the GraFBoost baseline — that cross-engine portability is what lets
+// the benches compare engines on identical algorithm code.
+//
+// Per the paper, the vertex processing function receives the vertex id, the
+// vertex data, the incoming messages, and the vertex's adjacency (out-edges
+// in all evaluated applications); it may update its value, send updates,
+// mutate the graph, and deactivate itself. A deactivated vertex is
+// re-activated automatically when it receives an update.
+#pragma once
+
+#include <concepts>
+#include <span>
+#include <type_traits>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mlvc::core {
+
+/// What every engine's vertex context offers to application code. Engines
+/// provide their own concrete context types (static polymorphism — no
+/// virtual dispatch on the per-vertex hot path); this concept documents and
+/// enforces the interface via the app's process() instantiation.
+template <typename Ctx, typename App>
+concept VertexContext = requires(Ctx& ctx, const typename App::Message& m,
+                                 typename App::Value v, VertexId dst,
+                                 std::size_t i) {
+  { ctx.id() } -> std::convertible_to<VertexId>;
+  { ctx.superstep() } -> std::convertible_to<Superstep>;
+  { ctx.value() } -> std::convertible_to<typename App::Value>;
+  { ctx.set_value(v) };
+  { ctx.out_degree() } -> std::convertible_to<std::size_t>;
+  { ctx.out_edge(i) } -> std::convertible_to<VertexId>;
+  { ctx.out_weight(i) } -> std::convertible_to<float>;
+  { ctx.send(dst, m) };
+  { ctx.send_to_all_neighbors(m) };
+  { ctx.deactivate() };
+  { ctx.rng() } -> std::same_as<SplitMix64>;
+};
+
+template <typename A>
+concept VertexApp = requires(const A app, VertexId v) {
+  typename A::Value;
+  typename A::Message;
+  requires std::is_trivially_copyable_v<typename A::Value>;
+  requires std::is_trivially_copyable_v<typename A::Message>;
+  { A::kHasCombine } -> std::convertible_to<bool>;
+  { A::kNeedsWeights } -> std::convertible_to<bool>;
+  { app.initial_value(v) } -> std::convertible_to<typename A::Value>;
+  { app.initially_active(v) } -> std::convertible_to<bool>;
+  { app.name() } -> std::convertible_to<const char*>;
+};
+
+/// Helper: apply the app's combine operator if it has one (compile-time
+/// dispatched so apps without combine need not define it).
+template <VertexApp App>
+typename App::Message combine_messages(const App& app,
+                                       const typename App::Message& a,
+                                       const typename App::Message& b) {
+  if constexpr (App::kHasCombine) {
+    return app.combine(a, b);
+  } else {
+    (void)app;
+    (void)b;
+    return a;
+  }
+}
+
+}  // namespace mlvc::core

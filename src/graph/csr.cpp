@@ -1,0 +1,37 @@
+#include "graph/csr.hpp"
+
+namespace mlvc::graph {
+
+CsrGraph CsrGraph::from_edge_list(const EdgeList& edges) {
+  edges.validate();
+  CsrGraph g;
+  const VertexId n = edges.num_vertices();
+  g.row_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  for (const Edge& e : edges.edges()) {
+    ++g.row_ptr_[e.src + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    g.row_ptr_[v + 1] += g.row_ptr_[v];
+  }
+
+  g.col_idx_.resize(edges.num_edges());
+  g.val_.resize(edges.num_edges());
+  std::vector<EdgeIndex> cursor(g.row_ptr_.begin(), g.row_ptr_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    const EdgeIndex at = cursor[e.src]++;
+    g.col_idx_[at] = e.dst;
+    g.val_[at] = e.weight;
+  }
+  return g;
+}
+
+std::vector<EdgeIndex> CsrGraph::in_degrees() const {
+  std::vector<EdgeIndex> in(num_vertices(), 0);
+  for (VertexId dst : col_idx_) {
+    ++in[dst];
+  }
+  return in;
+}
+
+}  // namespace mlvc::graph

@@ -1,0 +1,31 @@
+// Edge and edge-list primitives.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mlvc::graph {
+
+/// A directed edge with an optional weight. Weight is carried everywhere for
+/// generality but only materialized on storage when a graph is built
+/// `with_weights` (apps like CDLP read edge weights; BFS does not).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  /// Orders by (src, dst); weight is payload, not identity.
+  friend std::strong_ordering operator<=>(const Edge& a, const Edge& b) {
+    if (auto c = a.src <=> b.src; c != 0) return c;
+    return a.dst <=> b.dst;
+  }
+};
+
+static_assert(sizeof(Edge) == 12, "Edge must stay packed for on-disk runs");
+
+}  // namespace mlvc::graph

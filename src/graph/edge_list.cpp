@@ -1,0 +1,44 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace mlvc::graph {
+
+void EdgeList::add(VertexId src, VertexId dst, float weight) {
+  edges_.push_back(Edge{src, dst, weight});
+  num_vertices_ = std::max(num_vertices_, std::max(src, dst) + 1);
+}
+
+void EdgeList::make_undirected() {
+  const std::size_t n = edges_.size();
+  edges_.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Edge e = edges_[i];
+    if (e.src != e.dst) {
+      edges_.push_back(Edge{e.dst, e.src, e.weight});
+    }
+  }
+  normalize();
+}
+
+void EdgeList::normalize() {
+  std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  parallel_sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::validate() const {
+  for (const Edge& e : edges_) {
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) {
+      throw InvalidArgument("edge (" + std::to_string(e.src) + "," +
+                            std::to_string(e.dst) +
+                            ") out of range for num_vertices=" +
+                            std::to_string(num_vertices_));
+    }
+  }
+}
+
+}  // namespace mlvc::graph

@@ -1,0 +1,48 @@
+// In-memory edge list with normalization helpers.
+//
+// The staging format between generators / file loaders and the CSR builders.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge.hpp"
+
+namespace mlvc::graph {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  std::span<const Edge> edges() const noexcept { return edges_; }
+  std::span<Edge> edges() noexcept { return edges_; }
+
+  void set_num_vertices(VertexId n) noexcept { num_vertices_ = n; }
+
+  void add(VertexId src, VertexId dst, float weight = 1.0f);
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Ensure every edge (u,v) has its mirror (v,u) — the paper evaluates
+  /// undirected graphs stored this way ("for an edge, each of its end
+  /// vertices appears in the neighboring list of the other end vertex").
+  void make_undirected();
+
+  /// Drop self-loops and duplicate (src,dst) pairs (keeping the first
+  /// occurrence's weight). Sorts the edge list as a side effect.
+  void normalize();
+
+  /// Throws InvalidArgument if any endpoint is out of range.
+  void validate() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace mlvc::graph

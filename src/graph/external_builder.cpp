@@ -1,0 +1,175 @@
+#include "graph/external_builder.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/parallel.hpp"
+
+namespace mlvc::graph {
+
+namespace {
+
+/// Streaming cursor over one sorted run blob with a bounded read buffer.
+class RunCursor {
+ public:
+  RunCursor(const ssd::Blob& blob, std::size_t buffer_edges)
+      : blob_(blob),
+        total_(blob.size() / sizeof(Edge)),
+        buffer_edges_(std::max<std::size_t>(1, buffer_edges)) {
+    refill();
+  }
+
+  bool exhausted() const { return pos_ >= buffer_.size() && next_ >= total_; }
+
+  const Edge& peek() const { return buffer_[pos_]; }
+
+  void advance() {
+    ++pos_;
+    if (pos_ >= buffer_.size() && next_ < total_) refill();
+  }
+
+ private:
+  void refill() {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(buffer_edges_, total_ - next_);
+    buffer_.resize(take);
+    blob_.read(next_ * sizeof(Edge), buffer_.data(), take * sizeof(Edge));
+    next_ += take;
+    pos_ = 0;
+  }
+
+  const ssd::Blob& blob_;
+  std::uint64_t total_;
+  std::size_t buffer_edges_;
+  std::vector<Edge> buffer_;
+  std::uint64_t next_ = 0;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExternalCsrBuilder::ExternalCsrBuilder(ssd::Storage& storage,
+                                       std::string prefix,
+                                       VertexId num_vertices, Options options)
+    : storage_(storage),
+      prefix_(std::move(prefix)),
+      num_vertices_(num_vertices),
+      options_(options),
+      in_degrees_(num_vertices, 0) {
+  MLVC_CHECK_MSG(options_.memory_budget_bytes >= 64_KiB,
+                 "builder budget unreasonably small");
+  buffer_capacity_ = options_.memory_budget_bytes / sizeof(Edge);
+  buffer_.reserve(buffer_capacity_);
+}
+
+ExternalCsrBuilder::~ExternalCsrBuilder() {
+  for (ssd::Blob* run : runs_) {
+    storage_.remove_blob(run->name());
+  }
+}
+
+void ExternalCsrBuilder::add_edge(VertexId src, VertexId dst, float weight) {
+  MLVC_CHECK_MSG(src < num_vertices_ && dst < num_vertices_,
+                 "edge (" << src << "," << dst << ") out of range");
+  MLVC_CHECK_MSG(!finished_, "builder already finished");
+  if (src == dst) return;  // self-loops dropped, as in EdgeList::normalize
+  buffer_.push_back(Edge{src, dst, weight});
+  ++in_degrees_[dst];
+  ++ingested_;
+  if (options_.make_undirected) {
+    buffer_.push_back(Edge{dst, src, weight});
+    ++in_degrees_[src];
+    ++ingested_;
+  }
+  if (buffer_.size() + 1 >= buffer_capacity_) spill_run();
+}
+
+void ExternalCsrBuilder::add_edges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) add_edge(e.src, e.dst, e.weight);
+}
+
+void ExternalCsrBuilder::spill_run() {
+  if (buffer_.empty()) return;
+  parallel_sort(buffer_.begin(), buffer_.end());
+  ssd::Blob& run = storage_.create_blob(
+      prefix_ + "/run_" + std::to_string(runs_.size()),
+      ssd::IoCategory::kSortRun);
+  run.append(buffer_.data(), buffer_.size() * sizeof(Edge));
+  runs_.push_back(&run);
+  buffer_.clear();
+}
+
+std::unique_ptr<StoredCsrGraph> ExternalCsrBuilder::finish(
+    std::size_t bytes_per_update, std::size_t sort_budget_bytes,
+    std::size_t merge_threshold) {
+  MLVC_CHECK_MSG(!finished_, "finish() called twice");
+  finished_ = true;
+  spill_run();
+
+  // Duplicates are dropped during the merge, so the in-degree counts used
+  // for interval sizing may overcount — that is safe (intervals only get
+  // smaller than needed) and matches the paper's conservative sizing.
+  VertexIntervals intervals = VertexIntervals::partition_by_in_degree(
+      in_degrees_, bytes_per_update, sort_budget_bytes);
+  if (intervals.count() == 0 && num_vertices_ > 0) {
+    intervals = VertexIntervals::uniform(num_vertices_, num_vertices_);
+  }
+
+  // K-way merge with a tournament over run cursors; each cursor gets an
+  // equal slice of the memory budget.
+  std::vector<std::unique_ptr<RunCursor>> cursors;
+  const std::size_t per_run_edges =
+      runs_.empty() ? 1
+                    : std::max<std::size_t>(
+                          1024, options_.memory_budget_bytes /
+                                    (sizeof(Edge) * (runs_.size() + 1)));
+  for (ssd::Blob* run : runs_) {
+    cursors.push_back(std::make_unique<RunCursor>(*run, per_run_edges));
+  }
+
+  using HeapItem = std::pair<Edge, std::size_t>;  // (edge, cursor index)
+  const auto heap_cmp = [](const HeapItem& a, const HeapItem& b) {
+    return b.first < a.first;  // min-heap
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(heap_cmp)>
+      heap(heap_cmp);
+  for (std::size_t c = 0; c < cursors.size(); ++c) {
+    if (!cursors[c]->exhausted()) {
+      heap.emplace(cursors[c]->peek(), c);
+      cursors[c]->advance();
+    }
+  }
+
+  bool have_prev = false;
+  Edge prev{};
+  const auto next_edge = [&](Edge& out) -> bool {
+    while (!heap.empty()) {
+      auto [edge, c] = heap.top();
+      heap.pop();
+      if (!cursors[c]->exhausted()) {
+        heap.emplace(cursors[c]->peek(), c);
+        cursors[c]->advance();
+      }
+      if (have_prev && edge == prev) continue;  // dedupe (src,dst)
+      prev = edge;
+      have_prev = true;
+      out = edge;
+      return true;
+    }
+    return false;
+  };
+
+  StoredCsrGraph::Options csr_options;
+  csr_options.with_weights = options_.with_weights;
+  csr_options.merge_threshold = merge_threshold;
+  auto graph = std::make_unique<StoredCsrGraph>(
+      storage_, prefix_, std::move(intervals), next_edge, csr_options);
+
+  for (ssd::Blob* run : runs_) {
+    storage_.remove_blob(run->name());
+  }
+  runs_.clear();
+  return graph;
+}
+
+}  // namespace mlvc::graph

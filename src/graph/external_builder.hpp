@@ -1,0 +1,70 @@
+// External-memory CSR construction.
+//
+// The paper's datasets (3.6B and 12.9B edges) cannot be CSR-sorted in a 1 GB
+// host budget, so graph ingestion itself must be out-of-core: edges are
+// buffered up to the memory budget, sorted, spilled as runs, and k-way
+// merged into the per-interval stored CSR. Duplicate (src,dst) pairs and
+// self-loops are dropped during the merge.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/memory_budget.hpp"
+#include "graph/stored_csr.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc::graph {
+
+/// Construction options for ExternalCsrBuilder (namespace-scope so it can be
+/// used as a default argument).
+struct ExternalCsrBuilderOptions {
+  /// Host memory available for the sort buffer.
+  std::size_t memory_budget_bytes = 64_MiB;
+  /// Mirror each (u,v) to (v,u) on ingest (paper's graphs are undirected).
+  bool make_undirected = false;
+  bool with_weights = false;
+};
+
+class ExternalCsrBuilder {
+ public:
+  using Options = ExternalCsrBuilderOptions;
+
+  ExternalCsrBuilder(ssd::Storage& storage, std::string prefix,
+                     VertexId num_vertices, Options options = Options());
+  ~ExternalCsrBuilder();
+
+  void add_edge(VertexId src, VertexId dst, float weight = 1.0f);
+  void add_edges(std::span<const Edge> edges);
+
+  /// Sort/merge all spilled runs and materialize the stored CSR. Interval
+  /// partitioning uses the paper's in-degree rule with `bytes_per_update`
+  /// and `sort_budget_bytes` (see VertexIntervals::partition_by_in_degree).
+  /// The builder is consumed; run blobs are deleted afterwards.
+  std::unique_ptr<StoredCsrGraph> finish(std::size_t bytes_per_update,
+                                         std::size_t sort_budget_bytes,
+                                         std::size_t merge_threshold = 4096);
+
+  /// In-degrees observed so far (valid before finish()).
+  std::span<const EdgeIndex> in_degrees() const { return in_degrees_; }
+
+  std::uint64_t edges_ingested() const noexcept { return ingested_; }
+
+ private:
+  void spill_run();
+
+  ssd::Storage& storage_;
+  std::string prefix_;
+  VertexId num_vertices_;
+  Options options_;
+  std::vector<Edge> buffer_;
+  std::size_t buffer_capacity_;
+  std::vector<ssd::Blob*> runs_;
+  std::vector<EdgeIndex> in_degrees_;
+  std::uint64_t ingested_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace mlvc::graph

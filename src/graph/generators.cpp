@@ -1,0 +1,151 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mlvc::graph {
+
+EdgeList generate_rmat(const RmatParams& params) {
+  MLVC_CHECK_MSG(params.scale >= 1 && params.scale <= 30,
+                 "rmat scale out of range");
+  const double d = 1.0 - params.a - params.b - params.c;
+  MLVC_CHECK_MSG(params.a > 0 && params.b >= 0 && params.c >= 0 && d > 0,
+                 "rmat probabilities invalid");
+  const VertexId n = VertexId{1} << params.scale;
+  const std::uint64_t target_edges =
+      static_cast<std::uint64_t>(params.edge_factor * n);
+
+  SplitMix64 rng(params.seed);
+  EdgeList list;
+  list.set_num_vertices(n);
+  list.reserve(target_edges);
+  for (std::uint64_t e = 0; e < target_edges; ++e) {
+    VertexId src = 0, dst = 0;
+    for (unsigned level = 0; level < params.scale; ++level) {
+      const double r = rng.next_double();
+      // Add ±10% per-level noise to the quadrant probabilities (standard
+      // R-MAT smoothing) so the generated graph isn't perfectly self-similar.
+      const double noise = 0.9 + 0.2 * rng.next_double();
+      const double a = params.a * noise;
+      const double ab = a + params.b;
+      const double abc = ab + params.c;
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src != dst) list.add(src, dst);
+  }
+  list.set_num_vertices(n);
+  if (params.undirected) {
+    list.make_undirected();
+  } else {
+    list.normalize();
+  }
+  return list;
+}
+
+EdgeList generate_erdos_renyi(VertexId num_vertices, std::uint64_t num_edges,
+                              std::uint64_t seed, bool undirected) {
+  MLVC_CHECK(num_vertices >= 2);
+  SplitMix64 rng(seed);
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  list.reserve(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    const VertexId src =
+        static_cast<VertexId>(rng.next_below(num_vertices));
+    const VertexId dst =
+        static_cast<VertexId>(rng.next_below(num_vertices));
+    if (src != dst) list.add(src, dst);
+  }
+  list.set_num_vertices(num_vertices);
+  if (undirected) {
+    list.make_undirected();
+  } else {
+    list.normalize();
+  }
+  return list;
+}
+
+EdgeList generate_grid(VertexId width, VertexId height) {
+  MLVC_CHECK(width >= 1 && height >= 1);
+  EdgeList list;
+  list.set_num_vertices(width * height);
+  const auto id = [width](VertexId x, VertexId y) { return y * width + x; };
+  for (VertexId y = 0; y < height; ++y) {
+    for (VertexId x = 0; x < width; ++x) {
+      if (x + 1 < width) list.add(id(x, y), id(x + 1, y));
+      if (y + 1 < height) list.add(id(x, y), id(x, y + 1));
+    }
+  }
+  list.set_num_vertices(width * height);
+  list.make_undirected();
+  return list;
+}
+
+EdgeList generate_star(VertexId num_vertices) {
+  MLVC_CHECK(num_vertices >= 2);
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  for (VertexId v = 1; v < num_vertices; ++v) list.add(0, v);
+  list.make_undirected();
+  return list;
+}
+
+EdgeList generate_chain(VertexId num_vertices) {
+  MLVC_CHECK(num_vertices >= 2);
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) list.add(v, v + 1);
+  list.make_undirected();
+  return list;
+}
+
+EdgeList generate_complete(VertexId num_vertices) {
+  MLVC_CHECK(num_vertices >= 2 && num_vertices <= 4096);
+  EdgeList list;
+  list.set_num_vertices(num_vertices);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (VertexId v = 0; v < num_vertices; ++v) {
+      if (u != v) list.add(u, v);
+    }
+  }
+  return list;
+}
+
+EdgeList make_cf_like(unsigned scale, std::uint64_t seed) {
+  // com-friendster: social graph, avg degree ~29, strong community skew.
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 14.0;  // mirrored to ~28 avg degree
+  p.a = 0.57;
+  p.b = 0.19;
+  p.c = 0.19;
+  p.seed = seed;
+  return generate_rmat(p);
+}
+
+EdgeList make_yws_like(unsigned scale, std::uint64_t seed) {
+  // Yahoo WebScope: web graph, sparser (avg degree ~9), heavier skew (hubs).
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 4.5;  // mirrored to ~9 avg degree
+  p.a = 0.63;
+  p.b = 0.17;
+  p.c = 0.17;
+  p.seed = seed;
+  return generate_rmat(p);
+}
+
+}  // namespace mlvc::graph

@@ -1,0 +1,55 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on com-friendster (CF) and Yahoo WebScope (YWS), both
+// proprietary-to-download multi-billion-edge graphs. Per DESIGN.md §2 we
+// substitute seeded R-MAT graphs whose degree skew matches those datasets'
+// power-law shape, scaled so graph:memory ratio matches the paper's.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace mlvc::graph {
+
+struct RmatParams {
+  /// num_vertices = 2^scale.
+  unsigned scale = 16;
+  /// num_edges = edge_factor * num_vertices (before dedup/mirroring).
+  double edge_factor = 16.0;
+  /// Recursive quadrant probabilities; Graph500 defaults give the heavy
+  /// power-law tail typical of social graphs like com-friendster.
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  std::uint64_t seed = 1;
+  /// Mirror every edge (paper's graphs are stored undirected).
+  bool undirected = true;
+};
+
+/// Recursive-matrix (R-MAT) power-law generator.
+EdgeList generate_rmat(const RmatParams& params);
+
+/// G(n, m) uniform random graph.
+EdgeList generate_erdos_renyi(VertexId num_vertices, std::uint64_t num_edges,
+                              std::uint64_t seed, bool undirected = true);
+
+/// width x height 4-neighbor grid — the pathological case for frontier-based
+/// algorithms (BFS frontier stays tiny for many supersteps), great for
+/// exercising the active-vertex machinery.
+EdgeList generate_grid(VertexId width, VertexId height);
+
+/// Star: vertex 0 connected to all others. Maximum degree skew.
+EdgeList generate_star(VertexId num_vertices);
+
+/// Simple path 0-1-2-...-(n-1). Worst-case superstep count for BFS.
+EdgeList generate_chain(VertexId num_vertices);
+
+/// Complete graph on n vertices (small n only).
+EdgeList generate_complete(VertexId num_vertices);
+
+/// The two stand-in datasets used throughout the benches (see DESIGN.md):
+/// CF' — friendster-like: dense power-law, higher edge factor.
+/// YWS' — web-like: larger vertex count, sparser, heavier skew.
+EdgeList make_cf_like(unsigned scale = 17, std::uint64_t seed = 42);
+EdgeList make_yws_like(unsigned scale = 18, std::uint64_t seed = 43);
+
+}  // namespace mlvc::graph

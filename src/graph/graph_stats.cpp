@@ -1,0 +1,46 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/format.hpp"
+
+namespace mlvc::graph {
+
+GraphStats compute_stats(const CsrGraph& graph) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  std::vector<EdgeIndex> degrees(s.num_vertices);
+  std::size_t isolated = 0;
+  for (VertexId v = 0; v < s.num_vertices; ++v) {
+    degrees[v] = graph.out_degree(v);
+    if (degrees[v] == 0) ++isolated;
+  }
+  std::sort(degrees.begin(), degrees.end());
+  s.max_out_degree = degrees.back();
+  s.avg_out_degree = static_cast<double>(s.num_edges) / s.num_vertices;
+  const auto pct = [&](double p) {
+    return degrees[static_cast<std::size_t>(p * (degrees.size() - 1))];
+  };
+  s.p50_degree = pct(0.50);
+  s.p90_degree = pct(0.90);
+  s.p99_degree = pct(0.99);
+  s.isolated_fraction = static_cast<double>(isolated) / s.num_vertices;
+  return s;
+}
+
+std::string GraphStats::to_string() const {
+  std::ostringstream os;
+  os << "V=" << format_count(num_vertices) << " E=" << format_count(num_edges)
+     << " avg_deg=" << format_fixed(avg_out_degree, 1)
+     << " max_deg=" << format_count(max_out_degree) << " p50/p90/p99="
+     << p50_degree << "/" << p90_degree << "/" << p99_degree
+     << " isolated=" << format_fixed(isolated_fraction * 100, 1) << "%";
+  return os.str();
+}
+
+}  // namespace mlvc::graph

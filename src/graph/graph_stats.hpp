@@ -1,0 +1,29 @@
+// Summary statistics for a graph — used by the Table I bench and by
+// documentation/examples to show what the synthetic datasets look like.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace mlvc::graph {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeIndex num_edges = 0;
+  EdgeIndex max_out_degree = 0;
+  double avg_out_degree = 0.0;
+  /// Degree at the 50th/90th/99th percentile of the out-degree distribution.
+  EdgeIndex p50_degree = 0;
+  EdgeIndex p90_degree = 0;
+  EdgeIndex p99_degree = 0;
+  /// Fraction of vertices with zero out-edges.
+  double isolated_fraction = 0.0;
+
+  std::string to_string() const;
+};
+
+GraphStats compute_stats(const CsrGraph& graph);
+
+}  // namespace mlvc::graph

@@ -1,0 +1,70 @@
+#include "graph/intervals.hpp"
+
+#include <algorithm>
+
+namespace mlvc::graph {
+
+VertexIntervals VertexIntervals::partition_by_in_degree(
+    std::span<const EdgeIndex> in_degrees, std::size_t bytes_per_update,
+    std::size_t sort_budget_bytes) {
+  MLVC_CHECK_MSG(bytes_per_update > 0, "bytes_per_update must be positive");
+  MLVC_CHECK_MSG(sort_budget_bytes >= bytes_per_update,
+                 "sort budget smaller than a single update");
+  VertexIntervals out;
+  out.boundaries_.push_back(0);
+  std::uint64_t acc = 0;
+  const std::uint64_t budget_updates = sort_budget_bytes / bytes_per_update;
+  for (VertexId v = 0; v < in_degrees.size(); ++v) {
+    const std::uint64_t cost = in_degrees[v];
+    if (acc > 0 && acc + cost > budget_updates) {
+      out.boundaries_.push_back(v);
+      acc = 0;
+    }
+    acc += cost;
+  }
+  out.boundaries_.push_back(static_cast<VertexId>(in_degrees.size()));
+  // A graph with zero vertices still has one boundary pair [0, 0) removed:
+  if (out.boundaries_.size() >= 2 &&
+      out.boundaries_[out.boundaries_.size() - 2] == out.boundaries_.back()) {
+    out.boundaries_.pop_back();
+  }
+  if (out.boundaries_.size() == 1) out.boundaries_.clear();
+  return out;
+}
+
+VertexIntervals VertexIntervals::uniform(VertexId num_vertices,
+                                         VertexId width) {
+  MLVC_CHECK_MSG(width > 0, "interval width must be positive");
+  VertexIntervals out;
+  if (num_vertices == 0) return out;
+  VertexId v = 0;
+  for (;;) {
+    out.boundaries_.push_back(v);
+    if (num_vertices - v <= width) break;
+    v += width;
+  }
+  out.boundaries_.push_back(num_vertices);
+  return out;
+}
+
+VertexIntervals VertexIntervals::from_boundaries(
+    std::vector<VertexId> boundaries) {
+  if (boundaries.empty()) return {};
+  MLVC_CHECK_MSG(boundaries.front() == 0, "boundaries must start at 0");
+  MLVC_CHECK_MSG(std::is_sorted(boundaries.begin(), boundaries.end()) &&
+                     std::adjacent_find(boundaries.begin(), boundaries.end()) ==
+                         boundaries.end(),
+                 "boundaries must be strictly increasing");
+  VertexIntervals out;
+  out.boundaries_ = std::move(boundaries);
+  return out;
+}
+
+IntervalId VertexIntervals::interval_of(VertexId v) const {
+  MLVC_CHECK_MSG(v < num_vertices(), "vertex " << v << " out of range");
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  return static_cast<IntervalId>(it - boundaries_.begin() - 1);
+}
+
+}  // namespace mlvc::graph

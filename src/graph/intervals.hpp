@@ -1,0 +1,68 @@
+// Vertex intervals: contiguous groups of vertices, one message log each.
+//
+// §V.A.1 of the paper: the framework "statically partitions the vertices
+// into contiguous segments of vertices, such that the sum of the number of
+// incoming updates to the vertices is less than the memory allocated for the
+// sorting and grouping process", conservatively assuming one update per
+// in-edge.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mlvc::graph {
+
+class VertexIntervals {
+ public:
+  VertexIntervals() = default;
+
+  /// Partition [0, num_vertices) so each interval's worst-case update bytes
+  /// (Σ in_degree × bytes_per_update) fit in `sort_budget_bytes`. A vertex
+  /// whose own in-degree exceeds the budget gets a singleton interval (its
+  /// log is spilled/streamed; the engine still handles it, just without the
+  /// single-load fast path).
+  static VertexIntervals partition_by_in_degree(
+      std::span<const EdgeIndex> in_degrees, std::size_t bytes_per_update,
+      std::size_t sort_budget_bytes);
+
+  /// Fixed-width partition (used by GraphChi shards and tests).
+  static VertexIntervals uniform(VertexId num_vertices, VertexId width);
+
+  /// Explicit boundaries: boundaries[0] == 0, strictly increasing,
+  /// boundaries.back() == num_vertices.
+  static VertexIntervals from_boundaries(std::vector<VertexId> boundaries);
+
+  IntervalId count() const noexcept {
+    return boundaries_.empty()
+               ? 0
+               : static_cast<IntervalId>(boundaries_.size() - 1);
+  }
+
+  VertexId num_vertices() const noexcept {
+    return boundaries_.empty() ? 0 : boundaries_.back();
+  }
+
+  VertexId begin(IntervalId i) const {
+    MLVC_CHECK(i < count());
+    return boundaries_[i];
+  }
+  VertexId end(IntervalId i) const {
+    MLVC_CHECK(i < count());
+    return boundaries_[i + 1];
+  }
+  VertexId width(IntervalId i) const { return end(i) - begin(i); }
+
+  /// Interval containing vertex v. The paper's vId2IntervalMap. O(log I).
+  IntervalId interval_of(VertexId v) const;
+
+  std::span<const VertexId> boundaries() const noexcept { return boundaries_; }
+
+ private:
+  std::vector<VertexId> boundaries_;  // count()+1 entries
+};
+
+}  // namespace mlvc::graph

@@ -1,0 +1,119 @@
+#include "graph/serialization.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "graph/edge_list.hpp"
+
+namespace mlvc::graph {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void write_array(std::ostream& out, std::span<const T> values) {
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size_bytes()));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw InvalidArgument("truncated graph file (header)");
+  return value;
+}
+
+template <typename T>
+std::vector<T> read_array(std::istream& in, std::size_t count,
+                          const char* what) {
+  std::vector<T> values(count);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) {
+    throw InvalidArgument(std::string("truncated graph file (") + what + ")");
+  }
+  return values;
+}
+
+}  // namespace
+
+void save_csr(const CsrGraph& graph, std::ostream& out, bool with_weights) {
+  const bool weights = with_weights && graph.has_weights();
+  write_pod(out, kGraphMagic);
+  write_pod(out, kGraphVersion);
+  write_pod(out, static_cast<std::uint32_t>(weights ? 1 : 0));
+  write_pod(out, graph.num_vertices());
+  write_pod(out, static_cast<std::uint64_t>(graph.num_edges()));
+  write_array(out, graph.row_ptr());
+  write_array(out, graph.col_idx());
+  if (weights) write_array(out, graph.val());
+  if (!out) throw Error("failed writing graph stream");
+}
+
+void save_csr(const CsrGraph& graph, const std::filesystem::path& path,
+              bool with_weights) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("open for write", path.string(), errno);
+  save_csr(graph, out, with_weights);
+}
+
+CsrGraph load_csr(std::istream& in) {
+  const auto magic = read_pod<std::uint32_t>(in);
+  if (magic != kGraphMagic) {
+    throw InvalidArgument("not an MLVC graph file (bad magic)");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kGraphVersion) {
+    throw InvalidArgument("unsupported MLVC graph version " +
+                          std::to_string(version));
+  }
+  const auto flags = read_pod<std::uint32_t>(in);
+  const auto n = read_pod<VertexId>(in);
+  const auto m = read_pod<std::uint64_t>(in);
+
+  const auto rowptr =
+      read_array<EdgeIndex>(in, static_cast<std::size_t>(n) + 1, "rowptr");
+  if (rowptr.front() != 0 || rowptr.back() != m ||
+      !std::is_sorted(rowptr.begin(), rowptr.end())) {
+    throw InvalidArgument("corrupt graph file (row pointers inconsistent)");
+  }
+  const auto colidx =
+      read_array<VertexId>(in, static_cast<std::size_t>(m), "colidx");
+  std::vector<float> val;
+  if (flags & 1u) {
+    val = read_array<float>(in, static_cast<std::size_t>(m), "val");
+  }
+
+  // Reconstruct through EdgeList for validation; this is a load-time-only
+  // cost and keeps CsrGraph's invariants enforced in one place.
+  EdgeList list;
+  list.set_num_vertices(n);
+  list.reserve(static_cast<std::size_t>(m));
+  for (VertexId v = 0; v < n; ++v) {
+    for (EdgeIndex e = rowptr[v]; e < rowptr[v + 1]; ++e) {
+      if (colidx[e] >= n) {
+        throw InvalidArgument("corrupt graph file (edge endpoint out of "
+                              "range)");
+      }
+      list.add(v, colidx[e], val.empty() ? 1.0f : val[e]);
+    }
+  }
+  list.set_num_vertices(n);
+  return CsrGraph::from_edge_list(list);
+}
+
+CsrGraph load_csr(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("open for read", path.string(), errno);
+  return load_csr(in);
+}
+
+}  // namespace mlvc::graph

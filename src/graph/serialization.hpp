@@ -1,0 +1,40 @@
+// Binary graph serialization.
+//
+// Building a CSR from a text edge list is the slowest step of any real
+// deployment, so graphs are converted once into a compact binary container
+// and memory-/stream-loaded afterwards (the tools/ directory wires this
+// into a conversion CLI).
+//
+// Container layout (little-endian):
+//   magic   u32  'MLVC' (0x4356'4C4D)
+//   version u32
+//   flags   u32  bit 0: has edge weights
+//   n       u32  vertex count
+//   m       u64  edge count
+//   rowptr  (n+1) x u64
+//   colidx  m x u32
+//   val     m x f32            (only when flags bit 0)
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "graph/csr.hpp"
+
+namespace mlvc::graph {
+
+inline constexpr std::uint32_t kGraphMagic = 0x43564C4Du;  // "MLVC"
+inline constexpr std::uint32_t kGraphVersion = 1;
+
+/// Serialize a CSR graph. Weights are written iff `with_weights` and the
+/// graph has them.
+void save_csr(const CsrGraph& graph, std::ostream& out,
+              bool with_weights = true);
+void save_csr(const CsrGraph& graph, const std::filesystem::path& path,
+              bool with_weights = true);
+
+/// Deserialize; throws InvalidArgument on bad magic/version/truncation.
+CsrGraph load_csr(std::istream& in);
+CsrGraph load_csr(const std::filesystem::path& path);
+
+}  // namespace mlvc::graph

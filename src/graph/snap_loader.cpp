@@ -1,0 +1,56 @@
+#include "graph/snap_loader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace mlvc::graph {
+
+EdgeList load_snap_edge_list(std::istream& in,
+                             const SnapLoadOptions& options) {
+  EdgeList list;
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  const auto map_id = [&](std::uint64_t raw) -> VertexId {
+    if (!options.compact_ids) {
+      MLVC_CHECK_MSG(raw <= kInvalidVertex - 1, "vertex id overflow: " << raw);
+      return static_cast<VertexId>(raw);
+    }
+    auto [it, inserted] =
+        remap.try_emplace(raw, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t raw_src = 0, raw_dst = 0;
+    if (!(ls >> raw_src >> raw_dst)) {
+      throw InvalidArgument("malformed SNAP edge list at line " +
+                            std::to_string(line_no) + ": '" + line + "'");
+    }
+    double weight = 1.0;
+    ls >> weight;  // optional third column
+    list.add(map_id(raw_src), map_id(raw_dst), static_cast<float>(weight));
+  }
+  if (options.make_undirected) {
+    list.make_undirected();
+  } else {
+    list.normalize();
+  }
+  return list;
+}
+
+EdgeList load_snap_edge_list(const std::filesystem::path& path,
+                             const SnapLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw IoError("open", path.string(), errno);
+  return load_snap_edge_list(in, options);
+}
+
+}  // namespace mlvc::graph

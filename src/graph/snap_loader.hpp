@@ -1,0 +1,26 @@
+// Loader for SNAP-format edge list text files (https://snap.stanford.edu):
+// one "src<ws>dst" pair per line, '#' comment lines. Vertex ids are
+// compacted to a dense [0, n) range.
+#pragma once
+
+#include <filesystem>
+#include <istream>
+
+#include "graph/edge_list.hpp"
+
+namespace mlvc::graph {
+
+struct SnapLoadOptions {
+  /// Mirror edges so the result is undirected (paper's datasets are stored
+  /// undirected).
+  bool make_undirected = true;
+  /// Remap sparse vertex ids to a dense range. SNAP files frequently skip
+  /// ids; dense ids keep CSR row pointers compact.
+  bool compact_ids = true;
+};
+
+EdgeList load_snap_edge_list(std::istream& in, const SnapLoadOptions& options = {});
+EdgeList load_snap_edge_list(const std::filesystem::path& path,
+                             const SnapLoadOptions& options = {});
+
+}  // namespace mlvc::graph

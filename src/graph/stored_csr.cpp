@@ -1,0 +1,305 @@
+#include "graph/stored_csr.hpp"
+
+#include <algorithm>
+
+namespace mlvc::graph {
+
+StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
+                               const CsrGraph& csr, VertexIntervals intervals,
+                               Options options)
+    : storage_(storage),
+      prefix_(std::move(name_prefix)),
+      intervals_(std::move(intervals)),
+      options_(options),
+      num_edges_(csr.num_edges()) {
+  MLVC_CHECK_MSG(intervals_.num_vertices() == csr.num_vertices(),
+                 "interval boundaries do not cover the graph");
+  const IntervalId n_int = intervals_.count();
+  degrees_.resize(csr.num_vertices());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    degrees_[v] = csr.out_degree(v);
+  }
+  interval_edges_.assign(n_int, 0);
+  rowptr_blobs_.resize(n_int);
+  colidx_blobs_.resize(n_int);
+  val_blobs_.resize(n_int, nullptr);
+  pending_.resize(n_int);
+
+  const auto row_ptr = csr.row_ptr();
+  for (IntervalId i = 0; i < n_int; ++i) {
+    const VertexId vb = intervals_.begin(i);
+    const VertexId ve = intervals_.end(i);
+    const EdgeIndex base = row_ptr[vb];
+    const EdgeIndex limit = row_ptr[ve];
+    interval_edges_[i] = limit - base;
+
+    std::vector<EdgeIndex> local_rowptr(ve - vb + 1);
+    for (VertexId v = vb; v <= ve; ++v) {
+      local_rowptr[v - vb] = row_ptr[v] - base;
+    }
+    std::span<const VertexId> colidx =
+        csr.col_idx().subspan(base, limit - base);
+    std::span<const float> val =
+        options_.with_weights ? csr.val().subspan(base, limit - base)
+                              : std::span<const float>{};
+    rowptr_blobs_[i] =
+        &storage_.create_blob(blob_name(i, "rowptr"), ssd::IoCategory::kCsrRowPtr);
+    colidx_blobs_[i] =
+        &storage_.create_blob(blob_name(i, "colidx"), ssd::IoCategory::kCsrColIdx);
+    if (options_.with_weights) {
+      val_blobs_[i] =
+          &storage_.create_blob(blob_name(i, "val"), ssd::IoCategory::kCsrVal);
+    }
+    write_interval(i, local_rowptr, colidx, val);
+  }
+}
+
+StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
+                               VertexIntervals intervals,
+                               const std::function<bool(Edge&)>& next_edge,
+                               Options options)
+    : storage_(storage),
+      prefix_(std::move(name_prefix)),
+      intervals_(std::move(intervals)),
+      options_(options) {
+  const IntervalId n_int = intervals_.count();
+  degrees_.assign(intervals_.num_vertices(), 0);
+  interval_edges_.assign(n_int, 0);
+  rowptr_blobs_.resize(n_int);
+  colidx_blobs_.resize(n_int);
+  val_blobs_.resize(n_int, nullptr);
+  pending_.resize(n_int);
+
+  // Chunked append: bound memory to ~256 KiB per stream regardless of
+  // interval size.
+  constexpr std::size_t kChunkEdges = 64 * 1024;
+  std::vector<VertexId> colidx_chunk;
+  std::vector<float> val_chunk;
+  colidx_chunk.reserve(kChunkEdges);
+  if (options_.with_weights) val_chunk.reserve(kChunkEdges);
+
+  Edge cur{};
+  bool have_edge = next_edge(cur);
+  for (IntervalId i = 0; i < n_int; ++i) {
+    const VertexId vb = intervals_.begin(i);
+    const VertexId ve = intervals_.end(i);
+    rowptr_blobs_[i] = &storage_.create_blob(blob_name(i, "rowptr"),
+                                             ssd::IoCategory::kCsrRowPtr);
+    colidx_blobs_[i] = &storage_.create_blob(blob_name(i, "colidx"),
+                                             ssd::IoCategory::kCsrColIdx);
+    if (options_.with_weights) {
+      val_blobs_[i] =
+          &storage_.create_blob(blob_name(i, "val"), ssd::IoCategory::kCsrVal);
+    }
+    std::vector<EdgeIndex> local_rowptr(ve - vb + 1);
+    EdgeIndex edge_count = 0;
+    const auto flush = [&] {
+      colidx_blobs_[i]->append(colidx_chunk.data(),
+                               colidx_chunk.size() * sizeof(VertexId));
+      colidx_chunk.clear();
+      if (options_.with_weights) {
+        val_blobs_[i]->append(val_chunk.data(),
+                              val_chunk.size() * sizeof(float));
+        val_chunk.clear();
+      }
+    };
+    for (VertexId v = vb; v < ve; ++v) {
+      local_rowptr[v - vb] = edge_count;
+      while (have_edge && cur.src == v) {
+        colidx_chunk.push_back(cur.dst);
+        if (options_.with_weights) val_chunk.push_back(cur.weight);
+        if (colidx_chunk.size() >= kChunkEdges) flush();
+        ++edge_count;
+        ++degrees_[v];
+        Edge next{};
+        have_edge = next_edge(next);
+        MLVC_CHECK_MSG(!have_edge || next.src >= cur.src,
+                       "edge stream not sorted by source");
+        cur = next;
+      }
+      MLVC_CHECK_MSG(!have_edge || cur.src >= ve || cur.src >= v,
+                     "edge stream not sorted by source");
+    }
+    local_rowptr.back() = edge_count;
+    flush();
+    interval_edges_[i] = edge_count;
+    num_edges_ += edge_count;
+    rowptr_blobs_[i]->append(local_rowptr.data(),
+                             local_rowptr.size() * sizeof(EdgeIndex));
+  }
+  MLVC_CHECK_MSG(!have_edge, "edge stream has sources past num_vertices");
+}
+
+std::string StoredCsrGraph::blob_name(IntervalId i, const char* what) const {
+  return prefix_ + "/csr/" + std::to_string(i) + "/" + what;
+}
+
+void StoredCsrGraph::write_interval(IntervalId i,
+                                    std::span<const EdgeIndex> local_rowptr,
+                                    std::span<const VertexId> colidx,
+                                    std::span<const float> val) {
+  rowptr_blobs_[i]->truncate(0);
+  rowptr_blobs_[i]->append(local_rowptr.data(), local_rowptr.size_bytes());
+  colidx_blobs_[i]->truncate(0);
+  colidx_blobs_[i]->append(colidx.data(), colidx.size_bytes());
+  if (options_.with_weights) {
+    val_blobs_[i]->truncate(0);
+    val_blobs_[i]->append(val.data(), val.size_bytes());
+  }
+}
+
+void StoredCsrGraph::read_local_row_ptrs(IntervalId i, VertexId local_begin,
+                                         std::size_t count,
+                                         std::span<EdgeIndex> out) const {
+  MLVC_CHECK(i < intervals_.count());
+  MLVC_CHECK(out.size() >= count);
+  rowptr_blobs_[i]->read(static_cast<std::uint64_t>(local_begin) *
+                             sizeof(EdgeIndex),
+                         out.data(), count * sizeof(EdgeIndex));
+}
+
+void StoredCsrGraph::read_adjacency(IntervalId i, EdgeIndex lo, EdgeIndex hi,
+                                    std::span<VertexId> out) const {
+  MLVC_CHECK(i < intervals_.count() && lo <= hi);
+  MLVC_CHECK(out.size() >= hi - lo);
+  colidx_blobs_[i]->read(lo * sizeof(VertexId), out.data(),
+                         (hi - lo) * sizeof(VertexId));
+}
+
+void StoredCsrGraph::read_values(IntervalId i, EdgeIndex lo, EdgeIndex hi,
+                                 std::span<float> out) const {
+  MLVC_CHECK_MSG(options_.with_weights, "graph stored without weights");
+  MLVC_CHECK(i < intervals_.count() && lo <= hi);
+  MLVC_CHECK(out.size() >= hi - lo);
+  val_blobs_[i]->read(lo * sizeof(float), out.data(),
+                      (hi - lo) * sizeof(float));
+}
+
+const ssd::Blob& StoredCsrGraph::colidx_blob(IntervalId i) const {
+  MLVC_CHECK(i < intervals_.count());
+  return *colidx_blobs_[i];
+}
+
+const ssd::Blob& StoredCsrGraph::rowptr_blob(IntervalId i) const {
+  MLVC_CHECK(i < intervals_.count());
+  return *rowptr_blobs_[i];
+}
+
+void StoredCsrGraph::buffer_update(const StructuralUpdate& update) {
+  MLVC_CHECK(update.src < num_vertices() && update.dst < num_vertices());
+  const IntervalId i = intervals_.interval_of(update.src);
+  bool merge_now = false;
+  {
+    std::lock_guard<std::mutex> lock(updates_mutex_);
+    pending_[i].push_back(update);
+    merge_now = pending_[i].size() >= options_.merge_threshold;
+  }
+  if (merge_now) merge_interval(i);
+}
+
+std::size_t StoredCsrGraph::pending_update_count(IntervalId i) const {
+  MLVC_CHECK(i < intervals_.count());
+  std::lock_guard<std::mutex> lock(updates_mutex_);
+  return pending_[i].size();
+}
+
+void StoredCsrGraph::merge_interval(IntervalId i) {
+  MLVC_CHECK(i < intervals_.count());
+  std::vector<StructuralUpdate> updates;
+  {
+    std::lock_guard<std::mutex> lock(updates_mutex_);
+    updates.swap(pending_[i]);
+  }
+  if (updates.empty()) return;
+
+  const VertexId vb = intervals_.begin(i);
+  const VertexId width = intervals_.width(i);
+
+  // Load the whole interval (this is the expensive rewrite the batching
+  // amortizes; an interval is sized to fit in the sort budget, so these
+  // vectors fit in memory).
+  std::vector<EdgeIndex> rowptr(width + 1);
+  read_local_row_ptrs(i, 0, width + 1, rowptr);
+  const EdgeIndex edge_count = rowptr.back();
+  std::vector<VertexId> colidx(edge_count);
+  read_adjacency(i, 0, edge_count, colidx);
+  std::vector<float> val;
+  if (options_.with_weights) {
+    val.resize(edge_count);
+    read_values(i, 0, edge_count, val);
+  }
+
+  // Explode into per-vertex adjacency, apply updates, rebuild.
+  std::vector<std::vector<std::pair<VertexId, float>>> adj(width);
+  for (VertexId lv = 0; lv < width; ++lv) {
+    adj[lv].reserve(rowptr[lv + 1] - rowptr[lv]);
+    for (EdgeIndex e = rowptr[lv]; e < rowptr[lv + 1]; ++e) {
+      adj[lv].emplace_back(colidx[e],
+                           options_.with_weights ? val[e] : 1.0f);
+    }
+  }
+  for (const StructuralUpdate& u : updates) {
+    const VertexId lv = u.src - vb;
+    auto& list = adj[lv];
+    if (u.kind == StructuralUpdate::Kind::kAddEdge) {
+      const bool exists =
+          std::any_of(list.begin(), list.end(),
+                      [&](const auto& p) { return p.first == u.dst; });
+      if (!exists) {
+        list.emplace_back(u.dst, u.weight);
+        ++degrees_[u.src];
+        ++num_edges_;
+      }
+    } else {
+      const auto it =
+          std::find_if(list.begin(), list.end(),
+                       [&](const auto& p) { return p.first == u.dst; });
+      if (it != list.end()) {
+        list.erase(it);
+        --degrees_[u.src];
+        --num_edges_;
+      }
+    }
+  }
+
+  std::vector<EdgeIndex> new_rowptr(width + 1, 0);
+  std::vector<VertexId> new_colidx;
+  std::vector<float> new_val;
+  for (VertexId lv = 0; lv < width; ++lv) {
+    new_rowptr[lv + 1] = new_rowptr[lv] + adj[lv].size();
+    for (const auto& [dst, w] : adj[lv]) {
+      new_colidx.push_back(dst);
+      new_val.push_back(w);
+    }
+  }
+  interval_edges_[i] = new_rowptr.back();
+  write_interval(i, new_rowptr, new_colidx,
+                 options_.with_weights ? std::span<const float>(new_val)
+                                       : std::span<const float>{});
+}
+
+void StoredCsrGraph::overlay_pending(VertexId v,
+                                     std::vector<VertexId>& adjacency,
+                                     std::vector<float>* weights) const {
+  const IntervalId i = intervals_.interval_of(v);
+  std::lock_guard<std::mutex> lock(updates_mutex_);
+  for (const StructuralUpdate& u : pending_[i]) {
+    if (u.src != v) continue;
+    if (u.kind == StructuralUpdate::Kind::kAddEdge) {
+      if (std::find(adjacency.begin(), adjacency.end(), u.dst) ==
+          adjacency.end()) {
+        adjacency.push_back(u.dst);
+        if (weights != nullptr) weights->push_back(u.weight);
+      }
+    } else {
+      const auto it = std::find(adjacency.begin(), adjacency.end(), u.dst);
+      if (it != adjacency.end()) {
+        const auto idx = it - adjacency.begin();
+        adjacency.erase(it);
+        if (weights != nullptr) weights->erase(weights->begin() + idx);
+      }
+    }
+  }
+}
+
+}  // namespace mlvc::graph

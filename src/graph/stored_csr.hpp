@@ -1,0 +1,142 @@
+// CSR graph resident on (simulated) flash storage, partitioned by vertex
+// interval.
+//
+// §V.E of the paper: "we partition the CSR format graph based on the vertex
+// intervals. Each vertex interval's graph data is stored separately in the
+// CSR format" so that structural updates only rewrite one interval's
+// vectors, and batched updates amortize even that.
+//
+// Layout per interval i (all page-accounted blobs in ssd::Storage):
+//   csr/<i>/rowptr : (width(i) + 1) x EdgeIndex — local offsets into colidx
+//   csr/<i>/colidx : local_edge_count x VertexId
+//   csr/<i>/val    : local_edge_count x float    (only with_weights)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/intervals.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc::graph {
+
+/// A buffered add-edge / remove-edge mutation (§V.E).
+struct StructuralUpdate {
+  enum class Kind : std::uint8_t { kAddEdge, kRemoveEdge };
+  Kind kind = Kind::kAddEdge;
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+};
+
+/// Construction options for StoredCsrGraph (namespace-scope so it can be
+/// used as a default argument; nested types with member initializers cannot).
+struct StoredCsrOptions {
+  bool with_weights = false;
+  /// Buffered structural updates per interval before an automatic merge
+  /// into the interval's CSR vectors.
+  std::size_t merge_threshold = 4096;
+};
+
+class StoredCsrGraph {
+ public:
+  using Options = StoredCsrOptions;
+
+  /// Materialize `csr` onto `storage` under `name_prefix`, partitioned by
+  /// `intervals`.
+  StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
+                 const CsrGraph& csr, VertexIntervals intervals,
+                 Options options = Options());
+
+  /// Streaming construction for graphs too big to hold in memory: consume
+  /// edges in nondecreasing (src, dst) order from `next_edge` (returning
+  /// false when exhausted) and write interval blobs in bounded-size chunks.
+  /// Used by ExternalCsrBuilder.
+  StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
+                 VertexIntervals intervals,
+                 const std::function<bool(Edge&)>& next_edge,
+                 Options options = Options());
+
+  VertexId num_vertices() const noexcept { return intervals_.num_vertices(); }
+  EdgeIndex num_edges() const noexcept { return num_edges_; }
+  const VertexIntervals& intervals() const noexcept { return intervals_; }
+  bool has_weights() const noexcept { return options_.with_weights; }
+  ssd::Storage& storage() noexcept { return storage_; }
+
+  /// Out-degree of every vertex, kept in host memory. 8 bytes per vertex —
+  /// the same class of metadata the paper keeps resident (the degree array
+  /// is needed to size reads before touching storage).
+  EdgeIndex out_degree(VertexId v) const {
+    MLVC_CHECK(v < degrees_.size());
+    return degrees_[v];
+  }
+
+  // ---- page-accounted reads ----------------------------------------------
+
+  /// Read local row-pointer entries [local_begin, local_begin + count) of
+  /// interval i. Entry k is the colidx offset of local vertex k; callers
+  /// read count = width + 1 to get the closing offset.
+  void read_local_row_ptrs(IntervalId i, VertexId local_begin,
+                           std::size_t count, std::span<EdgeIndex> out) const;
+
+  /// Read colidx entries [lo, hi) of interval i.
+  void read_adjacency(IntervalId i, EdgeIndex lo, EdgeIndex hi,
+                      std::span<VertexId> out) const;
+
+  /// Read edge values [lo, hi) of interval i (graph must have weights).
+  void read_values(IntervalId i, EdgeIndex lo, EdgeIndex hi,
+                   std::span<float> out) const;
+
+  EdgeIndex interval_edge_count(IntervalId i) const {
+    MLVC_CHECK(i < intervals_.count());
+    return interval_edges_[i];
+  }
+
+  const ssd::Blob& colidx_blob(IntervalId i) const;
+  const ssd::Blob& rowptr_blob(IntervalId i) const;
+
+  // ---- structural updates (§V.E) -----------------------------------------
+
+  /// Buffer a mutation; merged into the stored CSR automatically once the
+  /// source interval accumulates Options::merge_threshold updates.
+  void buffer_update(const StructuralUpdate& update);
+
+  std::size_t pending_update_count(IntervalId i) const;
+
+  /// Force-merge all buffered updates of interval i into its CSR vectors
+  /// (full interval rewrite — the cost the batching amortizes).
+  void merge_interval(IntervalId i);
+
+  /// Apply interval i's pending updates for source vertex v on top of the
+  /// stored adjacency (the paper's Graph Loader "always accesses these
+  /// buffered updates to fetch the most current graph data").
+  void overlay_pending(VertexId v, std::vector<VertexId>& adjacency,
+                       std::vector<float>* weights) const;
+
+ private:
+  std::string blob_name(IntervalId i, const char* what) const;
+  void write_interval(IntervalId i, std::span<const EdgeIndex> local_rowptr,
+                      std::span<const VertexId> colidx,
+                      std::span<const float> val);
+
+  ssd::Storage& storage_;
+  std::string prefix_;
+  VertexIntervals intervals_;
+  Options options_;
+  EdgeIndex num_edges_ = 0;
+  std::vector<EdgeIndex> degrees_;
+  std::vector<EdgeIndex> interval_edges_;
+  std::vector<ssd::Blob*> rowptr_blobs_;
+  std::vector<ssd::Blob*> colidx_blobs_;
+  std::vector<ssd::Blob*> val_blobs_;
+
+  mutable std::mutex updates_mutex_;
+  std::vector<std::vector<StructuralUpdate>> pending_;  // per interval
+};
+
+}  // namespace mlvc::graph

@@ -1,0 +1,103 @@
+// GraphChi-style shard storage (§II.A of the paper; Kyrola et al., OSDI'12).
+//
+// The graph is split into P vertex intervals; shard i holds every in-edge of
+// interval i, sorted by source vertex. Messages travel as edge values: a
+// send writes the payload into the out-edge's record; the destination reads
+// it from its in-edge when its shard is the memory shard.
+//
+// Because the engines here run strict BSP (so results are comparable across
+// engines), each edge record carries *two* payload slots selected by
+// superstep parity — writes at superstep s go to slot s%2, reads at s
+// consume slot (s-1)%2. A single-slot design would overwrite messages that
+// the destination interval (processed later in the same superstep) has not
+// consumed yet. This grows GraphChi's records slightly; the comparison is
+// thereby conservative in GraphChi's favor on a per-page basis (its shards
+// hold fewer edges per page, but MultiLogVC's advantage in the paper comes
+// from skipping whole shards, not from record width).
+//
+// Record layout (byte-oriented; payload width fixed at construction):
+//   u32 src | u32 dst | u16 stamp0 | u16 stamp1 | payload0 | payload1
+// stampX = (superstep that wrote slot X) mod 2^16, kNoStamp if empty; the
+// run cap (max_supersteps) keeps stamps far below the 16-bit wrap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+#include "graph/intervals.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc::graphchi {
+
+class ShardedGraph {
+ public:
+  static constexpr std::uint16_t kNoStamp = 0xFFFFu;
+
+  ShardedGraph(ssd::Storage& storage, std::string prefix,
+               const graph::CsrGraph& csr, graph::VertexIntervals intervals,
+               std::size_t payload_bytes);
+
+  const graph::VertexIntervals& intervals() const noexcept {
+    return intervals_;
+  }
+  ssd::Storage& storage() const noexcept { return storage_; }
+  IntervalId num_shards() const noexcept { return intervals_.count(); }
+  VertexId num_vertices() const noexcept { return intervals_.num_vertices(); }
+  EdgeIndex num_edges() const noexcept { return num_edges_; }
+
+  std::size_t payload_bytes() const noexcept { return payload_bytes_; }
+  std::size_t record_size() const noexcept { return record_size_; }
+
+  // Field offsets within a record.
+  std::size_t src_offset() const noexcept { return 0; }
+  std::size_t dst_offset() const noexcept { return 4; }
+  std::size_t stamp_offset(unsigned slot) const noexcept {
+    return 8 + 2 * slot;
+  }
+  std::size_t payload_offset(unsigned slot) const noexcept {
+    return 12 + payload_bytes_ * slot;
+  }
+
+  EdgeIndex shard_edge_count(IntervalId shard) const;
+
+  /// Record-index range [first, last) of edges in `shard` whose source lies
+  /// in `src_interval` (the sliding window).
+  struct WindowRange {
+    EdgeIndex first = 0;
+    EdgeIndex last = 0;
+    EdgeIndex count() const { return last - first; }
+  };
+  WindowRange window(IntervalId shard, IntervalId src_interval) const;
+
+  /// Load record range [first, last) of a shard (page-accounted, kShard).
+  void load_records(IntervalId shard, EdgeIndex first, EdgeIndex last,
+                    std::vector<std::byte>& out) const;
+  /// Write the range back.
+  void store_records(IntervalId shard, EdgeIndex first,
+                     std::span<const std::byte> bytes);
+
+ private:
+  ssd::Storage& storage_;
+  std::string prefix_;
+  graph::VertexIntervals intervals_;
+  std::size_t payload_bytes_;
+  std::size_t record_size_;
+  EdgeIndex num_edges_ = 0;
+  std::vector<ssd::Blob*> shard_blobs_;
+  /// window_starts_[shard][j] = first record of shard whose src is in
+  /// interval j; entry [shard][P] is the shard's edge count.
+  std::vector<std::vector<EdgeIndex>> window_starts_;
+};
+
+/// Interval partition for GraphChi: each interval's in-edges (one shard)
+/// plus its out-edges (the windows it drags in) must fit the execution
+/// memory. `record_size` is the shard record size for the app's payload.
+graph::VertexIntervals partition_for_shards(const graph::CsrGraph& csr,
+                                            std::size_t record_size,
+                                            std::size_t memory_budget_bytes);
+
+}  // namespace mlvc::graphchi

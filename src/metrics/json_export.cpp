@@ -1,0 +1,94 @@
+#include "metrics/json_export.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mlvc::metrics {
+
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_io(std::ostream& out, const ssd::IoStatsSnapshot& io) {
+  out << "{\"pages_read\":" << io.total_pages_read()
+      << ",\"pages_written\":" << io.total_pages_written()
+      << ",\"by_category\":{";
+  bool first = true;
+  for (unsigned c = 0; c < ssd::kNumIoCategories; ++c) {
+    const auto& cat = io.categories[c];
+    if (cat.pages_read + cat.pages_written == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << ssd::to_string(static_cast<ssd::IoCategory>(c))
+        << "\":{\"pages_read\":" << cat.pages_read
+        << ",\"pages_written\":" << cat.pages_written
+        << ",\"bytes_read\":" << cat.bytes_read
+        << ",\"bytes_written\":" << cat.bytes_written << '}';
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void write_json(const core::RunStats& stats, std::ostream& out) {
+  out << std::setprecision(9);
+  out << "{\"engine\":";
+  write_escaped(out, stats.engine);
+  out << ",\"app\":";
+  write_escaped(out, stats.app);
+  out << ",\"totals\":{"
+      << "\"supersteps\":" << stats.supersteps.size()
+      << ",\"pages_read\":" << stats.total_pages_read()
+      << ",\"pages_written\":" << stats.total_pages_written()
+      << ",\"messages\":" << stats.total_messages()
+      << ",\"modeled_storage_seconds\":" << stats.modeled_storage_seconds()
+      << ",\"compute_seconds\":" << stats.compute_seconds()
+      << ",\"modeled_total_seconds\":" << stats.modeled_total_seconds()
+      << ",\"build_seconds\":" << stats.build_seconds << '}'
+      << ",\"supersteps\":[";
+  for (std::size_t i = 0; i < stats.supersteps.size(); ++i) {
+    const auto& s = stats.supersteps[i];
+    if (i) out << ',';
+    out << "{\"superstep\":" << s.superstep
+        << ",\"active_vertices\":" << s.active_vertices
+        << ",\"messages_consumed\":" << s.messages_consumed
+        << ",\"messages_produced\":" << s.messages_produced
+        << ",\"edges_activated\":" << s.edges_activated
+        << ",\"modeled_storage_seconds\":" << s.modeled_storage_seconds
+        << ",\"compute_wall_seconds\":" << s.compute_wall_seconds
+        << ",\"pages_touched\":" << s.pages_touched
+        << ",\"pages_inefficient\":" << s.pages_inefficient
+        << ",\"pages_inefficient_predicted\":"
+        << s.pages_inefficient_predicted
+        << ",\"edge_log_hits\":" << s.edge_log_hits << ",\"io\":";
+    write_io(out, s.io);
+    out << '}';
+  }
+  out << "]}";
+}
+
+std::string to_json(const core::RunStats& stats) {
+  std::ostringstream os;
+  write_json(stats, os);
+  return os.str();
+}
+
+}  // namespace mlvc::metrics

@@ -1,0 +1,17 @@
+// JSON export of run statistics — for dashboards, notebooks, and the
+// plotting scripts downstream users inevitably write.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/stats.hpp"
+
+namespace mlvc::metrics {
+
+/// Serialize a run's statistics as a single JSON object:
+/// { engine, app, totals{...}, supersteps: [ {...}, ... ] }.
+void write_json(const core::RunStats& stats, std::ostream& out);
+std::string to_json(const core::RunStats& stats);
+
+}  // namespace mlvc::metrics

@@ -1,0 +1,108 @@
+#include "metrics/report.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace mlvc::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MLVC_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width " << cells.size() << " != header width "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto line = [&](const std::vector<std::string>& cells) {
+    std::cout << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::cout << std::left << std::setw(static_cast<int>(widths[c]))
+                << cells[c] << " | ";
+    }
+    std::cout << "\n";
+  };
+  line(headers_);
+  std::cout << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    std::cout << std::string(widths[c] + 2, '-') << "|";
+  }
+  std::cout << "\n";
+  for (const auto& row : rows_) line(row);
+  std::cout.flush();
+}
+
+void Table::write_csv(const std::string& dir, const std::string& name) const {
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::ofstream out(std::filesystem::path(dir) / (name + ".csv"));
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << cells[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string csv_dir_from_env() {
+  const char* dir = std::getenv("MLVC_CSV_DIR");
+  return dir == nullptr ? std::string{} : std::string{dir};
+}
+
+std::string summarize(const core::RunStats& stats) {
+  std::ostringstream os;
+  os << stats.engine << "/" << stats.app << ": "
+     << stats.supersteps.size() << " supersteps, "
+     << format_count(stats.total_pages_read()) << " pages read, "
+     << format_count(stats.total_pages_written()) << " pages written, "
+     << format_fixed(stats.modeled_storage_seconds(), 3) << "s storage + "
+     << format_fixed(stats.compute_seconds(), 3) << "s compute = "
+     << format_fixed(stats.modeled_total_seconds(), 3) << "s";
+  return os.str();
+}
+
+double speedup(const core::RunStats& baseline,
+               const core::RunStats& candidate) {
+  const double c = candidate.modeled_total_seconds();
+  return c <= 0 ? 0.0 : baseline.modeled_total_seconds() / c;
+}
+
+double page_ratio(const core::RunStats& baseline,
+                  const core::RunStats& candidate) {
+  const double c = static_cast<double>(candidate.total_pages());
+  return c <= 0 ? 0.0 : static_cast<double>(baseline.total_pages()) / c;
+}
+
+void print_superstep_table(const core::RunStats& stats) {
+  Table t({"superstep", "active", "msgs_in", "msgs_out", "pages_r", "pages_w",
+           "storage_s", "compute_s"});
+  for (const auto& s : stats.supersteps) {
+    t.add_row({std::to_string(s.superstep), std::to_string(s.active_vertices),
+               std::to_string(s.messages_consumed),
+               std::to_string(s.messages_produced),
+               std::to_string(s.io.total_pages_read()),
+               std::to_string(s.io.total_pages_written()),
+               format_fixed(s.modeled_storage_seconds, 4),
+               format_fixed(s.compute_wall_seconds, 4)});
+  }
+  t.print();
+}
+
+}  // namespace mlvc::metrics

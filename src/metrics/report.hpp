@@ -1,0 +1,50 @@
+// Text tables and run reports for the bench harnesses.
+//
+// Each bench prints the same rows/series the paper's figures show; these
+// helpers keep the output uniform and also emit machine-readable CSV when
+// MLVC_CSV_DIR is set in the environment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace mlvc::metrics {
+
+/// Simple fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to stdout.
+  void print() const;
+
+  /// Append as CSV to `<dir>/<name>.csv` if dir is non-empty.
+  void write_csv(const std::string& dir, const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Value of MLVC_CSV_DIR (empty if unset).
+std::string csv_dir_from_env();
+
+/// One-line summary of a run: supersteps, pages, modeled time.
+std::string summarize(const core::RunStats& stats);
+
+/// Speedup of `baseline` over `candidate` on the primary metric
+/// (modeled total seconds): >1 means the candidate is faster.
+double speedup(const core::RunStats& baseline, const core::RunStats& candidate);
+
+/// Page-access ratio baseline/candidate (Figure 5b's metric).
+double page_ratio(const core::RunStats& baseline,
+                  const core::RunStats& candidate);
+
+/// Print a per-superstep breakdown table for a run.
+void print_superstep_table(const core::RunStats& stats);
+
+}  // namespace mlvc::metrics

@@ -1,0 +1,47 @@
+// Active vertex set (§V.B.1: ExtractActiveVert).
+//
+// Tracks which vertices must run in the current superstep. A vertex is
+// active if it received a message last superstep or stayed active (did not
+// call deactivate). Thread-safe activation so parallel vertex processing can
+// mark next-superstep activations directly.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+#include "graph/intervals.hpp"
+
+namespace mlvc::multilog {
+
+class ActiveSet {
+ public:
+  explicit ActiveSet(VertexId num_vertices) : bits_(num_vertices) {}
+
+  VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(bits_.size());
+  }
+
+  void activate(VertexId v) { bits_.set(v); }
+  bool is_active(VertexId v) const { return bits_.test(v); }
+  std::size_t count() const { return bits_.count(); }
+  bool empty() const { return count() == 0; }
+  void clear() { bits_.clear_all(); }
+
+  /// Ascending list of active vertices within [begin, end).
+  std::vector<VertexId> active_in_range(VertexId begin, VertexId end) const {
+    std::vector<VertexId> out;
+    for (VertexId v = begin; v < end; ++v) {
+      if (bits_.test(v)) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Snapshot to a plain bitset (for the history predictor).
+  DynamicBitset snapshot() const { return bits_.snapshot(); }
+
+ private:
+  AtomicBitset bits_;
+};
+
+}  // namespace mlvc::multilog

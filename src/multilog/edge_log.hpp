@@ -1,0 +1,98 @@
+// The edge log (§V.C of the paper).
+//
+// While processing superstep s, the out-edges of vertices predicted active
+// in superstep s+1 — and whose CSR pages were inefficiently utilized — are
+// re-logged densely here. In superstep s+1 the graph loader fetches those
+// adjacency lists from the edge log (few, dense pages) instead of the CSR
+// (many, sparse pages): "when logging N active vertex outgoing edges into a
+// single edge-log page, one can reduce N-1 page reads from the original
+// graph".
+//
+// Like the message multi-log, two generations rotate at the superstep
+// boundary. Entries are found via an in-memory index (vertex -> byte offset)
+// whose size is capped by the edge-log budget (B% in Figure 4); once the cap
+// is hit, further logging requests are declined — a graceful degradation,
+// never an error.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc::multilog {
+
+struct EdgeLogConfig {
+  bool with_weights = false;
+  /// Cap on in-memory metadata (index + top page). 0 = uncapped.
+  std::size_t buffer_budget_bytes = 0;
+};
+
+class EdgeLog {
+ public:
+  EdgeLog(ssd::Storage& storage, std::string prefix, EdgeLogConfig config);
+
+  // ---- produce side (for next superstep) ----------------------------------
+
+  /// Log v's out-edges. Returns false (and logs nothing) if the budget cap
+  /// is reached. Thread-safe.
+  bool log_edges(VertexId v, std::span<const VertexId> adjacency,
+                 std::span<const float> weights = {});
+
+  std::uint64_t produced_vertices() const;
+  std::uint64_t produced_edges() const;
+
+  // ---- consume side (written last superstep) -------------------------------
+
+  bool contains(VertexId v) const;
+
+  /// Fetch v's logged adjacency; returns false if v is not in the log.
+  /// Reads are charged to IoCategory::kEdgeLog (only for spilled bytes; the
+  /// resident tail costs nothing, as on real hardware).
+  bool load_edges(VertexId v, std::vector<VertexId>& adjacency,
+                  std::vector<float>* weights) const;
+
+  std::uint64_t hit_count() const noexcept { return hits_; }
+  std::uint64_t miss_count() const noexcept { return misses_; }
+
+  // ---- superstep boundary --------------------------------------------------
+
+  void swap_generations();
+
+ private:
+  struct Entry {
+    std::uint64_t offset = 0;  // logical byte offset in the generation stream
+    VertexId degree = 0;
+  };
+  struct Generation {
+    ssd::Blob* blob = nullptr;
+    std::unordered_map<VertexId, Entry> index;
+    std::vector<std::byte> top;        // unflushed tail
+    std::uint64_t flushed_bytes = 0;   // bytes already in the blob
+  };
+
+  std::size_t entry_bytes(VertexId degree) const;
+  void reset_generation(Generation& gen, const std::string& name);
+  void read_stream(const Generation& gen, std::uint64_t offset, void* out,
+                   std::size_t len) const;
+
+  ssd::Storage& storage_;
+  std::string prefix_;
+  EdgeLogConfig config_;
+  std::size_t page_size_;
+
+  mutable std::mutex mutex_;
+  Generation generations_[2];
+  unsigned produce_index_ = 0;
+  unsigned swap_count_ = 0;
+  std::uint64_t produced_edges_ = 0;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace mlvc::multilog

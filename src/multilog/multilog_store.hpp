@@ -1,0 +1,144 @@
+// The multi-log update unit (§V.A of the paper).
+//
+// One message log per destination vertex interval. SendUpdate(dst, m)
+// appends the fixed-size record <dst, m> to the log of dst's interval. Each
+// interval keeps one page-sized "top page" buffer in host memory; a full top
+// page is flushed to storage (page-granular eviction, §V.A.3). Physically,
+// all flushed pages of one generation live in a single storage blob — a
+// page-chained log per interval — so thousands of intervals don't need
+// thousands of file descriptors, while reads/writes still hit exactly the
+// interval's own pages. The device model stripes consecutive pages across
+// channels, reproducing the paper's "logs interspersed across channels".
+//
+// Two generations exist at once: the *current* generation (written last
+// superstep, now being consumed) and the *produce* generation (receiving
+// this superstep's sends). swap_generations() rotates them at the superstep
+// boundary.
+//
+// The store is byte-oriented (record_size fixed at construction) so it can
+// be compiled once and unit-tested independently of any message type; the
+// engine layers a typed view on top (multilog/record.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/intervals.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc::multilog {
+
+struct MultiLogConfig {
+  /// Bytes per logged record, including the 4-byte destination header.
+  std::size_t record_size = 8;
+  /// Host memory available for top pages (A% of the budget, §V.A.3). The
+  /// paper notes at least one page per interval must be resident; we enforce
+  /// exactly one top page per interval and check the budget covers it.
+  std::size_t buffer_budget_bytes = 0;  // 0 = don't enforce
+
+  /// Full pages queue in a small eviction buffer and are written to the
+  /// generation blob in one batched, contiguous append of this many pages
+  /// (§V.A.3: evictions are batched and striped to "maximize log writeback
+  /// bandwidth"). 1 = write each page immediately.
+  std::size_t evict_batch_pages = 16;
+};
+
+class MultiLogStore {
+ public:
+  MultiLogStore(ssd::Storage& storage, std::string prefix,
+                const graph::VertexIntervals& intervals, MultiLogConfig config);
+
+  std::size_t record_size() const noexcept { return config_.record_size; }
+  IntervalId interval_count() const noexcept {
+    return static_cast<IntervalId>(intervals_->count());
+  }
+
+  // ---- produce side (messages for the *next* superstep) -------------------
+
+  /// Append one record for destination vertex `dst`. `record` must be
+  /// record_size bytes whose first 4 bytes equal `dst`. Thread-safe (per
+  /// interval lock).
+  void append(VertexId dst, const void* record);
+
+  /// Records appended to interval i's produce-generation log so far. This is
+  /// the counter §V.A.2 uses to estimate log sizes for interval fusion.
+  std::uint64_t produced_count(IntervalId i) const;
+
+  // ---- superstep boundary --------------------------------------------------
+
+  /// Discard the consumed generation, make the produced one current. Partial
+  /// top pages stay in host memory and are served from there on load (no
+  /// I/O charged — they never left the host).
+  void swap_generations();
+
+  // ---- consume side (messages sent during the *previous* superstep) -------
+
+  std::uint64_t current_count(IntervalId i) const;
+  std::uint64_t total_current_count() const;
+
+  /// Byte size of interval i's current log (for fusion planning).
+  std::uint64_t current_bytes(IntervalId i) const {
+    return current_count(i) * config_.record_size;
+  }
+
+  /// Load interval i's full current log (spilled pages + resident tail) into
+  /// `out`, appended. Page reads are charged to IoCategory::kMessageLog.
+  void load_interval(IntervalId i, std::vector<std::byte>& out) const;
+
+  /// Number of pages interval i's current log occupies on storage.
+  std::uint64_t current_pages(IntervalId i) const;
+
+  /// Checkpoint support: replace interval i's *current* (consume-side) log
+  /// with a whole-log image (as produced by load_interval). Caller must
+  /// reset_all() first so both generations start empty.
+  void restore_current_interval(IntervalId i, std::span<const std::byte> bytes);
+
+  /// Drop all logs in both generations (checkpoint rollback).
+  void reset_all();
+
+  /// Asynchronous-mode support (§V.F): move everything appended to interval
+  /// i's *produce* log so far into `out` and reset that log, so messages
+  /// sent earlier in the same superstep can be delivered to intervals
+  /// processed later ("the latest updates from the source vertices will be
+  /// delivered to the target vertices, either from the current superstep or
+  /// the previous one"). Returns the number of records drained.
+  std::uint64_t drain_produce_interval(IntervalId i,
+                                       std::vector<std::byte>& out);
+
+ private:
+  struct Generation {
+    ssd::Blob* blob = nullptr;                       // flushed pages
+    std::vector<std::vector<std::uint64_t>> pages;   // per-interval page nos
+    std::vector<std::vector<std::byte>> top;         // per-interval tail
+    std::vector<std::size_t> top_fill;               // bytes used in tail
+    std::vector<std::uint64_t> counts;               // records per interval
+    // Eviction queue: full pages awaiting one batched contiguous append.
+    std::vector<std::byte> evict_buffer;
+    std::vector<IntervalId> evict_owners;
+    std::uint64_t next_page = 0;
+  };
+
+  void reset_generation(Generation& gen, const std::string& blob_name);
+  void queue_eviction(Generation& gen, IntervalId interval,
+                      const std::byte* page);
+  void flush_evictions(Generation& gen);
+
+  ssd::Storage& storage_;
+  std::string prefix_;
+  const graph::VertexIntervals* intervals_;
+  MultiLogConfig config_;
+  std::size_t page_size_;
+
+  std::vector<std::unique_ptr<std::mutex>> interval_locks_;
+  mutable std::mutex evict_mutex_;
+  Generation generations_[2];
+  unsigned produce_index_ = 0;  // generations_[produce_index_] receives sends
+  unsigned swap_count_ = 0;
+};
+
+}  // namespace mlvc::multilog

@@ -1,0 +1,69 @@
+// History-based active-vertex prediction (§V.C of the paper).
+//
+// "If the vertex v_i was active at least once in the past N supersteps, it
+// predicts the vertex to be active. More complex prediction schemes were
+// considered, but this simple history-based prediction with N equal to one
+// proved effective."
+//
+// The predictor also exposes accuracy counters for the Figure 9 experiment.
+#pragma once
+
+#include <deque>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+
+namespace mlvc::multilog {
+
+class HistoryPredictor {
+ public:
+  /// `history_depth` is the paper's N. Depth 0 disables prediction (always
+  /// predicts inactive) — used by the ablation bench.
+  HistoryPredictor(VertexId num_vertices, unsigned history_depth = 1)
+      : num_vertices_(num_vertices), depth_(history_depth) {}
+
+  unsigned depth() const noexcept { return depth_; }
+
+  /// Push the active set of a finished superstep.
+  void observe(const DynamicBitset& active) {
+    MLVC_CHECK(active.size() == num_vertices_);
+    if (depth_ == 0) return;
+    history_.push_back(active);
+    if (history_.size() > depth_) history_.pop_front();
+  }
+
+  /// Will v likely be active next superstep?
+  bool predict_active(VertexId v) const {
+    MLVC_CHECK(v < num_vertices_);
+    for (const DynamicBitset& h : history_) {
+      if (h.test(v)) return true;
+    }
+    return false;
+  }
+
+  /// Score a finished superstep against what was predicted before it:
+  /// returns (correctly predicted active, actually active).
+  struct Accuracy {
+    std::size_t predicted_and_active = 0;
+    std::size_t active = 0;
+    double recall() const {
+      return active == 0 ? 0.0
+                         : static_cast<double>(predicted_and_active) / active;
+    }
+  };
+  Accuracy score(const DynamicBitset& actual_active) const {
+    Accuracy acc;
+    actual_active.for_each_set([&](std::size_t v) {
+      ++acc.active;
+      if (predict_active(static_cast<VertexId>(v))) ++acc.predicted_and_active;
+    });
+    return acc;
+  }
+
+ private:
+  VertexId num_vertices_;
+  unsigned depth_;
+  std::deque<DynamicBitset> history_;
+};
+
+}  // namespace mlvc::multilog

@@ -1,0 +1,47 @@
+// Typed view over the byte-oriented multi-log.
+//
+// A logged record is <v_dest, m> (§V.A): a 4-byte destination header
+// followed by the application's message payload. Message types must be
+// trivially copyable — they are memcpy'd into log pages and back.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+#include "multilog/multilog_store.hpp"
+
+namespace mlvc::multilog {
+
+template <typename Message>
+struct Record {
+  static_assert(std::is_trivially_copyable_v<Message>,
+                "messages are stored in logs by memcpy");
+  VertexId dst;
+  Message payload;
+};
+
+template <typename Message>
+inline constexpr std::size_t kRecordSize = sizeof(Record<Message>);
+
+/// Append a typed message to the store.
+template <typename Message>
+void append_record(MultiLogStore& store, VertexId dst, const Message& m) {
+  Record<Message> rec{dst, m};
+  store.append(dst, &rec);
+}
+
+/// Reinterpret a loaded byte buffer as records. The store guarantees the
+/// buffer length is a multiple of the record size; we copy into a properly
+/// aligned vector (log pages have no alignment guarantees mid-stream).
+template <typename Message>
+std::vector<Record<Message>> decode_records(std::span<const std::byte> bytes) {
+  MLVC_CHECK(bytes.size() % sizeof(Record<Message>) == 0);
+  std::vector<Record<Message>> out(bytes.size() / sizeof(Record<Message>));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+}  // namespace mlvc::multilog

@@ -1,0 +1,79 @@
+// The sort-and-group unit (§V.B of the paper).
+//
+// Loads per-interval logs (fused while they fit in the sort budget), sorts
+// them in memory by destination vertex — the whole point of the multi-log:
+// each interval's updates fit in host memory, so no external sort — groups
+// records by destination, and optionally applies the application's combine
+// operator (§V.D) before handing each group to ProcessVertex.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "multilog/record.hpp"
+
+namespace mlvc::multilog {
+
+/// Sort records by destination vertex id. Order of equal-destination records
+/// is unspecified — vertex programs must treat their inbox as a multiset,
+/// which the BSP model requires anyway.
+template <typename Message>
+void sort_records(std::vector<Record<Message>>& records) {
+  parallel_sort(records.begin(), records.end(),
+                [](const Record<Message>& a, const Record<Message>& b) {
+                  return a.dst < b.dst;
+                });
+}
+
+/// Invoke fn(dst, span_of_records) for every destination group in a sorted
+/// record array.
+template <typename Message, typename Fn>
+void for_each_group(std::span<const Record<Message>> sorted, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i + 1;
+    while (j < sorted.size() && sorted[j].dst == sorted[i].dst) ++j;
+    fn(sorted[i].dst, sorted.subspan(i, j - i));
+    i = j;
+  }
+}
+
+/// Group boundaries of a sorted record array: indices of group starts plus a
+/// final end sentinel. Lets the engine parallelize per-group processing.
+template <typename Message>
+std::vector<std::size_t> group_offsets(
+    std::span<const Record<Message>> sorted) {
+  std::vector<std::size_t> offsets;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    offsets.push_back(i);
+    std::size_t j = i + 1;
+    while (j < sorted.size() && sorted[j].dst == sorted[i].dst) ++j;
+    i = j;
+  }
+  offsets.push_back(sorted.size());
+  return offsets;
+}
+
+/// Apply a combine operator in place on a *sorted* record array: all records
+/// with the same destination collapse to one. Returns the new size. This is
+/// the §V.D optimization path for associative+commutative applications.
+template <typename Message, typename Combine>
+std::size_t combine_sorted(std::vector<Record<Message>>& records,
+                           Combine&& combine) {
+  if (records.empty()) return 0;
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].dst == records[out].dst) {
+      records[out].payload = combine(records[out].payload, records[i].payload);
+    } else {
+      records[++out] = records[i];
+    }
+  }
+  records.resize(out + 1);
+  return records.size();
+}
+
+}  // namespace mlvc::multilog

@@ -1,0 +1,63 @@
+// Asynchronous I/O front-end over Storage.
+//
+// The paper (§VI) uses asynchronous kernel I/O to keep many page reads from
+// non-contiguous SSD locations in flight with minimal host resources. We
+// emulate that with a small dedicated I/O thread pool: callers queue page
+// reads and either wait on individual futures or drain the whole batch.
+#pragma once
+
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc::ssd {
+
+class AsyncIo {
+ public:
+  explicit AsyncIo(unsigned io_threads = 4) : pool_(io_threads) {}
+
+  /// Queue a read of blob[offset, offset+len) into caller-owned memory.
+  /// The buffer must stay alive until the returned future resolves.
+  std::future<void> read(const Blob& blob, std::uint64_t offset, void* buf,
+                         std::size_t len) {
+    return pool_.submit([&blob, offset, buf, len] {
+      blob.read(offset, buf, len);
+    });
+  }
+
+  std::future<void> write(Blob& blob, std::uint64_t offset, const void* buf,
+                          std::size_t len) {
+    return pool_.submit([&blob, offset, buf, len] {
+      blob.write(offset, buf, len);
+    });
+  }
+
+  /// Block until all queued operations complete.
+  void drain() { pool_.wait_idle(); }
+
+  unsigned thread_count() const noexcept { return pool_.size(); }
+
+ private:
+  ThreadPool pool_;
+};
+
+/// Collects futures from a batch of async reads and rethrows the first
+/// failure on wait(). Keeps engine code linear.
+class IoBatch {
+ public:
+  void add(std::future<void> f) { futures_.push_back(std::move(f)); }
+
+  void wait() {
+    for (auto& f : futures_) f.get();
+    futures_.clear();
+  }
+
+  std::size_t pending() const noexcept { return futures_.size(); }
+
+ private:
+  std::vector<std::future<void>> futures_;
+};
+
+}  // namespace mlvc::ssd

@@ -1,0 +1,131 @@
+// A CLOCK page cache over Storage blobs.
+//
+// GraphChi's baseline configuration (§VI) gives it a host-side cache equal
+// in size to MultiLogVC's multi-log buffer; the graph loader also uses a
+// small cache for hot row-pointer pages. Cached hits cost no device time —
+// exactly the effect a host-side cache has on a real SSD.
+#pragma once
+
+#include <cstring>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc::ssd {
+
+class PageCache {
+ public:
+  /// `capacity_bytes` is rounded down to whole pages (at least one page).
+  PageCache(Storage& storage, std::size_t capacity_bytes)
+      : storage_(storage),
+        page_size_(storage.page_size()),
+        capacity_pages_(std::max<std::size_t>(1, capacity_bytes / page_size_)) {
+    frames_.resize(capacity_pages_);
+    for (auto& f : frames_) f.data.resize(page_size_);
+  }
+
+  /// Read an arbitrary byte range through the cache.
+  void read(const Blob& blob, std::uint64_t offset, void* buf,
+            std::size_t len) {
+    char* dst = static_cast<char*>(buf);
+    while (len > 0) {
+      const std::uint64_t page_no = offset / page_size_;
+      const std::size_t in_page = static_cast<std::size_t>(offset % page_size_);
+      const std::size_t take = std::min(len, page_size_ - in_page);
+      const char* page = fetch_page(blob, page_no);
+      std::memcpy(dst, page + in_page, take);
+      dst += take;
+      offset += take;
+      len -= take;
+    }
+  }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+  /// Drop all cached pages (used when a blob's content is rewritten).
+  void invalidate() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    for (auto& f : frames_) f.valid = false;
+  }
+
+ private:
+  struct Key {
+    std::uint64_t blob_id;
+    std::uint64_t page_no;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.blob_id * 0x9E3779B97F4A7C15ull ^
+                                        k.page_no);
+    }
+  };
+  struct Frame {
+    Key key{};
+    bool valid = false;
+    bool referenced = false;
+    std::vector<char> data;
+  };
+
+  const char* fetch_page(const Blob& blob, std::uint64_t page_no) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Key key{blob.id(), page_no};
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++hits_;
+      frames_[it->second].referenced = true;
+      return frames_[it->second].data.data();
+    }
+    ++misses_;
+    const std::size_t frame_idx = evict_one();
+    Frame& frame = frames_[frame_idx];
+    if (frame.valid) map_.erase(frame.key);
+    // Partial trailing page: read only the valid prefix.
+    const std::uint64_t page_start = page_no * page_size_;
+    const std::uint64_t blob_size = blob.size();
+    MLVC_CHECK_MSG(page_start < blob_size,
+                   "page " << page_no << " past end of blob '" << blob.name()
+                           << "'");
+    const std::size_t valid_len = static_cast<std::size_t>(
+        std::min<std::uint64_t>(page_size_, blob_size - page_start));
+    blob.read(page_start, frame.data.data(), valid_len);
+    if (valid_len < page_size_) {
+      std::memset(frame.data.data() + valid_len, 0, page_size_ - valid_len);
+    }
+    frame.key = key;
+    frame.valid = true;
+    frame.referenced = true;
+    map_[key] = frame_idx;
+    return frame.data.data();
+  }
+
+  /// CLOCK eviction: sweep the hand, clearing reference bits, until an
+  /// unreferenced (or invalid) frame is found.
+  std::size_t evict_one() {
+    for (;;) {
+      Frame& f = frames_[hand_];
+      const std::size_t idx = hand_;
+      hand_ = (hand_ + 1) % capacity_pages_;
+      if (!f.valid || !f.referenced) return idx;
+      f.referenced = false;
+    }
+  }
+
+  Storage& storage_;
+  std::size_t page_size_;
+  std::size_t capacity_pages_;
+  std::mutex mutex_;
+  std::vector<Frame> frames_;
+  std::unordered_map<Key, std::size_t, KeyHash> map_;
+  std::size_t hand_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mlvc::ssd

@@ -1,0 +1,237 @@
+#include "ssd/storage.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+
+namespace mlvc::ssd {
+
+// ---------------------------------------------------------------------------
+// Blob
+// ---------------------------------------------------------------------------
+
+Blob::Blob(Storage* storage, std::uint64_t id, std::string name,
+           IoCategory category, std::filesystem::path path)
+    : storage_(storage),
+      id_(id),
+      name_(std::move(name)),
+      category_(category),
+      path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) throw IoError("open", path_.string(), errno);
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) throw IoError("lseek", path_.string(), errno);
+  size_ = static_cast<std::uint64_t>(end);
+}
+
+Blob::~Blob() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t Blob::size() const {
+  std::lock_guard<std::mutex> lock(size_mutex_);
+  return size_;
+}
+
+std::uint64_t Blob::size_pages() const {
+  const std::size_t ps = storage_->page_size();
+  return (size() + ps - 1) / ps;
+}
+
+void Blob::account(std::uint64_t offset, std::size_t len,
+                   bool is_write) const {
+  if (len == 0) return;
+  const std::size_t ps = storage_->page_size();
+  const std::uint64_t first = offset / ps;
+  const std::uint64_t last = (offset + len - 1) / ps;
+  const double seq = storage_->device_.config().sequential_factor;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    // One contiguous transfer: the first page pays the full (command +
+    // seek-equivalent) cost, subsequent pages stream at the discounted rate.
+    storage_->device_.record(id_, p, is_write, p == first ? 1.0 : seq);
+  }
+  const std::uint64_t pages = last - first + 1;
+  if (is_write) {
+    storage_->stats_.record_write(category_, pages, len);
+  } else {
+    storage_->stats_.record_read(category_, pages, len);
+  }
+}
+
+void Blob::read(std::uint64_t offset, void* buf, std::size_t len) const {
+  if (len == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(size_mutex_);
+    MLVC_CHECK_MSG(offset + len <= size_,
+                   "read past end of blob '" << name_ << "': offset=" << offset
+                                             << " len=" << len
+                                             << " size=" << size_);
+  }
+  account(offset, len, /*is_write=*/false);
+  char* dst = static_cast<char*>(buf);
+  std::size_t remaining = len;
+  std::uint64_t pos = offset;
+  while (remaining > 0) {
+    const ssize_t n = ::pread(fd_, dst, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("pread", path_.string(), errno);
+    }
+    MLVC_CHECK_MSG(n != 0, "unexpected EOF reading blob '" << name_ << "'");
+    dst += n;
+    pos += static_cast<std::uint64_t>(n);
+    remaining -= static_cast<std::size_t>(n);
+  }
+}
+
+void Blob::write(std::uint64_t offset, const void* buf, std::size_t len) {
+  if (len == 0) return;
+  account(offset, len, /*is_write=*/true);
+  const char* src = static_cast<const char*>(buf);
+  std::size_t remaining = len;
+  std::uint64_t pos = offset;
+  while (remaining > 0) {
+    const ssize_t n = ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("pwrite", path_.string(), errno);
+    }
+    src += n;
+    pos += static_cast<std::uint64_t>(n);
+    remaining -= static_cast<std::size_t>(n);
+  }
+  std::lock_guard<std::mutex> lock(size_mutex_);
+  size_ = std::max(size_, offset + len);
+}
+
+std::uint64_t Blob::append(const void* buf, std::size_t len) {
+  std::uint64_t offset;
+  {
+    // Reserve the range under the lock so concurrent appends don't overlap.
+    std::lock_guard<std::mutex> lock(size_mutex_);
+    offset = size_;
+    size_ += len;
+  }
+  if (len == 0) return offset;
+  account(offset, len, /*is_write=*/true);
+  const char* src = static_cast<const char*>(buf);
+  std::size_t remaining = len;
+  std::uint64_t pos = offset;
+  while (remaining > 0) {
+    const ssize_t n = ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("pwrite", path_.string(), errno);
+    }
+    src += n;
+    pos += static_cast<std::uint64_t>(n);
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return offset;
+}
+
+void Blob::truncate(std::uint64_t new_size) {
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    throw IoError("ftruncate", path_.string(), errno);
+  }
+  std::lock_guard<std::mutex> lock(size_mutex_);
+  size_ = new_size;
+}
+
+// ---------------------------------------------------------------------------
+// Storage
+// ---------------------------------------------------------------------------
+
+namespace {
+// Blob names may contain '/' for namespacing (e.g. "csr/interval_12/colidx");
+// map to a flat, filesystem-safe filename.
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out.push_back((std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                   c == '-' || c == '.')
+                      ? c
+                      : '_');
+  }
+  return out;
+}
+}  // namespace
+
+Storage::Storage(std::filesystem::path dir, DeviceConfig config)
+    : dir_(std::move(dir)), device_(config) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) throw IoError("mkdir", dir_.string(), ec.value());
+}
+
+Storage::~Storage() = default;
+
+Blob& Storage::create_blob(const std::string& name, IoCategory category) {
+  std::lock_guard<std::mutex> lock(blobs_mutex_);
+  blobs_.erase(name);  // closes any previous handle
+  const std::filesystem::path path = dir_ / sanitize(name);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // fresh content
+  auto blob = std::unique_ptr<Blob>(
+      new Blob(this, next_blob_id_++, name, category, path));
+  Blob& ref = *blob;
+  blobs_.emplace(name, std::move(blob));
+  return ref;
+}
+
+Blob& Storage::open_blob(const std::string& name) {
+  std::lock_guard<std::mutex> lock(blobs_mutex_);
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) {
+    throw InvalidArgument("no such blob: '" + name + "'");
+  }
+  return *it->second;
+}
+
+bool Storage::has_blob(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(blobs_mutex_);
+  return blobs_.count(name) != 0;
+}
+
+void Storage::remove_blob(const std::string& name) {
+  std::lock_guard<std::mutex> lock(blobs_mutex_);
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) return;
+  const std::filesystem::path path = it->second->path_;
+  blobs_.erase(it);
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+// ---------------------------------------------------------------------------
+// TempDir
+// ---------------------------------------------------------------------------
+
+TempDir::TempDir(const std::string& prefix) {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto base = std::filesystem::temp_directory_path();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const std::uint64_t n =
+        counter.fetch_add(1) ^
+        static_cast<std::uint64_t>(::getpid()) << 32;
+    auto candidate =
+        base / (prefix + "_" + std::to_string(n) + "_" +
+                std::to_string(attempt));
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec)) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  throw IoError("create temp dir", base.string(), EEXIST);
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best effort
+}
+
+}  // namespace mlvc::ssd

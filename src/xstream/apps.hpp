@@ -1,0 +1,130 @@
+// Edge-centric (scatter-gather) program versions of BFS, delta-PageRank,
+// and WCC for the X-Stream baseline. Semantics match the vertex-centric
+// apps in src/apps/ so results are directly comparable in tests and
+// benches.
+//
+// Pattern: state carries the *committed* value plus an *incoming candidate*
+// accumulator. gather() only folds into the candidate; apply() commits it
+// and decides whether the vertex scatters next superstep. This keeps the
+// "changed this superstep" signal exact without any engine-side bookkeeping.
+#pragma once
+
+#include <limits>
+
+#include "common/types.hpp"
+
+namespace mlvc::xstream {
+
+struct XsBfs {
+  struct State {
+    std::uint32_t dist;
+    std::uint32_t best;         // incoming candidate (gather accumulator)
+    std::uint8_t scatter_next;  // improved last apply()
+    std::uint8_t pad[3] = {0, 0, 0};
+  };
+  using Update = std::uint32_t;  // candidate distance
+
+  static constexpr std::uint32_t kUnreached =
+      std::numeric_limits<std::uint32_t>::max();
+
+  VertexId source = 0;
+
+  const char* name() const { return "xs_bfs"; }
+
+  State init(VertexId v, EdgeIndex) const {
+    const bool is_source = v == source;
+    return {is_source ? 0u : kUnreached, kUnreached,
+            static_cast<std::uint8_t>(is_source ? 1 : 0),
+            {0, 0, 0}};
+  }
+  bool should_scatter(const State& s) const { return s.scatter_next != 0; }
+  Update scatter(const State& s, VertexId, VertexId, float) const {
+    return s.dist + 1;
+  }
+  void gather(State& s, const Update& u) const {
+    if (u < s.best) s.best = u;
+  }
+  bool apply(State& s, Superstep) const {
+    if (s.best < s.dist) {
+      s.dist = s.best;
+      s.scatter_next = 1;
+    } else {
+      s.scatter_next = 0;
+    }
+    return s.scatter_next != 0;
+  }
+};
+
+struct XsWcc {
+  struct State {
+    VertexId label;
+    VertexId best;
+    std::uint8_t scatter_next;
+    std::uint8_t pad[3] = {0, 0, 0};
+  };
+  using Update = VertexId;
+
+  const char* name() const { return "xs_wcc"; }
+
+  State init(VertexId v, EdgeIndex) const {
+    return {v, kInvalidVertex, 1, {0, 0, 0}};  // everyone announces once
+  }
+  bool should_scatter(const State& s) const { return s.scatter_next != 0; }
+  Update scatter(const State& s, VertexId, VertexId, float) const {
+    return s.label;
+  }
+  void gather(State& s, const Update& u) const {
+    if (u < s.best) s.best = u;
+  }
+  bool apply(State& s, Superstep) const {
+    if (s.best < s.label) {
+      s.label = s.best;
+      s.scatter_next = 1;
+    } else {
+      s.scatter_next = 0;
+    }
+    return s.scatter_next != 0;
+  }
+};
+
+/// Delta-PageRank matching apps::PageRank, shifted by one superstep: the
+/// vertex-centric engine consumes round-r deltas at superstep r+1; X-Stream
+/// applies them at the end of superstep r. Running X-Stream for S-1
+/// supersteps therefore matches a vertex-centric run of S supersteps.
+struct XsPageRank {
+  struct State {
+    float rank;
+    float pending;  // delta to propagate this superstep
+    float acc;      // incoming deltas (gather accumulator)
+    std::uint32_t degree;
+    std::uint8_t scatter_next;
+    std::uint8_t pad[3] = {0, 0, 0};
+  };
+  using Update = float;
+
+  float damping = 0.85f;
+  float threshold = 0.4f;
+
+  const char* name() const { return "xs_pagerank"; }
+
+  State init(VertexId, EdgeIndex out_degree) const {
+    State s{1.0f, 1.0f, 0.0f, static_cast<std::uint32_t>(out_degree), 0,
+            {0, 0, 0}};
+    s.scatter_next = (s.pending > threshold && s.degree > 0) ? 1 : 0;
+    return s;
+  }
+  bool should_scatter(const State& s) const { return s.scatter_next != 0; }
+  Update scatter(const State& s, VertexId, VertexId, float) const {
+    return damping * s.pending / static_cast<float>(s.degree);
+  }
+  void gather(State& s, const Update& u) const { s.acc += u; }
+  bool apply(State& s, Superstep) const {
+    s.pending = s.acc;
+    if (s.acc != 0.0f) s.rank += s.acc;
+    s.acc = 0.0f;
+    s.scatter_next = (s.pending > threshold && s.degree > 0) ? 1 : 0;
+    return s.scatter_next != 0;
+  }
+};
+
+}  // namespace mlvc::xstream

@@ -1,0 +1,277 @@
+// An X-Stream-style edge-centric baseline (Roy et al., SOSP'13; discussed
+// in the paper's related work, §IX).
+//
+// Edge-centric scatter-gather over streaming partitions:
+//  * vertices are split into P partitions whose *state* fits in memory;
+//  * edges are stored grouped by source partition, in no particular order,
+//    and are streamed SEQUENTIALLY in full every superstep;
+//  * scatter: for each edge whose source wants to propagate, an update
+//    <dst, payload> is appended to the destination partition's update file
+//    (sequential writes);
+//  * gather: each partition streams its update file and folds updates into
+//    vertex state, then an apply pass finalizes every vertex.
+//
+// This engine exists to reproduce the paper's §IX claim: edge-centric
+// streaming is excellent when most of the graph is active (all I/O is
+// sequential) but "efficiency suffers when graph applications require
+// random and sparse accesses to graph data such as BFS" — it streams every
+// edge regardless of how few vertices are active.
+//
+// X-Stream's programming model is narrower than vertex-centric (no
+// per-vertex view of the full inbox or adjacency), so it runs its own
+// EdgeCentricApp programs (see xstream/apps.hpp) rather than the
+// core::VertexApp set.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "core/stats.hpp"
+#include "graph/csr.hpp"
+#include "graph/intervals.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc::xstream {
+
+/// Requirements for an edge-centric program.
+template <typename A>
+concept EdgeCentricApp = requires(const A app, typename A::State s,
+                                  typename A::Update u, VertexId v,
+                                  EdgeIndex degree, Superstep step) {
+  requires std::is_trivially_copyable_v<typename A::State>;
+  requires std::is_trivially_copyable_v<typename A::Update>;
+  { app.init(v, degree) } -> std::convertible_to<typename A::State>;
+  { app.should_scatter(s) } -> std::convertible_to<bool>;
+  { app.scatter(s, v, v, 0.0f) } -> std::convertible_to<typename A::Update>;
+  { app.gather(s, u) } -> std::same_as<void>;
+  { app.apply(s, step) } -> std::convertible_to<bool>;
+  { app.name() } -> std::convertible_to<const char*>;
+};
+
+struct XStreamOptions {
+  std::size_t memory_budget_bytes = 64_MiB;
+  Superstep max_supersteps = 15;
+  bool with_weights = false;
+};
+
+template <EdgeCentricApp App>
+class XStreamEngine {
+ public:
+  using State = typename App::State;
+  using Update = typename App::Update;
+
+  struct EdgeRecord {
+    VertexId src;
+    VertexId dst;
+    float weight;
+  };
+  struct UpdateRecord {
+    VertexId dst;
+    Update payload;
+  };
+
+  XStreamEngine(ssd::Storage& storage, const graph::CsrGraph& csr, App app,
+                XStreamOptions options)
+      : storage_(storage), app_(std::move(app)), options_(options) {
+    // Streaming partitions: vertex state of one partition fits in half the
+    // budget (the other half buffers edge/update streams).
+    const VertexId width = std::max<VertexId>(
+        1, static_cast<VertexId>(options_.memory_budget_bytes / 2 /
+                                 sizeof(State)));
+    partitions_ = graph::VertexIntervals::uniform(csr.num_vertices(), width);
+    const IntervalId p = partitions_.count();
+    MLVC_CHECK_MSG(p > 0, "xstream needs at least one partition");
+
+    // Edge files, grouped by source partition; order within a file is
+    // irrelevant (edge-centric engines never sort edges — that is the
+    // pitch).
+    edge_blobs_.resize(p);
+    update_blobs_.resize(p);
+    for (IntervalId i = 0; i < p; ++i) {
+      edge_blobs_[i] = &storage_.create_blob(
+          "xstream/edges_" + std::to_string(i), ssd::IoCategory::kShard);
+      update_blobs_[i] = &storage_.create_blob(
+          "xstream/updates_" + std::to_string(i),
+          ssd::IoCategory::kMessageLog);
+    }
+    {
+      std::vector<std::vector<EdgeRecord>> buffers(p);
+      constexpr std::size_t kFlush = 16 * 1024;
+      for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+        const IntervalId part = partitions_.interval_of(v);
+        const auto nbrs = csr.neighbors(v);
+        for (std::size_t k = 0; k < nbrs.size(); ++k) {
+          buffers[part].push_back(
+              {v, nbrs[k],
+               options_.with_weights && csr.has_weights() ? csr.weights(v)[k]
+                                                          : 1.0f});
+          if (buffers[part].size() >= kFlush) {
+            edge_blobs_[part]->append(buffers[part].data(),
+                                      buffers[part].size() *
+                                          sizeof(EdgeRecord));
+            buffers[part].clear();
+          }
+        }
+      }
+      for (IntervalId i = 0; i < p; ++i) {
+        edge_blobs_[i]->append(buffers[i].data(),
+                               buffers[i].size() * sizeof(EdgeRecord));
+      }
+    }
+
+    // Vertex state file.
+    state_blob_ = &storage_.create_blob("xstream/state",
+                                        ssd::IoCategory::kVertexValue);
+    {
+      std::vector<State> chunk;
+      chunk.reserve(1u << 15);
+      for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+        chunk.push_back(app_.init(v, csr.out_degree(v)));
+        if (chunk.size() == chunk.capacity()) {
+          state_blob_->append(chunk.data(), chunk.size() * sizeof(State));
+          chunk.clear();
+        }
+      }
+      state_blob_->append(chunk.data(), chunk.size() * sizeof(State));
+    }
+    stats_.engine = "X-Stream";
+    stats_.app = app_.name();
+  }
+
+  core::RunStats run() {
+    for (Superstep s = 0; s < options_.max_supersteps; ++s) {
+      core::SuperstepStats step = execute_superstep(s);
+      const bool progressed =
+          step.messages_produced > 0 || step.active_vertices > 0;
+      stats_.supersteps.push_back(std::move(step));
+      if (!progressed) break;
+    }
+    return stats_;
+  }
+
+  std::vector<State> states() const {
+    std::vector<State> all(partitions_.num_vertices());
+    state_blob_->read(0, all.data(), all.size() * sizeof(State));
+    return all;
+  }
+
+  const core::RunStats& stats() const { return stats_; }
+
+ private:
+  std::vector<State> load_states(IntervalId p) const {
+    const VertexId vb = partitions_.begin(p);
+    const VertexId ve = partitions_.end(p);
+    std::vector<State> states(ve - vb);
+    state_blob_->read(static_cast<std::uint64_t>(vb) * sizeof(State),
+                      states.data(), states.size() * sizeof(State));
+    return states;
+  }
+  void store_states(IntervalId p, const std::vector<State>& states) {
+    state_blob_->write(
+        static_cast<std::uint64_t>(partitions_.begin(p)) * sizeof(State),
+        states.data(), states.size() * sizeof(State));
+  }
+
+  core::SuperstepStats execute_superstep(Superstep s) {
+    core::SuperstepStats step;
+    step.superstep = s;
+    const auto io_before = storage_.stats().snapshot();
+    const auto dev_before = storage_.device().snapshot();
+    WallTimer wall;
+
+    const IntervalId p = partitions_.count();
+    const std::size_t stream_chunk =
+        std::max<std::size_t>(options_.memory_budget_bytes / 4, 64_KiB);
+
+    // ---- scatter phase ------------------------------------------------------
+    std::uint64_t produced = 0;
+    {
+      std::vector<std::vector<UpdateRecord>> out(p);
+      const std::size_t out_flush =
+          std::max<std::size_t>(1, stream_chunk / sizeof(UpdateRecord) / p);
+      const auto flush = [&](IntervalId part) {
+        update_blobs_[part]->append(out[part].data(),
+                                    out[part].size() * sizeof(UpdateRecord));
+        out[part].clear();
+      };
+      for (IntervalId part = 0; part < p; ++part) {
+        const std::vector<State> states = load_states(part);
+        const VertexId vb = partitions_.begin(part);
+        // Stream this partition's full edge file, chunk by chunk —
+        // X-Stream's defining cost: every edge, every superstep.
+        const std::uint64_t total = edge_blobs_[part]->size();
+        std::vector<EdgeRecord> chunk;
+        for (std::uint64_t off = 0; off < total;) {
+          const std::size_t take = static_cast<std::size_t>(std::min<
+              std::uint64_t>(stream_chunk - stream_chunk % sizeof(EdgeRecord),
+                             total - off));
+          chunk.resize(take / sizeof(EdgeRecord));
+          edge_blobs_[part]->read(off, chunk.data(), take);
+          off += take;
+          for (const EdgeRecord& e : chunk) {
+            const State& src_state = states[e.src - vb];
+            if (!app_.should_scatter(src_state)) continue;
+            const IntervalId dst_part = partitions_.interval_of(e.dst);
+            out[dst_part].push_back(
+                {e.dst, app_.scatter(src_state, e.src, e.dst, e.weight)});
+            ++produced;
+            if (out[dst_part].size() >= out_flush) flush(dst_part);
+          }
+        }
+      }
+      for (IntervalId part = 0; part < p; ++part) flush(part);
+    }
+
+    // ---- gather + apply phase ----------------------------------------------
+    std::uint64_t active_next = 0;
+    std::uint64_t consumed = 0;
+    for (IntervalId part = 0; part < p; ++part) {
+      std::vector<State> states = load_states(part);
+      const VertexId vb = partitions_.begin(part);
+      const std::uint64_t total = update_blobs_[part]->size();
+      std::vector<UpdateRecord> chunk;
+      for (std::uint64_t off = 0; off < total;) {
+        const std::size_t take = static_cast<std::size_t>(std::min<
+            std::uint64_t>(stream_chunk - stream_chunk % sizeof(UpdateRecord),
+                           total - off));
+        chunk.resize(take / sizeof(UpdateRecord));
+        update_blobs_[part]->read(off, chunk.data(), take);
+        off += take;
+        for (const UpdateRecord& u : chunk) {
+          app_.gather(states[u.dst - vb], u.payload);
+          ++consumed;
+        }
+      }
+      update_blobs_[part]->truncate(0);  // consumed
+      for (State& state : states) {
+        if (app_.apply(state, s)) ++active_next;
+      }
+      store_states(part, states);
+    }
+
+    step.active_vertices = active_next;
+    step.messages_produced = produced;
+    step.messages_consumed = consumed;
+    step.edges_activated = produced;
+    step.total_wall_seconds = wall.elapsed_seconds();
+    step.compute_wall_seconds = step.total_wall_seconds;
+    step.io = storage_.stats().snapshot() - io_before;
+    step.modeled_storage_seconds = storage_.device().modeled_seconds_between(
+        dev_before, storage_.device().snapshot());
+    return step;
+  }
+
+  ssd::Storage& storage_;
+  App app_;
+  XStreamOptions options_;
+  graph::VertexIntervals partitions_;
+  std::vector<ssd::Blob*> edge_blobs_;
+  std::vector<ssd::Blob*> update_blobs_;
+  ssd::Blob* state_blob_ = nullptr;
+  core::RunStats stats_;
+};
+
+}  // namespace mlvc::xstream

@@ -1,0 +1,85 @@
+// A lightweight in-memory vertex context for unit-testing application
+// process() functions in isolation from any engine.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mlvc::testing {
+
+template <typename App>
+class MockContext {
+ public:
+  using Value = typename App::Value;
+  using Message = typename App::Message;
+
+  MockContext(VertexId id, Superstep superstep, Value value,
+              std::vector<VertexId> out_edges, VertexId num_vertices = 1000,
+              std::uint64_t seed = 1)
+      : id_(id),
+        superstep_(superstep),
+        value_(value),
+        out_edges_(std::move(out_edges)),
+        num_vertices_(num_vertices),
+        seed_(seed) {}
+
+  VertexId id() const { return id_; }
+  Superstep superstep() const { return superstep_; }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  const Value& value() const { return value_; }
+  void set_value(const Value& v) {
+    value_ = v;
+    value_changed_ = true;
+  }
+
+  std::size_t out_degree() const { return out_edges_.size(); }
+  VertexId out_edge(std::size_t i) const { return out_edges_[i]; }
+  float out_weight(std::size_t i) const {
+    return weights_.empty() ? 1.0f : weights_[i];
+  }
+  std::span<const VertexId> out_edges() const { return out_edges_; }
+
+  void send(VertexId dst, const Message& m) { sent_.emplace_back(dst, m); }
+  void send_to_all_neighbors(const Message& m) {
+    for (VertexId dst : out_edges_) send(dst, m);
+  }
+
+  void deactivate() { deactivated_ = true; }
+
+  void add_edge(VertexId dst, float weight = 1.0f) {
+    added_edges_.emplace_back(dst, weight);
+  }
+  void remove_edge(VertexId dst) { removed_edges_.push_back(dst); }
+
+  SplitMix64 rng() const { return stream_for(seed_, id_, superstep_); }
+
+  // ---- inspection ----------------------------------------------------------
+  const std::vector<std::pair<VertexId, Message>>& sent() const {
+    return sent_;
+  }
+  bool deactivated() const { return deactivated_; }
+  bool value_changed() const { return value_changed_; }
+  const std::vector<std::pair<VertexId, float>>& added_edges() const {
+    return added_edges_;
+  }
+
+ private:
+  VertexId id_;
+  Superstep superstep_;
+  Value value_;
+  std::vector<VertexId> out_edges_;
+  std::vector<float> weights_;
+  VertexId num_vertices_;
+  std::uint64_t seed_;
+  std::vector<std::pair<VertexId, Message>> sent_;
+  std::vector<std::pair<VertexId, float>> added_edges_;
+  std::vector<VertexId> removed_edges_;
+  bool deactivated_ = false;
+  bool value_changed_ = false;
+};
+
+}  // namespace mlvc::testing

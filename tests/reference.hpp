@@ -1,0 +1,231 @@
+// In-memory reference implementations used to validate every engine.
+//
+// These are deliberately simple, textbook implementations over CsrGraph —
+// no logs, no storage, no supersteps — so an engine bug cannot hide behind
+// shared code.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace mlvc::reference {
+
+/// BFS hop distances from `source`; UINT32_MAX for unreachable vertices.
+inline std::vector<std::uint32_t> bfs_distances(const graph::CsrGraph& g,
+                                                VertexId source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(),
+                                  std::numeric_limits<std::uint32_t>::max());
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : g.neighbors(v)) {
+      if (dist[u] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Delta-PageRank reference matching apps::PageRank semantics exactly
+/// (same damping, same threshold gating, same superstep cap).
+inline std::vector<double> delta_pagerank(const graph::CsrGraph& g,
+                                          double damping, double threshold,
+                                          unsigned max_supersteps) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> rank(n, 1.0);
+  std::vector<double> incoming(n, 0.0);
+  // Superstep 0: everyone pushes its initial rank.
+  for (VertexId v = 0; v < n; ++v) {
+    const double delta = rank[v];
+    if (delta > threshold && g.out_degree(v) > 0) {
+      const double share = damping * delta / static_cast<double>(g.out_degree(v));
+      for (VertexId u : g.neighbors(v)) incoming[u] += share;
+    }
+  }
+  for (unsigned s = 1; s < max_supersteps; ++s) {
+    std::vector<double> next(n, 0.0);
+    bool any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      const double delta = incoming[v];
+      if (delta == 0.0) continue;
+      rank[v] += delta;
+      if (delta > threshold && g.out_degree(v) > 0) {
+        const double share =
+            damping * delta / static_cast<double>(g.out_degree(v));
+        for (VertexId u : g.neighbors(v)) next[u] += share;
+        any = true;
+      }
+    }
+    incoming = std::move(next);
+    if (!any) break;
+  }
+  return rank;
+}
+
+/// Synchronous label propagation matching apps::Cdlp (mode of incoming
+/// labels, ties to the smallest, send only on change).
+inline std::vector<VertexId> cdlp_labels(const graph::CsrGraph& g,
+                                         unsigned max_supersteps) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = v;
+
+  // inbox[v] = labels arriving this superstep.
+  std::vector<std::vector<VertexId>> inbox(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.neighbors(v)) inbox[u].push_back(label[v]);
+  }
+  for (unsigned s = 1; s < max_supersteps; ++s) {
+    std::vector<std::vector<VertexId>> next(n);
+    bool any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (inbox[v].empty()) continue;
+      std::sort(inbox[v].begin(), inbox[v].end());
+      VertexId best = inbox[v].front();
+      std::size_t best_count = 0, i = 0;
+      while (i < inbox[v].size()) {
+        std::size_t j = i + 1;
+        while (j < inbox[v].size() && inbox[v][j] == inbox[v][i]) ++j;
+        if (j - i > best_count) {
+          best_count = j - i;
+          best = inbox[v][i];
+        }
+        i = j;
+      }
+      if (best != label[v]) {
+        label[v] = best;
+        for (VertexId u : g.neighbors(v)) next[u].push_back(best);
+        any = true;
+      }
+    }
+    inbox = std::move(next);
+    if (!any) break;
+  }
+  return label;
+}
+
+/// Validity check: no edge joins two same-colored vertices.
+inline bool coloring_is_valid(const graph::CsrGraph& g,
+                              const std::vector<std::uint32_t>& colors) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u != v && colors[u] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+/// Validity check for a maximal independent set given per-vertex states
+/// (1 = in set, 2 = not in set, 0 = undecided).
+inline bool mis_is_valid(const graph::CsrGraph& g,
+                         const std::vector<std::uint8_t>& state) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (state[v] == 0) return false;  // must be decided
+    if (state[v] == 1) {
+      for (VertexId u : g.neighbors(v)) {
+        if (u != v && state[u] == 1) return false;  // independence
+      }
+    } else {
+      // Maximality: an excluded vertex must have an in-set neighbor.
+      bool has_in_neighbor = false;
+      for (VertexId u : g.neighbors(v)) {
+        if (state[u] == 1) {
+          has_in_neighbor = true;
+          break;
+        }
+      }
+      if (!has_in_neighbor) return false;
+    }
+  }
+  return true;
+}
+
+/// Dijkstra shortest paths over edge weights.
+inline std::vector<double> dijkstra(const graph::CsrGraph& g,
+                                    VertexId source) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_vertices(), inf);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto w = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double nd = d + w[i];
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        heap.emplace(nd, nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+/// k-core membership by sequential peeling; true = in the k-core.
+inline std::vector<bool> kcore_membership(const graph::CsrGraph& g,
+                                          std::uint32_t k) {
+  std::vector<std::uint32_t> degree(g.num_vertices());
+  std::vector<bool> removed(g.num_vertices(), false);
+  std::deque<VertexId> queue;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    degree[v] = static_cast<std::uint32_t>(g.out_degree(v));
+    if (degree[v] < k) {
+      removed[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : g.neighbors(v)) {
+      if (!removed[u] && degree[u] > 0 && --degree[u] < k) {
+        removed[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  std::vector<bool> in_core(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) in_core[v] = !removed[v];
+  return in_core;
+}
+
+/// Connected-component labels: each vertex mapped to the minimum vertex id
+/// of its component (undirected reachability).
+inline std::vector<VertexId> wcc_labels(const graph::CsrGraph& g) {
+  std::vector<VertexId> label(g.num_vertices(), kInvalidVertex);
+  for (VertexId root = 0; root < g.num_vertices(); ++root) {
+    if (label[root] != kInvalidVertex) continue;
+    std::deque<VertexId> queue = {root};
+    label[root] = root;
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId u : g.neighbors(v)) {
+        if (label[u] == kInvalidVertex) {
+          label[u] = root;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace mlvc::reference

@@ -1,0 +1,255 @@
+// Unit tests of each application's vertex program against a mock context —
+// validating per-vertex semantics without any engine in the loop.
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/cdlp.hpp"
+#include "apps/coloring.hpp"
+#include "apps/mis.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/random_walk.hpp"
+#include "tests/mock_context.hpp"
+
+namespace mlvc {
+namespace {
+
+using testing::MockContext;
+
+template <typename Message>
+core::MessageRange<Message> msgs(const std::vector<Message>& v) {
+  return core::MessageRange<Message>::from_array(v);
+}
+
+// ---- BFS -------------------------------------------------------------------
+
+TEST(BfsApp, SourceSeedsAtSuperstepZero) {
+  apps::Bfs app{.source = 5};
+  EXPECT_TRUE(app.initially_active(5));
+  EXPECT_FALSE(app.initially_active(4));
+  MockContext<apps::Bfs> ctx(5, 0, apps::Bfs::kUnreached, {1, 2});
+  app.process(ctx, {});
+  EXPECT_EQ(ctx.value(), 0u);
+  ASSERT_EQ(ctx.sent().size(), 2u);
+  EXPECT_EQ(ctx.sent()[0].second, 1u);
+  EXPECT_TRUE(ctx.deactivated());
+}
+
+TEST(BfsApp, TakesMinimumIncomingDistance) {
+  apps::Bfs app{.source = 0};
+  MockContext<apps::Bfs> ctx(7, 3, apps::Bfs::kUnreached, {9});
+  app.process(ctx, msgs<std::uint32_t>({5, 3, 8}));
+  EXPECT_EQ(ctx.value(), 3u);
+  ASSERT_EQ(ctx.sent().size(), 1u);
+  EXPECT_EQ(ctx.sent()[0].second, 4u);
+}
+
+TEST(BfsApp, IgnoresWorseDistance) {
+  apps::Bfs app{.source = 0};
+  MockContext<apps::Bfs> ctx(7, 3, /*value=*/2, {9});
+  app.process(ctx, msgs<std::uint32_t>({5}));
+  EXPECT_EQ(ctx.value(), 2u);
+  EXPECT_TRUE(ctx.sent().empty());
+}
+
+TEST(BfsApp, CombineIsMin) {
+  apps::Bfs app;
+  EXPECT_EQ(app.combine(3, 7), 3u);
+  EXPECT_EQ(app.combine(9, 2), 2u);
+}
+
+// ---- PageRank ---------------------------------------------------------------
+
+TEST(PageRankApp, SeedsInitialRankMass) {
+  apps::PageRank app;
+  MockContext<apps::PageRank> ctx(1, 0, 1.0f, {2, 3});
+  app.process(ctx, {});
+  ASSERT_EQ(ctx.sent().size(), 2u);
+  EXPECT_FLOAT_EQ(ctx.sent()[0].second, 0.85f / 2);
+}
+
+TEST(PageRankApp, AccumulatesDeltaAndGates) {
+  apps::PageRank app;
+  app.threshold = 0.4f;
+  MockContext<apps::PageRank> ctx(1, 2, 1.0f, {2});
+  app.process(ctx, msgs<float>({0.3f, 0.2f}));  // delta 0.5 > 0.4
+  EXPECT_FLOAT_EQ(ctx.value(), 1.5f);
+  ASSERT_EQ(ctx.sent().size(), 1u);
+  EXPECT_FLOAT_EQ(ctx.sent()[0].second, 0.85f * 0.5f);
+
+  MockContext<apps::PageRank> quiet(1, 2, 1.0f, {2});
+  app.process(quiet, msgs<float>({0.1f}));  // below threshold
+  EXPECT_FLOAT_EQ(quiet.value(), 1.1f);     // still accumulated
+  EXPECT_TRUE(quiet.sent().empty());        // but not propagated
+}
+
+TEST(PageRankApp, SinkVertexSendsNothing) {
+  apps::PageRank app;
+  MockContext<apps::PageRank> ctx(1, 1, 1.0f, {});
+  app.process(ctx, msgs<float>({1.0f}));
+  EXPECT_TRUE(ctx.sent().empty());
+}
+
+// ---- CDLP -------------------------------------------------------------------
+
+TEST(CdlpApp, AnnouncesOwnLabelFirst) {
+  apps::Cdlp app;
+  MockContext<apps::Cdlp> ctx(4, 0, 4, {1, 2});
+  app.process(ctx, {});
+  ASSERT_EQ(ctx.sent().size(), 2u);
+  EXPECT_EQ(ctx.sent()[0].second, 4u);
+}
+
+TEST(CdlpApp, AdoptsMostFrequentLabel) {
+  apps::Cdlp app;
+  MockContext<apps::Cdlp> ctx(4, 1, 4, {1});
+  app.process(ctx, msgs<VertexId>({7, 7, 9}));
+  EXPECT_EQ(ctx.value(), 7u);
+  ASSERT_EQ(ctx.sent().size(), 1u);  // change announced
+}
+
+TEST(CdlpApp, TieBreaksToSmallestLabel) {
+  apps::Cdlp app;
+  MockContext<apps::Cdlp> ctx(4, 1, 4, {1});
+  app.process(ctx, msgs<VertexId>({9, 7, 9, 7}));
+  EXPECT_EQ(ctx.value(), 7u);
+}
+
+TEST(CdlpApp, NoChangeNoAnnouncement) {
+  apps::Cdlp app;
+  MockContext<apps::Cdlp> ctx(4, 1, 7, {1});
+  app.process(ctx, msgs<VertexId>({7, 7}));
+  EXPECT_TRUE(ctx.sent().empty());
+}
+
+// ---- graph coloring ----------------------------------------------------------
+
+TEST(ColoringApp, RecolorsOnHigherPriorityConflict) {
+  apps::GraphColoring app;
+  using Msg = apps::GraphColoring::Message;
+  MockContext<apps::GraphColoring> ctx(10, 1, 0, {3, 5});
+  app.process(ctx, msgs<Msg>({{3, 0}}));  // neighbor 3 (higher prio) has 0 too
+  EXPECT_NE(ctx.value(), 0u);
+  EXPECT_EQ(ctx.sent().size(), 2u);  // new color announced
+}
+
+TEST(ColoringApp, ReAnnouncesAgainstLowerPriorityConflict) {
+  apps::GraphColoring app;
+  using Msg = apps::GraphColoring::Message;
+  MockContext<apps::GraphColoring> ctx(3, 1, 0, {10});
+  app.process(ctx, msgs<Msg>({{10, 0}}));  // lower-priority neighbor collides
+  EXPECT_EQ(ctx.value(), 0u);              // keeps its color...
+  ASSERT_EQ(ctx.sent().size(), 1u);        // ...but re-announces it
+  EXPECT_EQ(ctx.sent()[0].second.color, 0u);
+}
+
+TEST(ColoringApp, QuietWhenNoConflict) {
+  apps::GraphColoring app;
+  using Msg = apps::GraphColoring::Message;
+  MockContext<apps::GraphColoring> ctx(10, 1, 2, {3});
+  app.process(ctx, msgs<Msg>({{3, 1}}));
+  EXPECT_EQ(ctx.value(), 2u);
+  EXPECT_TRUE(ctx.sent().empty());
+}
+
+TEST(ColoringApp, NewColorAvoidsAnnouncedHigherColors) {
+  apps::GraphColoring app;
+  using Msg = apps::GraphColoring::Message;
+  // All colors 0..2 taken by higher-priority announcers; degree 3 allows
+  // colors {0..3}; only 3 remains.
+  MockContext<apps::GraphColoring> ctx(10, 1, 0, {1, 2, 3});
+  app.process(ctx, msgs<Msg>({{1, 0}, {2, 1}, {3, 2}}));
+  EXPECT_EQ(ctx.value(), 3u);
+}
+
+// ---- MIS ----------------------------------------------------------------------
+
+TEST(MisApp, LonelyVertexJoinsInResolution) {
+  apps::Mis app;
+  MockContext<apps::Mis> sel(1, 0, apps::Mis::kUndecided, {});
+  app.process(sel, {});
+  EXPECT_FALSE(sel.deactivated());  // stays up for resolution
+  MockContext<apps::Mis> res(1, 1, apps::Mis::kUndecided, {});
+  app.process(res, {});
+  EXPECT_EQ(res.value(), apps::Mis::kInMis);
+}
+
+TEST(MisApp, LoserStaysUndecided) {
+  apps::Mis app;
+  using Msg = apps::Mis::Message;
+  const float own = app.priority_of(5, 0);
+  MockContext<apps::Mis> ctx(5, 1, apps::Mis::kUndecided, {9});
+  app.process(ctx, msgs<Msg>({{own + 0.5f, 9, Msg::kPriority}}));
+  EXPECT_EQ(ctx.value(), apps::Mis::kUndecided);
+  EXPECT_FALSE(ctx.deactivated());
+}
+
+TEST(MisApp, InMisAnnouncementExcludesNeighbor) {
+  apps::Mis app;
+  using Msg = apps::Mis::Message;
+  MockContext<apps::Mis> ctx(5, 2, apps::Mis::kUndecided, {9});
+  app.process(ctx, msgs<Msg>({{0.0f, 9, Msg::kInMisAnnounce}}));
+  EXPECT_EQ(ctx.value(), apps::Mis::kNotInMis);
+  EXPECT_TRUE(ctx.deactivated());
+}
+
+TEST(MisApp, DecidedVertexStaysSilent) {
+  apps::Mis app;
+  using Msg = apps::Mis::Message;
+  MockContext<apps::Mis> ctx(5, 2, apps::Mis::kInMis, {9});
+  app.process(ctx, msgs<Msg>({{0.9f, 9, Msg::kPriority}}));
+  EXPECT_TRUE(ctx.sent().empty());
+  EXPECT_TRUE(ctx.deactivated());
+}
+
+TEST(MisApp, PriorityIsDeterministicPerRound) {
+  apps::Mis app;
+  EXPECT_EQ(app.priority_of(3, 1), app.priority_of(3, 1));
+  EXPECT_NE(app.priority_of(3, 1), app.priority_of(3, 2));
+  EXPECT_NE(app.priority_of(3, 1), app.priority_of(4, 1));
+}
+
+// ---- random walk ----------------------------------------------------------------
+
+TEST(RandomWalkApp, SourcesSpawnConfiguredWalks) {
+  apps::RandomWalk app;
+  app.source_stride = 10;
+  app.walks_per_source = 3;
+  EXPECT_TRUE(app.initially_active(0));
+  EXPECT_TRUE(app.initially_active(10));
+  EXPECT_FALSE(app.initially_active(5));
+  MockContext<apps::RandomWalk> ctx(10, 0, 0, {1, 2, 3});
+  app.process(ctx, {});
+  EXPECT_EQ(ctx.sent().size(), 3u);  // 3 walkers dispatched
+  EXPECT_EQ(ctx.value(), 3u);        // 3 visits recorded at the source
+  for (const auto& [dst, m] : ctx.sent()) {
+    EXPECT_EQ(m.hops_left, app.max_steps - 1);
+  }
+}
+
+TEST(RandomWalkApp, WalkerForwardsUntilExhausted) {
+  apps::RandomWalk app;
+  using Msg = apps::RandomWalk::Message;
+  MockContext<apps::RandomWalk> ctx(42, 3, 0, {7});
+  app.process(ctx, msgs<Msg>({{2, 0}}));
+  EXPECT_EQ(ctx.value(), 1u);
+  ASSERT_EQ(ctx.sent().size(), 1u);
+  EXPECT_EQ(ctx.sent()[0].first, 7u);
+  EXPECT_EQ(ctx.sent()[0].second.hops_left, 1u);
+
+  MockContext<apps::RandomWalk> done(42, 3, 0, {7});
+  app.process(done, msgs<Msg>({{0, 0}}));  // budget exhausted
+  EXPECT_EQ(done.value(), 1u);
+  EXPECT_TRUE(done.sent().empty());
+}
+
+TEST(RandomWalkApp, DeadEndSwallowsWalker) {
+  apps::RandomWalk app;
+  using Msg = apps::RandomWalk::Message;
+  MockContext<apps::RandomWalk> ctx(42, 3, 5, {});
+  app.process(ctx, msgs<Msg>({{9, 0}}));
+  EXPECT_EQ(ctx.value(), 6u);  // visit counted
+  EXPECT_TRUE(ctx.sent().empty());
+}
+
+}  // namespace
+}  // namespace mlvc

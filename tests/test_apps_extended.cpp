@@ -1,0 +1,219 @@
+// Tests for the extended application set (SSSP, k-core, WCC) across
+// engines and against textbook references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/kcore.hpp"
+#include "apps/sssp.hpp"
+#include "apps/wcc.hpp"
+#include "core/engine.hpp"
+#include "grafboost/engine.hpp"
+#include "graph/generators.hpp"
+#include "graphchi/engine.hpp"
+#include "tests/reference.hpp"
+#include "tests/test_util.hpp"
+
+namespace mlvc {
+namespace {
+
+graph::CsrGraph weighted_graph(std::uint64_t seed = 51) {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 5;
+  p.seed = seed;
+  auto list = graph::generate_rmat(p);
+  // Deterministic positive weights (mirrored edges share a weight because
+  // weight is derived from the unordered endpoint pair).
+  for (auto& e : list.edges()) {
+    const auto lo = std::min(e.src, e.dst), hi = std::max(e.src, e.dst);
+    e.weight = 0.1f + static_cast<float>(
+                          stream_for(9, lo, hi).next_double());
+  }
+  return graph::CsrGraph::from_edge_list(list);
+}
+
+template <core::VertexApp App>
+std::vector<typename App::Value> run_mlvc(const graph::CsrGraph& csr, App app,
+                                          Superstep max_steps = 200) {
+  ssd::TempDir dir;
+  ssd::DeviceConfig dev;
+  dev.page_size = 4_KiB;
+  ssd::Storage storage(dir.path(), dev);
+  auto opts = testing_options();
+  opts.max_supersteps = max_steps;
+  graph::StoredCsrGraph stored(storage, "g", csr,
+                               core::partition_for_app<App>(csr, opts),
+                               {.with_weights = App::kNeedsWeights});
+  core::MultiLogVCEngine<App> engine(stored, app, opts);
+  engine.run();
+  return engine.values();
+}
+
+template <core::VertexApp App>
+std::vector<typename App::Value> run_grafboost(const graph::CsrGraph& csr,
+                                               App app,
+                                               Superstep max_steps = 200) {
+  ssd::TempDir dir;
+  ssd::DeviceConfig dev;
+  dev.page_size = 4_KiB;
+  ssd::Storage storage(dir.path(), dev);
+  auto opts = testing_options();
+  graph::StoredCsrGraph stored(storage, "g", csr,
+                               core::partition_for_app<App>(csr, opts),
+                               {.with_weights = App::kNeedsWeights});
+  grafboost::GraFBoostOptions gopts;
+  gopts.memory_budget_bytes = 2_MiB;
+  gopts.max_supersteps = max_steps;
+  grafboost::GraFBoostEngine<App> engine(stored, app, gopts);
+  engine.run();
+  return engine.values();
+}
+
+template <core::VertexApp App>
+std::vector<typename App::Value> run_graphchi(const graph::CsrGraph& csr,
+                                              App app,
+                                              Superstep max_steps = 200) {
+  ssd::TempDir dir;
+  ssd::DeviceConfig dev;
+  dev.page_size = 4_KiB;
+  ssd::Storage storage(dir.path(), dev);
+  graphchi::GraphChiOptions opts;
+  opts.memory_budget_bytes = 2_MiB;
+  opts.max_supersteps = max_steps;
+  graphchi::GraphChiEngine<App> engine(storage, csr, app, opts);
+  engine.run();
+  return engine.values();
+}
+
+// ---- SSSP -------------------------------------------------------------------
+
+TEST(SsspApp, MatchesDijkstraOnMlvc) {
+  const auto csr = weighted_graph();
+  apps::Sssp app{.source = 0};
+  const auto got = run_mlvc(csr, app);
+  const auto expected = reference::dijkstra(csr, 0);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(got[v])) << "vertex " << v;
+    } else {
+      ASSERT_NEAR(got[v], expected[v], 1e-3) << "vertex " << v;
+    }
+  }
+}
+
+TEST(SsspApp, MatchesDijkstraOnGraFBoost) {
+  const auto csr = weighted_graph(52);
+  apps::Sssp app{.source = 3};
+  const auto got = run_grafboost(csr, app);
+  const auto expected = reference::dijkstra(csr, 3);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (!std::isinf(expected[v])) {
+      ASSERT_NEAR(got[v], expected[v], 1e-3) << "vertex " << v;
+    }
+  }
+}
+
+TEST(SsspApp, UnweightedGraphDegeneratesToBfs) {
+  // All weights 1.0: SSSP distance == hop count.
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 5;
+  p.seed = 60;
+  const auto csr = graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
+  apps::Sssp app{.source = 1};
+  const auto got = run_mlvc(csr, app);
+  const auto hops = reference::bfs_distances(csr, 1);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (hops[v] != std::numeric_limits<std::uint32_t>::max()) {
+      ASSERT_NEAR(got[v], static_cast<float>(hops[v]), 1e-4);
+    }
+  }
+}
+
+// ---- k-core -----------------------------------------------------------------
+
+class KCoreSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(KCoreSweep, MatchesPeelingReference) {
+  graph::RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 6;
+  p.seed = 71;
+  const auto csr = graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
+  apps::KCore app{.k = GetParam()};
+  const auto got = run_mlvc(csr, app);
+  const auto expected = reference::kcore_membership(csr, GetParam());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    EXPECT_EQ(got[v].removed == 0, expected[v])
+        << "vertex " << v << " k=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KCoreSweep, ::testing::Values(2, 3, 5, 8, 16));
+
+TEST(KCoreApp, GraphChiAgrees) {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 5;
+  p.seed = 72;
+  const auto csr = graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
+  apps::KCore app{.k = 4};
+  const auto a = run_mlvc(csr, app);
+  const auto b = run_graphchi(csr, app);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a[v].removed, b[v].removed) << "vertex " << v;
+  }
+}
+
+TEST(KCoreApp, CompleteGraphIsItsOwnCore) {
+  const auto csr = graph::CsrGraph::from_edge_list(graph::generate_complete(10));
+  apps::KCore app{.k = 9};
+  const auto got = run_mlvc(csr, app);
+  for (const auto& v : got) EXPECT_EQ(v.removed, 0);
+  apps::KCore too_big{.k = 10};
+  const auto none = run_mlvc(csr, too_big);
+  for (const auto& v : none) EXPECT_EQ(v.removed, 1);
+}
+
+// ---- WCC --------------------------------------------------------------------
+
+TEST(WccApp, MatchesReferenceOnFragmentedGraph) {
+  graph::EdgeList list;
+  list.set_num_vertices(500);
+  SplitMix64 rng(81);
+  // Five blobs of 100 vertices.
+  for (int b = 0; b < 5; ++b) {
+    for (int e = 0; e < 300; ++e) {
+      const auto u = b * 100 + static_cast<VertexId>(rng.next_below(100));
+      const auto v = b * 100 + static_cast<VertexId>(rng.next_below(100));
+      if (u != v) list.add(u, v);
+    }
+  }
+  list.set_num_vertices(500);
+  list.make_undirected();
+  const auto csr = graph::CsrGraph::from_edge_list(list);
+  apps::Wcc app;
+  const auto got = run_mlvc(csr, app);
+  const auto expected = reference::wcc_labels(csr);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(WccApp, AllEnginesAgree) {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 4;
+  p.seed = 82;
+  const auto csr = graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
+  apps::Wcc app;
+  const auto a = run_mlvc(csr, app);
+  const auto b = run_graphchi(csr, app);
+  const auto c = run_grafboost(csr, app);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a, reference::wcc_labels(csr));
+}
+
+}  // namespace
+}  // namespace mlvc

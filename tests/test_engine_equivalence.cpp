@@ -1,0 +1,154 @@
+// Cross-engine equivalence: every application must compute identical results
+// on MultiLogVC and on the GraphChi baseline (both strict BSP), and match
+// the in-memory reference implementations.
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/cdlp.hpp"
+#include "apps/coloring.hpp"
+#include "apps/mis.hpp"
+#include "apps/pagerank.hpp"
+#include "apps/random_walk.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "graphchi/engine.hpp"
+#include "tests/reference.hpp"
+#include "tests/test_util.hpp"
+
+namespace mlvc {
+namespace {
+
+struct Env {
+  ssd::TempDir dir;
+  ssd::Storage storage;
+  explicit Env(std::size_t page = 4_KiB)
+      : storage(dir.path(), [page] {
+          ssd::DeviceConfig d;
+          d.page_size = page;
+          return d;
+        }()) {}
+};
+
+template <core::VertexApp App>
+std::vector<typename App::Value> run_mlvc(const graph::CsrGraph& csr, App app,
+                                          core::EngineOptions opts) {
+  Env env;
+  auto intervals = core::partition_for_app<App>(csr, opts);
+  graph::StoredCsrGraph stored(env.storage, "g", csr, intervals);
+  core::MultiLogVCEngine<App> engine(stored, app, opts);
+  engine.run();
+  return engine.values();
+}
+
+template <core::VertexApp App>
+std::vector<typename App::Value> run_graphchi(const graph::CsrGraph& csr,
+                                              App app,
+                                              graphchi::GraphChiOptions opts) {
+  Env env;
+  graphchi::GraphChiEngine<App> engine(env.storage, csr, app, opts);
+  engine.run();
+  return engine.values();
+}
+
+graph::CsrGraph test_graph(unsigned scale = 9, std::uint64_t seed = 11) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 6;
+  p.seed = seed;
+  return graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
+}
+
+core::EngineOptions mlvc_opts(Superstep max_steps = 60) {
+  auto o = testing_options();
+  o.max_supersteps = max_steps;
+  return o;
+}
+
+graphchi::GraphChiOptions gc_opts(Superstep max_steps = 60) {
+  graphchi::GraphChiOptions o;
+  o.memory_budget_bytes = 2_MiB;
+  o.max_supersteps = max_steps;
+  return o;
+}
+
+TEST(EngineEquivalence, Bfs) {
+  const auto csr = test_graph();
+  apps::Bfs app{.source = 3};
+  const auto a = run_mlvc(csr, app, mlvc_opts());
+  const auto b = run_graphchi(csr, app, gc_opts());
+  const auto expected = reference::bfs_distances(csr, 3);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    ASSERT_EQ(a[v], expected[v]) << "mlvc vertex " << v;
+    ASSERT_EQ(b[v], expected[v]) << "graphchi vertex " << v;
+  }
+}
+
+TEST(EngineEquivalence, PageRank) {
+  const auto csr = test_graph();
+  apps::PageRank app;
+  app.threshold = 0.1f;
+  const auto a = run_mlvc(csr, app, mlvc_opts(15));
+  const auto b = run_graphchi(csr, app, gc_opts(15));
+  const auto expected = reference::delta_pagerank(csr, 0.85, 0.1, 15);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    ASSERT_NEAR(a[v], expected[v], 1e-2) << "mlvc vertex " << v;
+    ASSERT_NEAR(b[v], expected[v], 1e-2) << "graphchi vertex " << v;
+  }
+}
+
+TEST(EngineEquivalence, Cdlp) {
+  const auto csr = test_graph();
+  apps::Cdlp app;
+  const auto a = run_mlvc(csr, app, mlvc_opts(15));
+  const auto b = run_graphchi(csr, app, gc_opts(15));
+  const auto expected = reference::cdlp_labels(csr, 15);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    ASSERT_EQ(a[v], expected[v]) << "mlvc vertex " << v;
+    ASSERT_EQ(b[v], expected[v]) << "graphchi vertex " << v;
+  }
+}
+
+TEST(EngineEquivalence, GraphColoringValidAndIdentical) {
+  const auto csr = test_graph(8);
+  apps::GraphColoring app;
+  const auto a = run_mlvc(csr, app, mlvc_opts(300));
+  const auto b = run_graphchi(csr, app, gc_opts(300));
+  EXPECT_TRUE(reference::coloring_is_valid(csr, a));
+  EXPECT_TRUE(reference::coloring_is_valid(csr, b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(EngineEquivalence, MisValidAndIdentical) {
+  const auto csr = test_graph(8, 21);
+  apps::Mis app;
+  const auto a = run_mlvc(csr, app, mlvc_opts(200));
+  const auto b = run_graphchi(csr, app, gc_opts(200));
+  EXPECT_TRUE(reference::mis_is_valid(csr, a));
+  EXPECT_TRUE(reference::mis_is_valid(csr, b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(EngineEquivalence, RandomWalkVisitBudget) {
+  const auto csr = test_graph(9, 31);
+  apps::RandomWalk app;
+  app.source_stride = 64;
+  app.max_steps = 10;
+  const auto a = run_mlvc(csr, app, mlvc_opts(20));
+  const auto b = run_graphchi(csr, app, gc_opts(20));
+
+  const std::uint64_t walkers =
+      std::uint64_t{(csr.num_vertices() + 63) / 64} * app.walks_per_source;
+  const auto total = [](const std::vector<std::uint32_t>& visits) {
+    std::uint64_t t = 0;
+    for (auto v : visits) t += v;
+    return t;
+  };
+  // Every walker visits between 1 and max_steps + 1 vertices.
+  EXPECT_GE(total(a), walkers);
+  EXPECT_LE(total(a), walkers * (app.max_steps + 1));
+  EXPECT_GE(total(b), walkers);
+  EXPECT_LE(total(b), walkers * (app.max_steps + 1));
+}
+
+}  // namespace
+}  // namespace mlvc

@@ -1,0 +1,329 @@
+// Unit and property tests for the graph module: edge lists, CSR, vertex
+// intervals, generators, SNAP loading, and graph statistics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/intervals.hpp"
+#include "graph/snap_loader.hpp"
+
+namespace mlvc::graph {
+namespace {
+
+// ---- EdgeList --------------------------------------------------------------
+
+TEST(EdgeList, AddTracksVertexCount) {
+  EdgeList list;
+  list.add(3, 7);
+  EXPECT_EQ(list.num_vertices(), 8u);
+  EXPECT_EQ(list.num_edges(), 1u);
+}
+
+TEST(EdgeList, NormalizeDropsSelfLoopsAndDuplicates) {
+  EdgeList list;
+  list.add(0, 1);
+  list.add(1, 1);  // self loop
+  list.add(0, 1);  // duplicate
+  list.add(1, 0);
+  list.normalize();
+  EXPECT_EQ(list.num_edges(), 2u);
+}
+
+TEST(EdgeList, MakeUndirectedMirrors) {
+  EdgeList list;
+  list.set_num_vertices(3);
+  list.add(0, 1);
+  list.add(1, 2);
+  list.make_undirected();
+  EXPECT_EQ(list.num_edges(), 4u);
+  const auto csr = CsrGraph::from_edge_list(list);
+  EXPECT_EQ(csr.out_degree(0), 1u);
+  EXPECT_EQ(csr.out_degree(1), 2u);
+  EXPECT_EQ(csr.out_degree(2), 1u);
+}
+
+TEST(EdgeList, ValidateCatchesOutOfRange) {
+  EdgeList list(2, {Edge{0, 5, 1.0f}});
+  EXPECT_THROW(list.validate(), InvalidArgument);
+}
+
+// ---- CsrGraph --------------------------------------------------------------
+
+TEST(CsrGraph, FromEdgeListBasic) {
+  EdgeList list;
+  list.set_num_vertices(4);
+  list.add(0, 1, 2.0f);
+  list.add(0, 2, 3.0f);
+  list.add(2, 3, 4.0f);
+  const auto csr = CsrGraph::from_edge_list(list);
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(csr.out_degree(0), 2u);
+  EXPECT_EQ(csr.out_degree(1), 0u);
+  EXPECT_EQ(csr.neighbors(0)[0], 1u);
+  EXPECT_EQ(csr.neighbors(0)[1], 2u);
+  EXPECT_EQ(csr.weights(2)[0], 4.0f);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  EdgeList list;
+  const auto csr = CsrGraph::from_edge_list(list);
+  EXPECT_EQ(csr.num_vertices(), 0u);
+  EXPECT_EQ(csr.num_edges(), 0u);
+}
+
+TEST(CsrGraph, InDegreesMatchManualCount) {
+  EdgeList list;
+  list.set_num_vertices(4);
+  list.add(0, 3);
+  list.add(1, 3);
+  list.add(2, 3);
+  list.add(3, 0);
+  const auto csr = CsrGraph::from_edge_list(list);
+  const auto in = csr.in_degrees();
+  EXPECT_EQ(in[3], 3u);
+  EXPECT_EQ(in[0], 1u);
+  EXPECT_EQ(in[1], 0u);
+}
+
+/// Property: CSR round-trips the (sorted, deduped) edge set.
+class CsrRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrRoundTrip, PreservesEdges) {
+  SplitMix64 rng(GetParam());
+  EdgeList list;
+  const VertexId n = 50 + static_cast<VertexId>(rng.next_below(200));
+  list.set_num_vertices(n);
+  const std::size_t m = 100 + rng.next_below(2000);
+  for (std::size_t e = 0; e < m; ++e) {
+    list.add(static_cast<VertexId>(rng.next_below(n)),
+             static_cast<VertexId>(rng.next_below(n)));
+  }
+  list.set_num_vertices(n);
+  list.normalize();
+
+  const auto csr = CsrGraph::from_edge_list(list);
+  std::vector<Edge> recovered;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (VertexId u : csr.neighbors(v)) recovered.push_back(Edge{v, u, 1.0f});
+  }
+  ASSERT_EQ(recovered.size(), list.num_edges());
+  for (std::size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i].src, list.edges()[i].src);
+    EXPECT_EQ(recovered[i].dst, list.edges()[i].dst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- VertexIntervals -------------------------------------------------------
+
+TEST(VertexIntervals, UniformCoversExactly) {
+  const auto iv = VertexIntervals::uniform(10, 3);
+  EXPECT_EQ(iv.count(), 4u);
+  EXPECT_EQ(iv.begin(0), 0u);
+  EXPECT_EQ(iv.end(3), 10u);
+  EXPECT_EQ(iv.width(3), 1u);
+}
+
+TEST(VertexIntervals, UniformWidthLargerThanGraph) {
+  const auto iv = VertexIntervals::uniform(5, 100);
+  EXPECT_EQ(iv.count(), 1u);
+  EXPECT_EQ(iv.width(0), 5u);
+}
+
+TEST(VertexIntervals, IntervalOfIsConsistent) {
+  const auto iv = VertexIntervals::uniform(100, 7);
+  for (VertexId v = 0; v < 100; ++v) {
+    const IntervalId i = iv.interval_of(v);
+    EXPECT_GE(v, iv.begin(i));
+    EXPECT_LT(v, iv.end(i));
+  }
+  EXPECT_THROW(iv.interval_of(100), Error);
+}
+
+TEST(VertexIntervals, PartitionRespectsBudget) {
+  std::vector<EdgeIndex> in_degrees(1000);
+  SplitMix64 rng(9);
+  for (auto& d : in_degrees) d = rng.next_below(50);
+  const std::size_t bytes_per_update = 8;
+  const std::size_t budget = 2000;  // 250 updates
+  const auto iv = VertexIntervals::partition_by_in_degree(
+      in_degrees, bytes_per_update, budget);
+  EXPECT_GT(iv.count(), 1u);
+  for (IntervalId i = 0; i < iv.count(); ++i) {
+    std::uint64_t updates = 0;
+    for (VertexId v = iv.begin(i); v < iv.end(i); ++v) {
+      updates += in_degrees[v];
+    }
+    // Every interval except possibly singleton-oversized ones fits.
+    if (iv.width(i) > 1) {
+      EXPECT_LE(updates * bytes_per_update, budget) << "interval " << i;
+    }
+  }
+  EXPECT_EQ(iv.num_vertices(), 1000u);
+}
+
+TEST(VertexIntervals, OversizedVertexGetsSingleton) {
+  std::vector<EdgeIndex> in_degrees = {1, 1000, 1};
+  const auto iv =
+      VertexIntervals::partition_by_in_degree(in_degrees, 8, 100);
+  // Vertex 1 alone exceeds the budget; it must still be covered.
+  EXPECT_EQ(iv.num_vertices(), 3u);
+  const IntervalId of_1 = iv.interval_of(1);
+  EXPECT_LE(iv.width(of_1), 2u);
+}
+
+TEST(VertexIntervals, FromBoundariesValidation) {
+  EXPECT_NO_THROW(VertexIntervals::from_boundaries({0, 5, 10}));
+  EXPECT_THROW(VertexIntervals::from_boundaries({1, 5}), Error);
+  EXPECT_THROW(VertexIntervals::from_boundaries({0, 5, 5}), Error);
+  EXPECT_THROW(VertexIntervals::from_boundaries({0, 7, 3}), Error);
+}
+
+TEST(VertexIntervals, EmptyGraph) {
+  const auto iv = VertexIntervals::partition_by_in_degree({}, 8, 100);
+  EXPECT_EQ(iv.count(), 0u);
+  EXPECT_EQ(iv.num_vertices(), 0u);
+}
+
+// ---- generators -------------------------------------------------------------
+
+TEST(Generators, RmatDeterministicPerSeed) {
+  RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 4;
+  p.seed = 77;
+  const auto a = generate_rmat(p);
+  const auto b = generate_rmat(p);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[i].src, b.edges()[i].src);
+    EXPECT_EQ(a.edges()[i].dst, b.edges()[i].dst);
+  }
+  p.seed = 78;
+  const auto c = generate_rmat(p);
+  EXPECT_NE(a.num_edges(), c.num_edges());
+}
+
+TEST(Generators, RmatUndirectedIsSymmetric) {
+  RmatParams p;
+  p.scale = 7;
+  p.edge_factor = 4;
+  const auto list = generate_rmat(p);
+  const auto csr = CsrGraph::from_edge_list(list);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (VertexId u : csr.neighbors(v)) {
+      const auto back = csr.neighbors(u);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), v))
+          << "edge (" << v << "," << u << ") has no mirror";
+    }
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  const auto stats =
+      compute_stats(CsrGraph::from_edge_list(generate_rmat(p)));
+  // Power-law: the max degree dwarfs the median.
+  EXPECT_GT(stats.max_out_degree, 50 * std::max<EdgeIndex>(1, stats.p50_degree));
+}
+
+TEST(Generators, ErdosRenyiIsNotSkewed) {
+  const auto stats = compute_stats(
+      CsrGraph::from_edge_list(generate_erdos_renyi(4096, 32768, 3)));
+  EXPECT_LT(stats.max_out_degree, 10 * std::max<EdgeIndex>(1, stats.p50_degree));
+}
+
+TEST(Generators, GridDegreesAreSmall) {
+  const auto csr = CsrGraph::from_edge_list(generate_grid(10, 10));
+  EXPECT_EQ(csr.num_vertices(), 100u);
+  for (VertexId v = 0; v < 100; ++v) {
+    EXPECT_GE(csr.out_degree(v), 2u);
+    EXPECT_LE(csr.out_degree(v), 4u);
+  }
+  // Corner has exactly 2 neighbors.
+  EXPECT_EQ(csr.out_degree(0), 2u);
+}
+
+TEST(Generators, StarShape) {
+  const auto csr = CsrGraph::from_edge_list(generate_star(50));
+  EXPECT_EQ(csr.out_degree(0), 49u);
+  for (VertexId v = 1; v < 50; ++v) EXPECT_EQ(csr.out_degree(v), 1u);
+}
+
+TEST(Generators, ChainShape) {
+  const auto csr = CsrGraph::from_edge_list(generate_chain(10));
+  EXPECT_EQ(csr.out_degree(0), 1u);
+  EXPECT_EQ(csr.out_degree(5), 2u);
+  EXPECT_EQ(csr.num_edges(), 18u);
+}
+
+TEST(Generators, CompleteGraph) {
+  const auto csr = CsrGraph::from_edge_list(generate_complete(8));
+  EXPECT_EQ(csr.num_edges(), 8u * 7u);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(csr.out_degree(v), 7u);
+}
+
+// ---- SNAP loader -----------------------------------------------------------
+
+TEST(SnapLoader, ParsesCommentsAndEdges) {
+  std::istringstream in(
+      "# Directed graph\n"
+      "# FromNodeId ToNodeId\n"
+      "0 1\n"
+      "1 2\n"
+      "2 0\n");
+  const auto list = load_snap_edge_list(in, {.make_undirected = false});
+  EXPECT_EQ(list.num_edges(), 3u);
+  EXPECT_EQ(list.num_vertices(), 3u);
+}
+
+TEST(SnapLoader, CompactsSparseIds) {
+  std::istringstream in("1000000 2000000\n2000000 3000000\n");
+  const auto list = load_snap_edge_list(in, {.make_undirected = false});
+  EXPECT_EQ(list.num_vertices(), 3u);
+}
+
+TEST(SnapLoader, UndirectedByDefault) {
+  std::istringstream in("0 1\n");
+  const auto list = load_snap_edge_list(in);
+  EXPECT_EQ(list.num_edges(), 2u);
+}
+
+TEST(SnapLoader, MalformedLineThrows) {
+  std::istringstream in("0 1\nnot numbers\n");
+  EXPECT_THROW(load_snap_edge_list(in), InvalidArgument);
+}
+
+TEST(SnapLoader, OptionalWeightColumn) {
+  std::istringstream in("0 1 2.5\n");
+  const auto list = load_snap_edge_list(in, {.make_undirected = false});
+  EXPECT_FLOAT_EQ(list.edges()[0].weight, 2.5f);
+}
+
+TEST(SnapLoader, MissingFileThrows) {
+  EXPECT_THROW(load_snap_edge_list("/nonexistent/file.txt"), IoError);
+}
+
+// ---- GraphStats ------------------------------------------------------------
+
+TEST(GraphStats, StarStatistics) {
+  const auto stats = compute_stats(CsrGraph::from_edge_list(generate_star(101)));
+  EXPECT_EQ(stats.num_vertices, 101u);
+  EXPECT_EQ(stats.max_out_degree, 100u);
+  EXPECT_EQ(stats.p50_degree, 1u);
+  EXPECT_DOUBLE_EQ(stats.isolated_fraction, 0.0);
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+}  // namespace
+}  // namespace mlvc::graph

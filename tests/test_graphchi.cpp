@@ -1,0 +1,169 @@
+// Tests for the GraphChi baseline's shard storage.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "graph/generators.hpp"
+#include "graphchi/sharded_graph.hpp"
+
+namespace mlvc::graphchi {
+namespace {
+
+struct Env {
+  ssd::TempDir dir;
+  ssd::Storage storage;
+  Env() : storage(dir.path(), [] {
+            ssd::DeviceConfig d;
+            d.page_size = 4_KiB;
+            return d;
+          }()) {}
+};
+
+graph::CsrGraph sample() {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 5;
+  p.seed = 19;
+  return graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
+}
+
+TEST(ShardedGraph, EveryEdgeLandsInItsDstShardSortedBySrc) {
+  Env env;
+  const auto csr = sample();
+  const auto iv = graph::VertexIntervals::uniform(csr.num_vertices(), 60);
+  ShardedGraph shards(env.storage, "sg", csr, iv, 4);
+
+  EdgeIndex total = 0;
+  for (IntervalId s = 0; s < shards.num_shards(); ++s) {
+    std::vector<std::byte> block;
+    shards.load_records(s, 0, shards.shard_edge_count(s), block);
+    const std::size_t rec = shards.record_size();
+    VertexId prev_src = 0;
+    for (std::size_t r = 0; r * rec < block.size(); ++r) {
+      VertexId src, dst;
+      std::memcpy(&src, block.data() + r * rec + shards.src_offset(), 4);
+      std::memcpy(&dst, block.data() + r * rec + shards.dst_offset(), 4);
+      EXPECT_GE(src, prev_src) << "shard not sorted by src";
+      prev_src = src;
+      EXPECT_EQ(iv.interval_of(dst), s) << "edge in wrong shard";
+      // The edge must exist in the CSR.
+      const auto nbrs = csr.neighbors(src);
+      EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), dst));
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, csr.num_edges());
+}
+
+TEST(ShardedGraph, WindowsPartitionEachShard) {
+  Env env;
+  const auto csr = sample();
+  const auto iv = graph::VertexIntervals::uniform(csr.num_vertices(), 60);
+  ShardedGraph shards(env.storage, "sg", csr, iv, 4);
+
+  for (IntervalId s = 0; s < shards.num_shards(); ++s) {
+    EdgeIndex expected_start = 0;
+    for (IntervalId j = 0; j < shards.num_shards(); ++j) {
+      const auto w = shards.window(s, j);
+      EXPECT_EQ(w.first, expected_start);
+      expected_start = w.last;
+      // Every record in the window has src in interval j.
+      std::vector<std::byte> block;
+      shards.load_records(s, w.first, w.last, block);
+      const std::size_t rec = shards.record_size();
+      for (std::size_t r = 0; r * rec < block.size(); ++r) {
+        VertexId src;
+        std::memcpy(&src, block.data() + r * rec + shards.src_offset(), 4);
+        EXPECT_GE(src, iv.begin(j));
+        EXPECT_LT(src, iv.end(j));
+      }
+    }
+    EXPECT_EQ(expected_start, shards.shard_edge_count(s));
+  }
+}
+
+TEST(ShardedGraph, StampsInitializedEmpty) {
+  Env env;
+  const auto csr = sample();
+  ShardedGraph shards(env.storage, "sg", csr,
+                      graph::VertexIntervals::uniform(csr.num_vertices(), 64),
+                      8);
+  std::vector<std::byte> block;
+  shards.load_records(0, 0, shards.shard_edge_count(0), block);
+  const std::size_t rec = shards.record_size();
+  for (std::size_t r = 0; r * rec < block.size(); ++r) {
+    std::uint16_t s0, s1;
+    std::memcpy(&s0, block.data() + r * rec + shards.stamp_offset(0), 2);
+    std::memcpy(&s1, block.data() + r * rec + shards.stamp_offset(1), 2);
+    EXPECT_EQ(s0, ShardedGraph::kNoStamp);
+    EXPECT_EQ(s1, ShardedGraph::kNoStamp);
+  }
+}
+
+TEST(ShardedGraph, StoreRecordsPersists) {
+  Env env;
+  const auto csr = sample();
+  ShardedGraph shards(env.storage, "sg", csr,
+                      graph::VertexIntervals::uniform(csr.num_vertices(), 64),
+                      4);
+  std::vector<std::byte> block;
+  shards.load_records(0, 0, shards.shard_edge_count(0), block);
+  const std::uint16_t stamp = 3;
+  std::memcpy(block.data() + shards.stamp_offset(0), &stamp, 2);
+  const std::uint32_t payload = 0xDEADBEEF;
+  std::memcpy(block.data() + shards.payload_offset(0), &payload, 4);
+  shards.store_records(0, 0, block);
+
+  std::vector<std::byte> back;
+  shards.load_records(0, 0, 1, back);
+  std::uint16_t s0;
+  std::uint32_t p0;
+  std::memcpy(&s0, back.data() + shards.stamp_offset(0), 2);
+  std::memcpy(&p0, back.data() + shards.payload_offset(0), 4);
+  EXPECT_EQ(s0, 3u);
+  EXPECT_EQ(p0, 0xDEADBEEFu);
+}
+
+TEST(ShardedGraph, PayloadAlignmentRounding) {
+  Env env;
+  const auto csr = sample();
+  // A 13-byte payload rounds to 16; record = 12 + 2*16 = 44.
+  ShardedGraph shards(env.storage, "sg", csr,
+                      graph::VertexIntervals::uniform(csr.num_vertices(), 64),
+                      13);
+  EXPECT_EQ(shards.payload_bytes(), 16u);
+  EXPECT_EQ(shards.record_size(), 44u);
+}
+
+TEST(ShardedGraph, PartitionForShardsRespectsBudget) {
+  const auto csr = sample();
+  const auto iv = partition_for_shards(csr, 20, 32_KiB);
+  EXPECT_GT(iv.count(), 1u);
+  const auto in_deg = csr.in_degrees();
+  for (IntervalId i = 0; i < iv.count(); ++i) {
+    std::uint64_t bytes = 0;
+    for (VertexId v = iv.begin(i); v < iv.end(i); ++v) {
+      bytes += in_deg[v] * 20;
+    }
+    if (iv.width(i) > 1) {
+      EXPECT_LE(bytes, 32_KiB);
+    }
+  }
+}
+
+TEST(ShardedGraph, ShardIoCategorized) {
+  Env env;
+  const auto csr = sample();
+  ShardedGraph shards(env.storage, "sg", csr,
+                      graph::VertexIntervals::uniform(csr.num_vertices(), 64),
+                      4);
+  const auto before = env.storage.stats().snapshot();
+  std::vector<std::byte> block;
+  shards.load_records(0, 0, shards.shard_edge_count(0), block);
+  const auto diff = env.storage.stats().snapshot() - before;
+  EXPECT_GT(diff[ssd::IoCategory::kShard].pages_read, 0u);
+  EXPECT_EQ(diff[ssd::IoCategory::kCsrColIdx].pages_read, 0u);
+}
+
+}  // namespace
+}  // namespace mlvc::graphchi

@@ -1,0 +1,112 @@
+// Tests for the metrics layer: tables, CSV emission, summaries, speedup
+// math, and JSON export.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "metrics/json_export.hpp"
+#include "metrics/report.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc::metrics {
+namespace {
+
+core::RunStats sample_stats() {
+  core::RunStats stats;
+  stats.engine = "MultiLogVC";
+  stats.app = "bfs";
+  for (Superstep s = 0; s < 3; ++s) {
+    core::SuperstepStats step;
+    step.superstep = s;
+    step.active_vertices = 100 >> s;
+    step.messages_consumed = s == 0 ? 0 : 50;
+    step.messages_produced = 50;
+    step.modeled_storage_seconds = 0.010;
+    step.compute_wall_seconds = 0.005;
+    step.io[ssd::IoCategory::kCsrColIdx].pages_read = 10;
+    step.io[ssd::IoCategory::kMessageLog].pages_written = 4;
+    step.io[ssd::IoCategory::kMessageLog].bytes_written = 4096;
+    stats.supersteps.push_back(step);
+  }
+  return stats;
+}
+
+TEST(Metrics, SummaryContainsKeyNumbers) {
+  const auto s = summarize(sample_stats());
+  EXPECT_NE(s.find("MultiLogVC/bfs"), std::string::npos);
+  EXPECT_NE(s.find("3 supersteps"), std::string::npos);
+  EXPECT_NE(s.find("30 pages read"), std::string::npos);
+}
+
+TEST(Metrics, SpeedupAndPageRatio) {
+  auto fast = sample_stats();
+  auto slow = sample_stats();
+  for (auto& s : slow.supersteps) {
+    s.modeled_storage_seconds *= 4;
+    s.compute_wall_seconds *= 4;
+    s.io[ssd::IoCategory::kCsrColIdx].pages_read *= 3;
+  }
+  EXPECT_NEAR(speedup(slow, fast), 4.0, 1e-9);
+  EXPECT_GT(page_ratio(slow, fast), 2.0);
+}
+
+TEST(Metrics, CsvWrittenWhenDirSet) {
+  ssd::TempDir dir;
+  Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "y"});
+  t.write_csv(dir.path().string(), "unit");
+  std::ifstream in(dir.path() / "unit.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,x");
+}
+
+TEST(Metrics, CsvSkippedWhenDirEmpty) {
+  Table t({"a"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.write_csv("", "unit"));
+}
+
+TEST(Metrics, TableRejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(JsonExport, WellFormedAndComplete) {
+  const auto json = to_json(sample_stats());
+  // Structural spot checks (no JSON parser in the dependency set).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"engine\":\"MultiLogVC\""), std::string::npos);
+  EXPECT_NE(json.find("\"app\":\"bfs\""), std::string::npos);
+  EXPECT_NE(json.find("\"supersteps\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"pages_read\":30"), std::string::npos);
+  EXPECT_NE(json.find("\"message_log\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_written\":4096"), std::string::npos);
+  // Balanced braces and brackets.
+  long braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(JsonExport, EscapesStrings) {
+  core::RunStats stats;
+  stats.engine = "weird\"name\\with\nnewline";
+  stats.app = "x";
+  const auto json = to_json(stats);
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nnewline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlvc::metrics

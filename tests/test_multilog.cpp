@@ -1,0 +1,408 @@
+// Tests for the multi-log machinery: the per-interval message store (top
+// pages, batched eviction, generations, async drain), sort-and-group,
+// the active set, the history predictor, and the page-utilization tracker.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "multilog/active_set.hpp"
+#include "multilog/multilog_store.hpp"
+#include "multilog/page_util.hpp"
+#include "multilog/predictor.hpp"
+#include "multilog/record.hpp"
+#include "multilog/sort_group.hpp"
+
+namespace mlvc::multilog {
+namespace {
+
+struct Env {
+  ssd::TempDir dir;
+  ssd::Storage storage;
+  Env() : storage(dir.path(), [] {
+            ssd::DeviceConfig d;
+            d.page_size = 4_KiB;
+            return d;
+          }()) {}
+};
+
+using TestRecord = Record<std::uint32_t>;
+
+std::vector<TestRecord> load_records(MultiLogStore& store, IntervalId i) {
+  std::vector<std::byte> bytes;
+  store.load_interval(i, bytes);
+  return decode_records<std::uint32_t>(bytes);
+}
+
+// ---- MultiLogStore ---------------------------------------------------------
+
+TEST(MultiLogStore, MessagesLandInDestinationIntervalLog) {
+  Env env;
+  const auto iv = graph::VertexIntervals::uniform(100, 10);
+  MultiLogStore store(env.storage, "t", iv, {.record_size = 8});
+
+  append_record<std::uint32_t>(store, 5, 100);    // interval 0
+  append_record<std::uint32_t>(store, 15, 200);   // interval 1
+  append_record<std::uint32_t>(store, 17, 300);   // interval 1
+  append_record<std::uint32_t>(store, 99, 400);   // interval 9
+
+  EXPECT_EQ(store.produced_count(0), 1u);
+  EXPECT_EQ(store.produced_count(1), 2u);
+  EXPECT_EQ(store.produced_count(9), 1u);
+  EXPECT_EQ(store.produced_count(5), 0u);
+
+  store.swap_generations();
+  EXPECT_EQ(store.current_count(1), 2u);
+  EXPECT_EQ(store.total_current_count(), 4u);
+
+  const auto recs = load_records(store, 1);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].dst, 15u);
+  EXPECT_EQ(recs[0].payload, 200u);
+  EXPECT_EQ(recs[1].dst, 17u);
+  EXPECT_EQ(recs[1].payload, 300u);
+}
+
+TEST(MultiLogStore, GenerationsAreIsolated) {
+  Env env;
+  const auto iv = graph::VertexIntervals::uniform(10, 5);
+  MultiLogStore store(env.storage, "t", iv, {.record_size = 8});
+  append_record<std::uint32_t>(store, 1, 1);
+  store.swap_generations();
+  // New sends go to the produce generation, not the consumable one.
+  append_record<std::uint32_t>(store, 1, 2);
+  EXPECT_EQ(store.current_count(0), 1u);
+  const auto recs = load_records(store, 0);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].payload, 1u);
+  store.swap_generations();
+  const auto next = load_records(store, 0);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].payload, 2u);
+}
+
+TEST(MultiLogStore, SpillsToStorageAndReloads) {
+  Env env;
+  const auto iv = graph::VertexIntervals::uniform(10, 5);
+  MultiLogStore store(env.storage, "t", iv, {.record_size = 8});
+  // Far more than one 4 KiB top page per interval.
+  constexpr std::uint32_t kN = 50000;
+  for (std::uint32_t k = 0; k < kN; ++k) {
+    append_record<std::uint32_t>(store, k % 10, k);
+  }
+  store.swap_generations();
+  EXPECT_GT(store.current_pages(0), 0u);  // something was spilled
+
+  std::uint64_t total = 0;
+  std::map<std::uint32_t, std::uint32_t> next_payload;  // per dst, expected
+  for (IntervalId i = 0; i < iv.count(); ++i) {
+    for (const auto& rec : load_records(store, i)) {
+      // Messages to one destination arrive in append order.
+      auto [it, inserted] = next_payload.try_emplace(rec.dst, rec.dst);
+      EXPECT_EQ(rec.payload, it->second) << "dst " << rec.dst;
+      it->second += 10;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, kN);
+}
+
+TEST(MultiLogStore, RecordsMayStraddlePages) {
+  Env env;
+  const auto iv = graph::VertexIntervals::uniform(4, 4);
+  // 12-byte records do not divide the 4096-byte page.
+  struct Wide {
+    std::uint32_t a, b;
+  };
+  MultiLogStore store(env.storage, "t", iv,
+                      {.record_size = sizeof(Record<Wide>)});
+  constexpr std::uint32_t kN = 3000;
+  for (std::uint32_t k = 0; k < kN; ++k) {
+    append_record<Wide>(store, k % 4, {k, k * 2});
+  }
+  store.swap_generations();
+  std::uint64_t seen = 0;
+  std::vector<std::byte> bytes;
+  store.load_interval(0, bytes);
+  for (const auto& rec : decode_records<Wide>(bytes)) {
+    EXPECT_EQ(rec.payload.b, rec.payload.a * 2);
+    ++seen;
+  }
+  EXPECT_EQ(seen, store.current_count(0));
+}
+
+TEST(MultiLogStore, ConcurrentAppendsPreserveEveryMessage) {
+  Env env;
+  const auto iv = graph::VertexIntervals::uniform(64, 8);
+  MultiLogStore store(env.storage, "t", iv, {.record_size = 8});
+  constexpr int kThreads = 8, kPerThread = 5000;
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < kThreads; ++t) {
+      futures.push_back(pool.submit([&, t] {
+        SplitMix64 rng(static_cast<std::uint64_t>(t) + 1);
+        for (int k = 0; k < kPerThread; ++k) {
+          const auto dst = static_cast<VertexId>(rng.next_below(64));
+          append_record<std::uint32_t>(store, dst,
+                                       static_cast<std::uint32_t>(t));
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  store.swap_generations();
+  EXPECT_EQ(store.total_current_count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t decoded = 0;
+  for (IntervalId i = 0; i < iv.count(); ++i) {
+    decoded += load_records(store, i).size();
+  }
+  EXPECT_EQ(decoded, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MultiLogStore, DrainProduceForAsyncMode) {
+  Env env;
+  const auto iv = graph::VertexIntervals::uniform(20, 10);
+  MultiLogStore store(env.storage, "t", iv, {.record_size = 8});
+  for (std::uint32_t k = 0; k < 1000; ++k) {
+    append_record<std::uint32_t>(store, 15, k);  // interval 1
+  }
+  std::vector<std::byte> bytes;
+  const auto drained = store.drain_produce_interval(1, bytes);
+  EXPECT_EQ(drained, 1000u);
+  EXPECT_EQ(decode_records<std::uint32_t>(bytes).size(), 1000u);
+  EXPECT_EQ(store.produced_count(1), 0u);
+  // Drained messages must not reappear after the swap.
+  store.swap_generations();
+  EXPECT_EQ(store.current_count(1), 0u);
+}
+
+TEST(MultiLogStore, BatchedEvictionKeepsAccountingExact) {
+  Env env;
+  const auto iv = graph::VertexIntervals::uniform(16, 4);
+  MultiLogConfig cfg{.record_size = 8};
+  cfg.evict_batch_pages = 8;
+  MultiLogStore store(env.storage, "t", iv, cfg);
+  for (std::uint32_t k = 0; k < 40000; ++k) {
+    append_record<std::uint32_t>(store, k % 16, k);
+  }
+  store.swap_generations();
+  std::uint64_t total = 0;
+  for (IntervalId i = 0; i < iv.count(); ++i) {
+    total += load_records(store, i).size();
+  }
+  EXPECT_EQ(total, 40000u);
+}
+
+TEST(MultiLogStore, RejectsBadRecordGeometry) {
+  Env env;
+  const auto iv = graph::VertexIntervals::uniform(4, 4);
+  EXPECT_THROW(MultiLogStore(env.storage, "t", iv, {.record_size = 2}),
+               Error);
+  EXPECT_THROW(MultiLogStore(env.storage, "t", iv, {.record_size = 8_KiB}),
+               Error);
+}
+
+// ---- sort & group ----------------------------------------------------------
+
+TEST(SortGroup, SortsByDestination) {
+  std::vector<TestRecord> records = {{5, 1}, {2, 2}, {5, 3}, {1, 4}};
+  sort_records(records);
+  EXPECT_EQ(records[0].dst, 1u);
+  EXPECT_EQ(records[1].dst, 2u);
+  EXPECT_EQ(records[2].dst, 5u);
+  EXPECT_EQ(records[3].dst, 5u);
+}
+
+TEST(SortGroup, GroupsAreContiguousAndComplete) {
+  std::vector<TestRecord> records;
+  SplitMix64 rng(8);
+  std::map<VertexId, std::size_t> expected;
+  for (int i = 0; i < 10000; ++i) {
+    const auto dst = static_cast<VertexId>(rng.next_below(100));
+    records.push_back({dst, 0});
+    ++expected[dst];
+  }
+  sort_records(records);
+  std::map<VertexId, std::size_t> seen;
+  for_each_group(std::span<const TestRecord>(records),
+                 [&](VertexId dst, std::span<const TestRecord> group) {
+                   EXPECT_EQ(seen.count(dst), 0u) << "group visited twice";
+                   seen[dst] = group.size();
+                 });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(SortGroup, GroupOffsetsMatchForEachGroup) {
+  std::vector<TestRecord> records = {{1, 0}, {1, 0}, {3, 0}, {7, 0}, {7, 0}};
+  const auto offsets = group_offsets(std::span<const TestRecord>(records));
+  EXPECT_EQ(offsets, (std::vector<std::size_t>{0, 2, 3, 5}));
+}
+
+TEST(SortGroup, GroupOffsetsEmpty) {
+  std::vector<TestRecord> records;
+  const auto offsets = group_offsets(std::span<const TestRecord>(records));
+  EXPECT_EQ(offsets, std::vector<std::size_t>{0});
+}
+
+TEST(SortGroup, CombineSumsPerDestination) {
+  std::vector<TestRecord> records = {{1, 10}, {1, 20}, {2, 5}, {3, 1}, {3, 2}};
+  const auto n = combine_sorted(
+      records, [](std::uint32_t a, std::uint32_t b) { return a + b; });
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(records[0].payload, 30u);
+  EXPECT_EQ(records[1].payload, 5u);
+  EXPECT_EQ(records[2].payload, 3u);
+}
+
+/// Property: processing with combine on or off gives the same per-vertex
+/// reduction for an associative+commutative operator.
+class CombineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CombineEquivalence, SumsMatch) {
+  SplitMix64 rng(GetParam());
+  std::vector<TestRecord> records;
+  for (int i = 0; i < 5000; ++i) {
+    records.push_back({static_cast<VertexId>(rng.next_below(64)),
+                       static_cast<std::uint32_t>(rng.next_below(100))});
+  }
+  auto combined = records;
+  sort_records(records);
+  sort_records(combined);
+  combine_sorted(combined,
+                 [](std::uint32_t a, std::uint32_t b) { return a + b; });
+
+  std::map<VertexId, std::uint64_t> by_group;
+  for_each_group(std::span<const TestRecord>(records),
+                 [&](VertexId dst, std::span<const TestRecord> group) {
+                   std::uint64_t sum = 0;
+                   for (const auto& r : group) sum += r.payload;
+                   by_group[dst] = sum;
+                 });
+  for (const auto& rec : combined) {
+    EXPECT_EQ(by_group.at(rec.dst), rec.payload);
+  }
+  EXPECT_EQ(combined.size(), by_group.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombineEquivalence,
+                         ::testing::Values(3, 6, 9, 12));
+
+// ---- ActiveSet -------------------------------------------------------------
+
+TEST(ActiveSet, ActivateAndRange) {
+  ActiveSet set(100);
+  set.activate(5);
+  set.activate(50);
+  set.activate(95);
+  EXPECT_TRUE(set.is_active(5));
+  EXPECT_FALSE(set.is_active(6));
+  EXPECT_EQ(set.count(), 3u);
+  EXPECT_EQ(set.active_in_range(0, 60),
+            (std::vector<VertexId>{5, 50}));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ActiveSet, ConcurrentActivation) {
+  ActiveSet set(10000);
+  parallel_for(0, 10000, [&](int i) {
+    if (i % 3 == 0) set.activate(static_cast<VertexId>(i));
+  });
+  EXPECT_EQ(set.count(), (10000 + 2) / 3);
+}
+
+// ---- HistoryPredictor ------------------------------------------------------
+
+TEST(Predictor, DepthOneUsesLastSuperstepOnly) {
+  HistoryPredictor pred(10, 1);
+  DynamicBitset a(10);
+  a.set(3);
+  pred.observe(a);
+  EXPECT_TRUE(pred.predict_active(3));
+  EXPECT_FALSE(pred.predict_active(4));
+
+  DynamicBitset b(10);
+  b.set(4);
+  pred.observe(b);  // depth 1: superstep with vertex 3 forgotten
+  EXPECT_FALSE(pred.predict_active(3));
+  EXPECT_TRUE(pred.predict_active(4));
+}
+
+TEST(Predictor, DeeperHistoryRemembersLonger) {
+  HistoryPredictor pred(10, 3);
+  DynamicBitset a(10);
+  a.set(1);
+  pred.observe(a);
+  DynamicBitset empty(10);
+  pred.observe(empty);
+  pred.observe(empty);
+  EXPECT_TRUE(pred.predict_active(1));
+  pred.observe(empty);
+  EXPECT_FALSE(pred.predict_active(1));
+}
+
+TEST(Predictor, DepthZeroNeverPredicts) {
+  HistoryPredictor pred(10, 0);
+  DynamicBitset a(10);
+  a.set_all();
+  pred.observe(a);
+  EXPECT_FALSE(pred.predict_active(0));
+}
+
+TEST(Predictor, ScoreComputesRecall) {
+  HistoryPredictor pred(10, 1);
+  DynamicBitset prev(10);
+  prev.set(1);
+  prev.set(2);
+  pred.observe(prev);
+  DynamicBitset actual(10);
+  actual.set(2);
+  actual.set(3);
+  const auto acc = pred.score(actual);
+  EXPECT_EQ(acc.active, 2u);
+  EXPECT_EQ(acc.predicted_and_active, 1u);
+  EXPECT_DOUBLE_EQ(acc.recall(), 0.5);
+}
+
+// ---- PageUtilTracker -------------------------------------------------------
+
+TEST(PageUtil, ClassifiesInefficientPages) {
+  PageUtilTracker tracker(4096, 0.10);
+  tracker.record(1, 0, 100);    // 2.4% -> inefficient
+  tracker.record(1, 1, 2000);   // 48%  -> fine
+  tracker.record(1, 2, 300);    // 7.3% -> inefficient
+  const auto s = tracker.finish_superstep();
+  EXPECT_EQ(s.pages_touched, 3u);
+  EXPECT_EQ(s.pages_inefficient, 2u);
+  EXPECT_DOUBLE_EQ(s.inefficient_fraction(), 2.0 / 3.0);
+}
+
+TEST(PageUtil, AccumulatesWithinSuperstep) {
+  PageUtilTracker tracker(4096, 0.10);
+  tracker.record(1, 0, 200);
+  tracker.record(1, 0, 300);  // same page: 500 bytes total -> 12%, fine
+  const auto s = tracker.finish_superstep();
+  EXPECT_EQ(s.pages_inefficient, 0u);
+}
+
+TEST(PageUtil, PredictsFromPreviousSuperstep) {
+  PageUtilTracker tracker(4096, 0.10);
+  tracker.record(1, 7, 50);
+  tracker.finish_superstep();
+  EXPECT_TRUE(tracker.was_inefficient(1, 7));
+  EXPECT_FALSE(tracker.was_inefficient(1, 8));
+
+  tracker.record(1, 7, 60);  // inefficient again
+  tracker.record(1, 9, 10);  // new inefficient page, not predicted
+  const auto s = tracker.finish_superstep();
+  EXPECT_EQ(s.pages_inefficient, 2u);
+  EXPECT_EQ(s.inefficient_predicted, 1u);
+  EXPECT_DOUBLE_EQ(s.prediction_recall(), 0.5);
+}
+
+}  // namespace
+}  // namespace mlvc::multilog

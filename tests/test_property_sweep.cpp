@@ -1,0 +1,173 @@
+// Broad cross-engine property sweep: for random graph topologies and seeds,
+// all three engines must agree with each other and with the reference
+// implementations on every application that admits exact comparison.
+#include <gtest/gtest.h>
+
+#include "apps/bfs.hpp"
+#include "apps/cdlp.hpp"
+#include "apps/coloring.hpp"
+#include "apps/mis.hpp"
+#include "core/engine.hpp"
+#include "grafboost/engine.hpp"
+#include "graph/generators.hpp"
+#include "graphchi/engine.hpp"
+#include "tests/reference.hpp"
+#include "tests/test_util.hpp"
+
+namespace mlvc {
+namespace {
+
+enum class Topology { kRmat, kErdosRenyi, kGrid, kStar, kChain };
+
+struct SweepCase {
+  Topology topology;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const char* topo = "";
+  switch (info.param.topology) {
+    case Topology::kRmat: topo = "rmat"; break;
+    case Topology::kErdosRenyi: topo = "er"; break;
+    case Topology::kGrid: topo = "grid"; break;
+    case Topology::kStar: topo = "star"; break;
+    case Topology::kChain: topo = "chain"; break;
+  }
+  return std::string(topo) + "_seed" + std::to_string(info.param.seed);
+}
+
+graph::CsrGraph build(const SweepCase& c) {
+  switch (c.topology) {
+    case Topology::kRmat: {
+      graph::RmatParams p;
+      p.scale = 8;
+      p.edge_factor = 5;
+      p.seed = c.seed;
+      return graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
+    }
+    case Topology::kErdosRenyi:
+      return graph::CsrGraph::from_edge_list(
+          graph::generate_erdos_renyi(300, 1500, c.seed));
+    case Topology::kGrid:
+      return graph::CsrGraph::from_edge_list(graph::generate_grid(20, 15));
+    case Topology::kStar:
+      return graph::CsrGraph::from_edge_list(graph::generate_star(200));
+    case Topology::kChain:
+      return graph::CsrGraph::from_edge_list(graph::generate_chain(150));
+  }
+  throw Error("unreachable");
+}
+
+template <core::VertexApp App>
+std::vector<typename App::Value> run_mlvc(const graph::CsrGraph& csr, App app,
+                                          Superstep max_steps) {
+  ssd::TempDir dir;
+  ssd::DeviceConfig dev;
+  dev.page_size = 4_KiB;
+  ssd::Storage storage(dir.path(), dev);
+  auto opts = testing_options();
+  opts.memory_budget_bytes = 256_KiB;  // stress multi-interval paths
+  opts.max_supersteps = max_steps;
+  graph::StoredCsrGraph stored(storage, "g", csr,
+                               core::partition_for_app<App>(csr, opts));
+  core::MultiLogVCEngine<App> engine(stored, app, opts);
+  engine.run();
+  return engine.values();
+}
+
+template <core::VertexApp App>
+std::vector<typename App::Value> run_graphchi(const graph::CsrGraph& csr,
+                                              App app, Superstep max_steps) {
+  ssd::TempDir dir;
+  ssd::DeviceConfig dev;
+  dev.page_size = 4_KiB;
+  ssd::Storage storage(dir.path(), dev);
+  graphchi::GraphChiOptions opts;
+  opts.memory_budget_bytes = 256_KiB;
+  opts.max_supersteps = max_steps;
+  graphchi::GraphChiEngine<App> engine(storage, csr, app, opts);
+  engine.run();
+  return engine.values();
+}
+
+template <core::VertexApp App>
+std::vector<typename App::Value> run_grafboost(const graph::CsrGraph& csr,
+                                               App app, Superstep max_steps) {
+  ssd::TempDir dir;
+  ssd::DeviceConfig dev;
+  dev.page_size = 4_KiB;
+  ssd::Storage storage(dir.path(), dev);
+  auto opts = testing_options();
+  graph::StoredCsrGraph stored(storage, "g", csr,
+                               core::partition_for_app<App>(csr, opts));
+  grafboost::GraFBoostOptions gopts;
+  gopts.memory_budget_bytes = 256_KiB;
+  gopts.max_supersteps = max_steps;
+  gopts.use_combine = App::kHasCombine;
+  grafboost::GraFBoostEngine<App> engine(stored, app, gopts);
+  engine.run();
+  return engine.values();
+}
+
+class EngineSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EngineSweep, BfsAllEnginesMatchReference) {
+  const auto csr = build(GetParam());
+  apps::Bfs app{.source = 0};
+  const auto expected = reference::bfs_distances(csr, 0);
+  const auto a = run_mlvc(csr, app, 300);
+  const auto b = run_graphchi(csr, app, 300);
+  const auto c = run_grafboost(csr, app, 300);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    ASSERT_EQ(a[v], expected[v]) << "mlvc v=" << v;
+    ASSERT_EQ(b[v], expected[v]) << "graphchi v=" << v;
+    ASSERT_EQ(c[v], expected[v]) << "grafboost v=" << v;
+  }
+}
+
+TEST_P(EngineSweep, CdlpAllEnginesMatchReference) {
+  const auto csr = build(GetParam());
+  apps::Cdlp app;
+  const auto expected = reference::cdlp_labels(csr, 15);
+  const auto a = run_mlvc(csr, app, 15);
+  const auto b = run_graphchi(csr, app, 15);
+  const auto c = run_grafboost(csr, app, 15);
+  EXPECT_EQ(a, expected);
+  EXPECT_EQ(b, expected);
+  EXPECT_EQ(c, expected);
+}
+
+TEST_P(EngineSweep, ColoringValidEverywhereAndIdentical) {
+  const auto csr = build(GetParam());
+  apps::GraphColoring app;
+  const auto a = run_mlvc(csr, app, 400);
+  const auto b = run_graphchi(csr, app, 400);
+  EXPECT_TRUE(reference::coloring_is_valid(csr, a)) << "mlvc";
+  EXPECT_TRUE(reference::coloring_is_valid(csr, b)) << "graphchi";
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(EngineSweep, MisValidEverywhereAndIdentical) {
+  const auto csr = build(GetParam());
+  apps::Mis app;
+  const auto a = run_mlvc(csr, app, 400);
+  const auto b = run_graphchi(csr, app, 400);
+  EXPECT_TRUE(reference::mis_is_valid(csr, a)) << "mlvc";
+  EXPECT_TRUE(reference::mis_is_valid(csr, b)) << "graphchi";
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, EngineSweep,
+    ::testing::Values(SweepCase{Topology::kRmat, 101},
+                      SweepCase{Topology::kRmat, 202},
+                      SweepCase{Topology::kRmat, 303},
+                      SweepCase{Topology::kErdosRenyi, 404},
+                      SweepCase{Topology::kErdosRenyi, 505},
+                      SweepCase{Topology::kGrid, 1},
+                      SweepCase{Topology::kStar, 1},
+                      SweepCase{Topology::kChain, 1}),
+    case_name);
+
+}  // namespace
+}  // namespace mlvc

@@ -1,0 +1,152 @@
+// Tests for the binary graph container and the CLI argument parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/args.hpp"
+#include "graph/generators.hpp"
+#include "graph/serialization.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc {
+namespace {
+
+TEST(Serialization, RoundTripUnweighted) {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 5;
+  p.seed = 33;
+  const auto csr = graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
+  std::stringstream buf;
+  graph::save_csr(csr, buf, /*with_weights=*/false);
+  const auto back = graph::load_csr(buf);
+  ASSERT_EQ(back.num_vertices(), csr.num_vertices());
+  ASSERT_EQ(back.num_edges(), csr.num_edges());
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    const auto a = csr.neighbors(v);
+    const auto b = back.neighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(a.begin(), a.end()),
+              std::vector<VertexId>(b.begin(), b.end()));
+  }
+}
+
+TEST(Serialization, RoundTripWeighted) {
+  graph::EdgeList list;
+  list.set_num_vertices(4);
+  list.add(0, 1, 1.25f);
+  list.add(1, 2, 2.5f);
+  list.add(2, 3, 3.75f);
+  const auto csr = graph::CsrGraph::from_edge_list(list);
+  std::stringstream buf;
+  graph::save_csr(csr, buf);
+  const auto back = graph::load_csr(buf);
+  EXPECT_FLOAT_EQ(back.weights(0)[0], 1.25f);
+  EXPECT_FLOAT_EQ(back.weights(2)[0], 3.75f);
+}
+
+TEST(Serialization, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "definitely not a graph";
+  EXPECT_THROW(graph::load_csr(buf), InvalidArgument);
+}
+
+TEST(Serialization, RejectsTruncation) {
+  graph::EdgeList list;
+  list.set_num_vertices(10);
+  list.add(0, 1);
+  const auto csr = graph::CsrGraph::from_edge_list(list);
+  std::stringstream buf;
+  graph::save_csr(csr, buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(graph::load_csr(cut), InvalidArgument);
+}
+
+TEST(Serialization, RejectsCorruptRowPtr) {
+  graph::EdgeList list;
+  list.set_num_vertices(3);
+  list.add(0, 1);
+  const auto csr = graph::CsrGraph::from_edge_list(list);
+  std::stringstream buf;
+  graph::save_csr(csr, buf);
+  std::string bytes = buf.str();
+  // Flip a row-pointer byte (header is 24 bytes; rowptr follows).
+  bytes[25] = static_cast<char>(0xFF);
+  std::stringstream broken(bytes);
+  EXPECT_THROW(graph::load_csr(broken), InvalidArgument);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  ssd::TempDir dir;
+  const auto path = dir.path() / "g.mlvc";
+  const auto csr = graph::CsrGraph::from_edge_list(graph::generate_chain(50));
+  graph::save_csr(csr, path);
+  const auto back = graph::load_csr(path);
+  EXPECT_EQ(back.num_edges(), csr.num_edges());
+  EXPECT_THROW(graph::load_csr(dir.path() / "missing.mlvc"), IoError);
+}
+
+// ---- ArgParser -------------------------------------------------------------
+
+TEST(ArgParser, ParsesBothForms) {
+  ArgParser args("t", "test");
+  args.option("alpha", "a", "0").option("beta", "b", "x");
+  const char* argv[] = {"t", "--alpha", "42", "--beta=hello"};
+  args.parse(4, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 42);
+  EXPECT_EQ(args.get_string("beta", ""), "hello");
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser args("t", "test");
+  args.option("alpha", "a", "7");
+  const char* argv[] = {"t"};
+  args.parse(1, argv);
+  EXPECT_EQ(args.get_int("alpha", 7), 7);
+  EXPECT_FALSE(args.has("alpha"));
+}
+
+TEST(ArgParser, RequiredMissingThrows) {
+  ArgParser args("t", "test");
+  args.option("needed", "required thing");
+  const char* argv[] = {"t"};
+  EXPECT_THROW(args.parse(1, argv), InvalidArgument);
+}
+
+TEST(ArgParser, UnknownOptionThrows) {
+  ArgParser args("t", "test");
+  args.option("alpha", "a", "0");
+  const char* argv[] = {"t", "--bogus", "1"};
+  EXPECT_THROW(args.parse(3, argv), InvalidArgument);
+}
+
+TEST(ArgParser, FlagsNeedNoValue) {
+  ArgParser args("t", "test");
+  args.option("verbose", "flag", "false").option("alpha", "a", "0");
+  const char* argv[] = {"t", "--verbose", "--alpha", "3"};
+  args.parse(4, argv);
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+}
+
+TEST(ArgParser, BadIntThrows) {
+  ArgParser args("t", "test");
+  args.option("alpha", "a", "0");
+  const char* argv[] = {"t", "--alpha", "xyz"};
+  args.parse(3, argv);
+  EXPECT_THROW(args.get_int("alpha", 0), InvalidArgument);
+}
+
+TEST(ParseBytes, SuffixesWork) {
+  EXPECT_EQ(parse_bytes("4096"), 4096u);
+  EXPECT_EQ(parse_bytes("4K"), 4096u);
+  EXPECT_EQ(parse_bytes("4k"), 4096u);
+  EXPECT_EQ(parse_bytes("2M"), 2u << 20);
+  EXPECT_EQ(parse_bytes("1G"), 1u << 30);
+  EXPECT_THROW(parse_bytes("12Q"), InvalidArgument);
+  EXPECT_THROW(parse_bytes(""), InvalidArgument);
+  EXPECT_THROW(parse_bytes("abc"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mlvc

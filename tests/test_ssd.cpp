@@ -1,0 +1,360 @@
+// Unit tests for the storage layer: blobs, page accounting, the device
+// model (channels, sequential discount), the page cache, and async I/O.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "ssd/async_io.hpp"
+#include "ssd/page_cache.hpp"
+#include "ssd/storage.hpp"
+
+namespace mlvc {
+namespace {
+
+ssd::DeviceConfig small_pages() {
+  ssd::DeviceConfig d;
+  d.page_size = 4_KiB;
+  return d;
+}
+
+TEST(Storage, BlobRoundTrip) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  const std::string payload = "hello multilog";
+  blob.append(payload.data(), payload.size());
+  EXPECT_EQ(blob.size(), payload.size());
+
+  std::string back(payload.size(), '\0');
+  blob.read(0, back.data(), back.size());
+  EXPECT_EQ(back, payload);
+}
+
+TEST(Storage, ReadPastEndThrows) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  char c = 'x';
+  blob.append(&c, 1);
+  EXPECT_THROW(blob.read(0, &c, 2), Error);
+  EXPECT_THROW(blob.read(5, &c, 1), Error);
+}
+
+TEST(Storage, WriteExtendsAndOverwrites) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::uint32_t v = 1;
+  blob.write(100, &v, sizeof(v));
+  EXPECT_EQ(blob.size(), 104u);
+  v = 2;
+  blob.write(100, &v, sizeof(v));
+  EXPECT_EQ(blob.size(), 104u);
+  std::uint32_t back = 0;
+  blob.read(100, &back, sizeof(back));
+  EXPECT_EQ(back, 2u);
+}
+
+TEST(Storage, TruncateShrinks) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<char> data(10000, 'z');
+  blob.append(data.data(), data.size());
+  blob.truncate(100);
+  EXPECT_EQ(blob.size(), 100u);
+  char c;
+  EXPECT_THROW(blob.read(100, &c, 1), Error);
+}
+
+TEST(Storage, PageAccountingCountsTouchedPages) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kCsrColIdx);
+  std::vector<char> data(16_KiB, 'x');  // 4 pages
+  blob.append(data.data(), data.size());
+  auto snap = storage.stats().snapshot();
+  EXPECT_EQ(snap[ssd::IoCategory::kCsrColIdx].pages_written, 4u);
+
+  // A 100-byte read straddling a page boundary costs 2 pages.
+  char buf[100];
+  blob.read(4_KiB - 50, buf, 100);
+  snap = storage.stats().snapshot();
+  EXPECT_EQ(snap[ssd::IoCategory::kCsrColIdx].pages_read, 2u);
+  EXPECT_EQ(snap[ssd::IoCategory::kCsrColIdx].bytes_read, 100u);
+}
+
+TEST(Storage, ConcurrentAppendsDoNotOverlap) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  constexpr int kThreads = 8, kPerThread = 200;
+  {
+    ThreadPool pool(kThreads);
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < kThreads; ++t) {
+      futures.push_back(pool.submit([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::uint64_t value =
+              (static_cast<std::uint64_t>(t) << 32) | i;
+          blob.append(&value, sizeof(value));
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(blob.size(), sizeof(std::uint64_t) * kThreads * kPerThread);
+  // Every written value must be present exactly once.
+  std::vector<std::uint64_t> values(kThreads * kPerThread);
+  blob.read(0, values.data(), values.size() * sizeof(values[0]));
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(std::unique(values.begin(), values.end()), values.end());
+}
+
+TEST(Storage, BlobNamespacing) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  storage.create_blob("csr/0/colidx", ssd::IoCategory::kCsrColIdx);
+  storage.create_blob("csr/1/colidx", ssd::IoCategory::kCsrColIdx);
+  EXPECT_TRUE(storage.has_blob("csr/0/colidx"));
+  EXPECT_TRUE(storage.has_blob("csr/1/colidx"));
+  EXPECT_FALSE(storage.has_blob("csr/2/colidx"));
+  EXPECT_THROW(storage.open_blob("csr/2/colidx"), InvalidArgument);
+  storage.remove_blob("csr/0/colidx");
+  EXPECT_FALSE(storage.has_blob("csr/0/colidx"));
+}
+
+TEST(Storage, CreateBlobTruncatesExisting) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& a = storage.create_blob("a", ssd::IoCategory::kMisc);
+  char c = 'x';
+  a.append(&c, 1);
+  ssd::Blob& b = storage.create_blob("a", ssd::IoCategory::kMisc);
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(Storage, TypedHelpers) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<std::uint32_t> values = {1, 2, 3, 4, 5};
+  blob.append_span<std::uint32_t>(values);
+  EXPECT_EQ(blob.element_count<std::uint32_t>(), 5u);
+  const auto back = blob.read_vector<std::uint32_t>(1, 3);
+  EXPECT_EQ(back, (std::vector<std::uint32_t>{2, 3, 4}));
+}
+
+// ---- DeviceModel -----------------------------------------------------------
+
+TEST(DeviceModel, ChannelsAccumulateIndependently) {
+  ssd::DeviceConfig cfg;
+  cfg.num_channels = 4;
+  cfg.page_read_us = 100;
+  cfg.sequential_factor = 1.0;
+  ssd::DeviceModel dev(cfg);
+  // All pages to the same (blob, page) -> one channel: serial time.
+  for (int i = 0; i < 10; ++i) dev.record(1, 0, false, 1.0);
+  EXPECT_DOUBLE_EQ(dev.modeled_seconds(), 10 * 100e-6);
+  dev.reset();
+  // Consecutive pages stripe across channels: parallel time.
+  for (std::uint64_t p = 0; p < 8; ++p) dev.record(1, p, false, 1.0);
+  EXPECT_DOUBLE_EQ(dev.modeled_seconds(), 2 * 100e-6);  // 8 pages / 4 channels
+}
+
+TEST(DeviceModel, SequentialDiscountApplied) {
+  ssd::DeviceConfig cfg;
+  cfg.page_size = 4_KiB;
+  cfg.num_channels = 1;
+  cfg.page_read_us = 100;
+  cfg.sequential_factor = 0.5;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), cfg);
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<char> data(16_KiB, 'x');
+  blob.append(data.data(), data.size());  // 4 pages: 1 full + 3 discounted
+  const double write_time = storage.device().modeled_seconds();
+  const double expected_w = (1.0 + 3 * 0.5) * cfg.page_write_us * 1e-6;
+  EXPECT_NEAR(write_time, expected_w, 1e-9);
+
+  const auto before = storage.device().snapshot();
+  blob.read(0, data.data(), data.size());
+  const double read_time = storage.device().modeled_seconds_between(
+      before, storage.device().snapshot());
+  EXPECT_NEAR(read_time, (1.0 + 3 * 0.5) * 100e-6, 1e-9);
+}
+
+TEST(DeviceModel, SeparateCallsPayFullFirstPage) {
+  ssd::DeviceConfig cfg;
+  cfg.page_size = 4_KiB;
+  cfg.num_channels = 1;
+  cfg.page_read_us = 100;
+  cfg.sequential_factor = 0.5;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), cfg);
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<char> data(16_KiB, 'x');
+  blob.append(data.data(), data.size());
+
+  const auto before = storage.device().snapshot();
+  char buf[64];
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    blob.read(p * 4_KiB, buf, sizeof(buf));  // 4 separate commands
+  }
+  const double t = storage.device().modeled_seconds_between(
+      before, storage.device().snapshot());
+  EXPECT_NEAR(t, 4 * 100e-6, 1e-9);  // no discount across calls
+}
+
+TEST(DeviceModel, InvalidConfigRejected) {
+  ssd::DeviceConfig cfg;
+  cfg.page_size = 1000;  // not a power of two
+  EXPECT_THROW(ssd::DeviceModel{cfg}, Error);
+  cfg = ssd::DeviceConfig{};
+  cfg.sequential_factor = 0.0;
+  EXPECT_THROW(ssd::DeviceModel{cfg}, Error);
+  cfg = ssd::DeviceConfig{};
+  cfg.num_channels = 0;
+  EXPECT_THROW(ssd::DeviceModel{cfg}, Error);
+}
+
+// ---- IoStats ---------------------------------------------------------------
+
+TEST(IoStats, SnapshotDiff) {
+  ssd::IoStats stats;
+  stats.record_read(ssd::IoCategory::kShard, 5, 5000);
+  const auto a = stats.snapshot();
+  stats.record_read(ssd::IoCategory::kShard, 3, 3000);
+  stats.record_write(ssd::IoCategory::kMessageLog, 2, 2000);
+  const auto diff = stats.snapshot() - a;
+  EXPECT_EQ(diff[ssd::IoCategory::kShard].pages_read, 3u);
+  EXPECT_EQ(diff[ssd::IoCategory::kMessageLog].pages_written, 2u);
+  EXPECT_EQ(diff.total_pages(), 5u);
+}
+
+// ---- PageCache -------------------------------------------------------------
+
+TEST(PageCache, HitsAvoidDeviceTraffic) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<std::uint32_t> data(4096);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint32_t>(i);
+  }
+  blob.append(data.data(), data.size() * 4);
+
+  ssd::PageCache cache(storage, 64_KiB);
+  std::uint32_t v = 0;
+  cache.read(blob, 100 * 4, &v, 4);
+  EXPECT_EQ(v, 100u);
+  const auto after_first = storage.stats().snapshot();
+  cache.read(blob, 104 * 4, &v, 4);  // same page: must be a hit
+  EXPECT_EQ(v, 104u);
+  EXPECT_EQ(storage.stats().snapshot().total_pages_read(),
+            after_first.total_pages_read());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PageCache, EvictsUnderPressure) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<char> data(64_KiB, 'x');
+  blob.append(data.data(), data.size());
+
+  ssd::PageCache cache(storage, 8_KiB);  // 2 frames of 4 KiB
+  char c;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t p = 0; p < 8; ++p) {
+      cache.read(blob, p * 4_KiB, &c, 1);
+    }
+  }
+  EXPECT_GT(cache.misses(), 8u);  // capacity misses occurred
+}
+
+TEST(PageCache, CrossPageRead) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<char> data(8_KiB);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i % 251);
+  }
+  blob.append(data.data(), data.size());
+  ssd::PageCache cache(storage, 16_KiB);
+  std::vector<char> out(300);
+  cache.read(blob, 4_KiB - 150, out.data(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<char>((4_KiB - 150 + i) % 251));
+  }
+}
+
+TEST(PageCache, InvalidateDropsEverything) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::uint32_t v = 7;
+  blob.append(&v, 4);
+  ssd::PageCache cache(storage, 8_KiB);
+  std::uint32_t out;
+  cache.read(blob, 0, &out, 4);
+  EXPECT_EQ(out, 7u);
+  v = 9;
+  blob.write(0, &v, 4);
+  cache.read(blob, 0, &out, 4);
+  EXPECT_EQ(out, 7u);  // stale: cache not invalidated yet
+  cache.invalidate();
+  cache.read(blob, 0, &out, 4);
+  EXPECT_EQ(out, 9u);
+}
+
+// ---- AsyncIo ---------------------------------------------------------------
+
+TEST(AsyncIo, ParallelReadsComplete) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<std::uint64_t> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = i * 3;
+  blob.append(data.data(), data.size() * 8);
+
+  ssd::AsyncIo io(4);
+  std::vector<std::uint64_t> out(data.size());
+  ssd::IoBatch batch;
+  constexpr std::size_t kChunk = 512;
+  for (std::size_t off = 0; off < data.size(); off += kChunk) {
+    batch.add(io.read(blob, off * 8, out.data() + off, kChunk * 8));
+  }
+  batch.wait();
+  EXPECT_EQ(out, data);
+}
+
+TEST(AsyncIo, ErrorsSurfaceOnWait) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  char c = 'x';
+  blob.append(&c, 1);
+  ssd::AsyncIo io(2);
+  ssd::IoBatch batch;
+  char buf[64];
+  batch.add(io.read(blob, 1000, buf, 64));  // past EOF
+  EXPECT_THROW(batch.wait(), Error);
+}
+
+TEST(TempDir, CreatesUniqueAndCleansUp) {
+  std::filesystem::path p;
+  {
+    ssd::TempDir a, b;
+    p = a.path();
+    EXPECT_NE(a.path(), b.path());
+    EXPECT_TRUE(std::filesystem::exists(a.path()));
+  }
+  EXPECT_FALSE(std::filesystem::exists(p));
+}
+
+}  // namespace
+}  // namespace mlvc

@@ -1,0 +1,17 @@
+// Shared test configuration helpers.
+#pragma once
+
+#include "core/options.hpp"
+
+namespace mlvc {
+
+/// Small budgets + small pages so even tiny test graphs exercise the
+/// out-of-core paths (multiple intervals, log spills, page coalescing).
+inline core::EngineOptions testing_options() {
+  core::EngineOptions opts;
+  opts.memory_budget_bytes = 2_MiB;
+  opts.max_supersteps = 50;
+  return opts;
+}
+
+}  // namespace mlvc

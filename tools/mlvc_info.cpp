@@ -1,0 +1,35 @@
+// mlvc_info — print statistics of a binary MLVC graph file.
+//
+//   mlvc_info --graph g.mlvc
+#include <iostream>
+
+#include "common/args.hpp"
+#include "common/format.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/serialization.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlvc;
+  ArgParser args("mlvc_info", "inspect a binary MLVC graph file");
+  args.option("graph", "MLVC graph file");
+  try {
+    args.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  try {
+    const auto csr = graph::load_csr(args.get_string("graph"));
+    const auto stats = graph::compute_stats(csr);
+    std::cout << args.get_string("graph") << "\n  " << stats.to_string()
+              << "\n  weights: " << (csr.has_weights() ? "yes" : "no")
+              << "\n  on-disk CSR size: "
+              << format_bytes((csr.num_vertices() + 1) * sizeof(EdgeIndex) +
+                              csr.num_edges() * sizeof(VertexId))
+              << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
