@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_active_shrink.dir/bench_fig2_active_shrink.cpp.o"
+  "CMakeFiles/bench_fig2_active_shrink.dir/bench_fig2_active_shrink.cpp.o.d"
+  "bench_fig2_active_shrink"
+  "bench_fig2_active_shrink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_active_shrink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_supersteps.dir/bench_fig7_supersteps.cpp.o"
+  "CMakeFiles/bench_fig7_supersteps.dir/bench_fig7_supersteps.cpp.o.d"
+  "bench_fig7_supersteps"
+  "bench_fig7_supersteps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_supersteps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_grafboost.dir/bench_fig8_grafboost.cpp.o"
+  "CMakeFiles/bench_fig8_grafboost.dir/bench_fig8_grafboost.cpp.o.d"
+  "bench_fig8_grafboost"
+  "bench_fig8_grafboost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_grafboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

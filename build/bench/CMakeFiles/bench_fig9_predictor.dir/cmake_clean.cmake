@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_predictor.dir/bench_fig9_predictor.cpp.o"
+  "CMakeFiles/bench_fig9_predictor.dir/bench_fig9_predictor.cpp.o.d"
+  "bench_fig9_predictor"
+  "bench_fig9_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_engines.dir/bench_related_engines.cpp.o"
+  "CMakeFiles/bench_related_engines.dir/bench_related_engines.cpp.o.d"
+  "bench_related_engines"
+  "bench_related_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_common.dir/args.cpp.o"
+  "CMakeFiles/mlvc_common.dir/args.cpp.o.d"
+  "CMakeFiles/mlvc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mlvc_common.dir/thread_pool.cpp.o.d"
+  "libmlvc_common.a"
+  "libmlvc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_core.dir/graph_loader.cpp.o"
+  "CMakeFiles/mlvc_core.dir/graph_loader.cpp.o.d"
+  "libmlvc_core.a"
+  "libmlvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

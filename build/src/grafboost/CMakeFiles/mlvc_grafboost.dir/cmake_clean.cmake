@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_grafboost.dir/external_sorter.cpp.o"
+  "CMakeFiles/mlvc_grafboost.dir/external_sorter.cpp.o.d"
+  "libmlvc_grafboost.a"
+  "libmlvc_grafboost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_grafboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

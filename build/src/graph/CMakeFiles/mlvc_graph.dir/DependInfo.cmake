@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/mlvc_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/mlvc_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/graph/CMakeFiles/mlvc_graph.dir/edge_list.cpp.o" "gcc" "src/graph/CMakeFiles/mlvc_graph.dir/edge_list.cpp.o.d"
+  "/root/repo/src/graph/external_builder.cpp" "src/graph/CMakeFiles/mlvc_graph.dir/external_builder.cpp.o" "gcc" "src/graph/CMakeFiles/mlvc_graph.dir/external_builder.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/mlvc_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/mlvc_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph_stats.cpp" "src/graph/CMakeFiles/mlvc_graph.dir/graph_stats.cpp.o" "gcc" "src/graph/CMakeFiles/mlvc_graph.dir/graph_stats.cpp.o.d"
+  "/root/repo/src/graph/intervals.cpp" "src/graph/CMakeFiles/mlvc_graph.dir/intervals.cpp.o" "gcc" "src/graph/CMakeFiles/mlvc_graph.dir/intervals.cpp.o.d"
+  "/root/repo/src/graph/serialization.cpp" "src/graph/CMakeFiles/mlvc_graph.dir/serialization.cpp.o" "gcc" "src/graph/CMakeFiles/mlvc_graph.dir/serialization.cpp.o.d"
+  "/root/repo/src/graph/snap_loader.cpp" "src/graph/CMakeFiles/mlvc_graph.dir/snap_loader.cpp.o" "gcc" "src/graph/CMakeFiles/mlvc_graph.dir/snap_loader.cpp.o.d"
+  "/root/repo/src/graph/stored_csr.cpp" "src/graph/CMakeFiles/mlvc_graph.dir/stored_csr.cpp.o" "gcc" "src/graph/CMakeFiles/mlvc_graph.dir/stored_csr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/mlvc_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_graph.dir/csr.cpp.o"
+  "CMakeFiles/mlvc_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/mlvc_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/mlvc_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/mlvc_graph.dir/external_builder.cpp.o"
+  "CMakeFiles/mlvc_graph.dir/external_builder.cpp.o.d"
+  "CMakeFiles/mlvc_graph.dir/generators.cpp.o"
+  "CMakeFiles/mlvc_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mlvc_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/mlvc_graph.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/mlvc_graph.dir/intervals.cpp.o"
+  "CMakeFiles/mlvc_graph.dir/intervals.cpp.o.d"
+  "CMakeFiles/mlvc_graph.dir/serialization.cpp.o"
+  "CMakeFiles/mlvc_graph.dir/serialization.cpp.o.d"
+  "CMakeFiles/mlvc_graph.dir/snap_loader.cpp.o"
+  "CMakeFiles/mlvc_graph.dir/snap_loader.cpp.o.d"
+  "CMakeFiles/mlvc_graph.dir/stored_csr.cpp.o"
+  "CMakeFiles/mlvc_graph.dir/stored_csr.cpp.o.d"
+  "libmlvc_graph.a"
+  "libmlvc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

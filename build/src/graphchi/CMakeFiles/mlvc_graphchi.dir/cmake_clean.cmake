@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_graphchi.dir/sharded_graph.cpp.o"
+  "CMakeFiles/mlvc_graphchi.dir/sharded_graph.cpp.o.d"
+  "libmlvc_graphchi.a"
+  "libmlvc_graphchi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_graphchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mlvc_graphchi.
+# This may be replaced when dependencies are built.

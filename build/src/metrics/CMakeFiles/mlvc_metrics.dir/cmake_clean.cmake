@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_metrics.dir/json_export.cpp.o"
+  "CMakeFiles/mlvc_metrics.dir/json_export.cpp.o.d"
+  "CMakeFiles/mlvc_metrics.dir/report.cpp.o"
+  "CMakeFiles/mlvc_metrics.dir/report.cpp.o.d"
+  "libmlvc_metrics.a"
+  "libmlvc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multilog/edge_log.cpp" "src/multilog/CMakeFiles/mlvc_multilog.dir/edge_log.cpp.o" "gcc" "src/multilog/CMakeFiles/mlvc_multilog.dir/edge_log.cpp.o.d"
+  "/root/repo/src/multilog/multilog_store.cpp" "src/multilog/CMakeFiles/mlvc_multilog.dir/multilog_store.cpp.o" "gcc" "src/multilog/CMakeFiles/mlvc_multilog.dir/multilog_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/mlvc_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mlvc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_multilog.dir/edge_log.cpp.o"
+  "CMakeFiles/mlvc_multilog.dir/edge_log.cpp.o.d"
+  "CMakeFiles/mlvc_multilog.dir/multilog_store.cpp.o"
+  "CMakeFiles/mlvc_multilog.dir/multilog_store.cpp.o.d"
+  "libmlvc_multilog.a"
+  "libmlvc_multilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_multilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_ssd.dir/storage.cpp.o"
+  "CMakeFiles/mlvc_ssd.dir/storage.cpp.o.d"
+  "libmlvc_ssd.a"
+  "libmlvc_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

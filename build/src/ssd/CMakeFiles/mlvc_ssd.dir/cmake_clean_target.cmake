@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlvc_ssd.a"
+)

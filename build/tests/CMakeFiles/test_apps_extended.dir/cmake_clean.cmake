@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_extended.dir/test_apps_extended.cpp.o"
+  "CMakeFiles/test_apps_extended.dir/test_apps_extended.cpp.o.d"
+  "test_apps_extended"
+  "test_apps_extended.pdb"
+  "test_apps_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_async_and_misc.cpp" "tests/CMakeFiles/test_async_and_misc.dir/test_async_and_misc.cpp.o" "gcc" "tests/CMakeFiles/test_async_and_misc.dir/test_async_and_misc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mlvc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/mlvc_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mlvc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/multilog/CMakeFiles/mlvc_multilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mlvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphchi/CMakeFiles/mlvc_graphchi.dir/DependInfo.cmake"
+  "/root/repo/build/src/grafboost/CMakeFiles/mlvc_grafboost.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mlvc_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_and_misc.dir/test_async_and_misc.cpp.o"
+  "CMakeFiles/test_async_and_misc.dir/test_async_and_misc.cpp.o.d"
+  "test_async_and_misc"
+  "test_async_and_misc.pdb"
+  "test_async_and_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_and_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

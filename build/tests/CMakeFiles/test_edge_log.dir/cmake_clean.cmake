@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_log.dir/test_edge_log.cpp.o"
+  "CMakeFiles/test_edge_log.dir/test_edge_log.cpp.o.d"
+  "test_edge_log"
+  "test_edge_log.pdb"
+  "test_edge_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_features.dir/test_engine_features.cpp.o"
+  "CMakeFiles/test_engine_features.dir/test_engine_features.cpp.o.d"
+  "test_engine_features"
+  "test_engine_features.pdb"
+  "test_engine_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grafboost.dir/test_grafboost.cpp.o"
+  "CMakeFiles/test_grafboost.dir/test_grafboost.cpp.o.d"
+  "test_grafboost"
+  "test_grafboost.pdb"
+  "test_grafboost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grafboost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphchi.dir/test_graphchi.cpp.o"
+  "CMakeFiles/test_graphchi.dir/test_graphchi.cpp.o.d"
+  "test_graphchi"
+  "test_graphchi.pdb"
+  "test_graphchi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

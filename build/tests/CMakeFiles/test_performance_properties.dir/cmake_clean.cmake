@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_performance_properties.dir/test_performance_properties.cpp.o"
+  "CMakeFiles/test_performance_properties.dir/test_performance_properties.cpp.o.d"
+  "test_performance_properties"
+  "test_performance_properties.pdb"
+  "test_performance_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_performance_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stored_csr.dir/test_stored_csr.cpp.o"
+  "CMakeFiles/test_stored_csr.dir/test_stored_csr.cpp.o.d"
+  "test_stored_csr"
+  "test_stored_csr.pdb"
+  "test_stored_csr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stored_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

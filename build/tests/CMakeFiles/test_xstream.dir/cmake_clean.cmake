@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xstream.dir/test_xstream.cpp.o"
+  "CMakeFiles/test_xstream.dir/test_xstream.cpp.o.d"
+  "test_xstream"
+  "test_xstream.pdb"
+  "test_xstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

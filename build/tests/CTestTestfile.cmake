@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_engine_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_grafboost[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_ssd[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_stored_csr[1]_include.cmake")
+include("/root/repo/build/tests/test_multilog[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_log[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_graphchi[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_features[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_serialization[1]_include.cmake")
+include("/root/repo/build/tests/test_xstream[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_performance_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_async_and_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")

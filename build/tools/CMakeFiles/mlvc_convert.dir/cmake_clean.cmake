@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_convert.dir/mlvc_convert.cpp.o"
+  "CMakeFiles/mlvc_convert.dir/mlvc_convert.cpp.o.d"
+  "mlvc_convert"
+  "mlvc_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

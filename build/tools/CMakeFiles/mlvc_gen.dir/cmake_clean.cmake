@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_gen.dir/mlvc_gen.cpp.o"
+  "CMakeFiles/mlvc_gen.dir/mlvc_gen.cpp.o.d"
+  "mlvc_gen"
+  "mlvc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_info.dir/mlvc_info.cpp.o"
+  "CMakeFiles/mlvc_info.dir/mlvc_info.cpp.o.d"
+  "mlvc_info"
+  "mlvc_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlvc_run.dir/mlvc_run.cpp.o"
+  "CMakeFiles/mlvc_run.dir/mlvc_run.cpp.o.d"
+  "mlvc_run"
+  "mlvc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlvc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
