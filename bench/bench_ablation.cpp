@@ -2,7 +2,8 @@
 //   - edge-log optimizer on/off (§V.C),
 //   - interval fusion on/off (§V.A.2),
 //   - combine optimization on/off for combinable apps (§V.D),
-//   - predictor history depth N ∈ {0, 1, 2, 4}.
+//   - predictor history depth N ∈ {0, 1, 2, 4},
+//   - pipelined superstep execution on/off, plus single-I/O-thread (§VI).
 // Each row reports modeled time and pages relative to the full default
 // configuration, on BFS (frontier workload) and CDLP (all-message workload).
 #include "apps/bfs.hpp"
@@ -35,6 +36,9 @@ void ablate(const Dataset& data, App app, metrics::Table& table) {
        [](core::EngineOptions& o) { o.predictor_history = 2; }},
       {"predictor_N4",
        [](core::EngineOptions& o) { o.predictor_history = 4; }},
+      {"no_pipeline",
+       [](core::EngineOptions& o) { o.enable_pipeline = false; }},
+      {"pipeline_1io", [](core::EngineOptions& o) { o.io_threads = 1; }},
   };
 
   double base_time = 0;
@@ -57,7 +61,9 @@ void ablate(const Dataset& data, App app, metrics::Table& table) {
                    format_fixed(base_pages > 0
                                     ? static_cast<double>(pages) / base_pages
                                     : 0.0,
-                                3)});
+                                3),
+                   format_fixed(stats.total_wall_seconds(), 3),
+                   format_fixed(stats.io_wait_seconds(), 3)});
   }
 }
 
@@ -66,7 +72,8 @@ void run() {
                "edge log (§V.C), interval fusion (§V.A.2), combine (§V.D), "
                "predictor depth N (paper: N=1 'proved effective')");
   metrics::Table table({"dataset", "app", "variant", "modeled_s", "pages",
-                        "time_vs_default", "pages_vs_default"});
+                        "time_vs_default", "pages_vs_default", "wall_s",
+                        "io_wait_s"});
   for (const auto& data : {make_cf(), make_yws()}) {
     ablate(data, apps::Bfs{.source = 0}, table);
     ablate(data, apps::Cdlp{}, table);

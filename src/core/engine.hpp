@@ -15,9 +15,19 @@
 //      scatter values back;
 //   4. close the superstep: score/advance the predictor, summarize page
 //      utilization, apply buffered structural updates, swap log generations.
+//
+// With options.enable_pipeline the superstep is staged (§VI async I/O):
+// interval group k+1's load/decode/sort runs on ssd::AsyncIo threads while
+// group k computes (synchronous model only — asynchronous-mode loads drain
+// messages produced earlier in the same superstep), and within an interval
+// the next active-vertex batches' adjacency/value loads are prefetched up to
+// options.prefetch_depth ahead of the batch being computed. Vertex values
+// are identical to the serial path; only the overlap changes.
 #pragma once
 
 #include <atomic>
+#include <deque>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -39,6 +49,7 @@
 #include "multilog/page_util.hpp"
 #include "multilog/predictor.hpp"
 #include "multilog/sort_group.hpp"
+#include "ssd/async_io.hpp"
 
 namespace mlvc::core {
 
@@ -64,9 +75,14 @@ class MultiLogVCEngine {
       : graph_(graph),
         app_(std::move(app)),
         options_(options),
+        async_io_(options.enable_pipeline && options.io_threads > 0
+                      ? std::make_unique<ssd::AsyncIo>(options.io_threads)
+                      : nullptr),
         store_(graph.storage(), "mlvc", graph.intervals(),
                multilog::MultiLogConfig{
-                   sizeof(Rec), options.log_buffer_budget()}),
+                   .record_size = sizeof(Rec),
+                   .buffer_budget_bytes = options.log_buffer_budget(),
+                   .async_io = async_io_.get()}),
         edge_log_(graph.storage(), "mlvc",
                   multilog::EdgeLogConfig{App::kNeedsWeights,
                                           options.edge_log_budget()}),
@@ -178,8 +194,7 @@ class MultiLogVCEngine {
     read(values.data(), values.size() * sizeof(Value));
     values_.store_range(0, values);
     // Drop the edge-log cache and any un-applied structural updates.
-    edge_log_.swap_generations();
-    edge_log_.swap_generations();
+    edge_log_.reset();
     {
       std::lock_guard<std::mutex> lock(structural_mutex_);
       structural_queue_.clear();
@@ -310,6 +325,59 @@ class MultiLogVCEngine {
     return groups;
   }
 
+  bool pipeline_enabled() const noexcept { return async_io_ != nullptr; }
+
+  /// One fused interval group's sorted, combined message input — the output
+  /// of pipeline stage 1 (LoadLog + decode + sort + group).
+  struct GroupData {
+    IntervalId begin = 0;
+    IntervalId end = 0;
+    std::vector<Rec> records;
+    std::vector<std::size_t> offsets;
+    /// Records loaded from the logs, before combine shrinks them —
+    /// messages_consumed counts what was sent, not what survived combine.
+    std::size_t consumed = 0;
+  };
+
+  /// Stage 1: load + decode + sort + combine + group one fused interval
+  /// group. Runs on the main thread (instrument = true: attribute load time
+  /// to io, sort time to compute) or on an I/O thread one group ahead of
+  /// compute (instrument = false: the main thread only accounts its wait on
+  /// the future — the stage itself is off the critical path).
+  GroupData prepare_group(IntervalId g_begin, IntervalId g_end,
+                          bool drain_async, bool instrument) {
+    GroupData g;
+    g.begin = g_begin;
+    g.end = g_end;
+    {
+      std::optional<ScopedAccumulator> io_time;
+      if (instrument) io_time.emplace(step_io_seconds_);
+      std::vector<std::byte> bytes;
+      for (IntervalId i = g_begin; i < g_end; ++i) {
+        store_.load_interval(i, bytes);
+        if (drain_async) store_.drain_produce_interval(i, bytes);
+      }
+      g.records = multilog::decode_records<Message>(bytes);
+      g.consumed = g.records.size();
+    }
+
+    // ---- sort + optional combine (§V.B, §V.D) -----------------------------
+    std::optional<ScopedAccumulator> compute_time;
+    if (instrument) compute_time.emplace(step_compute_seconds_);
+    multilog::sort_records(g.records);
+    if constexpr (App::kHasCombine) {
+      if (options_.enable_combine) {
+        multilog::combine_sorted(g.records, [this](const Message& a,
+                                                   const Message& b) {
+          return app_.combine(a, b);
+        });
+      }
+    }
+    g.offsets = multilog::group_offsets(
+        std::span<const Rec>(g.records.data(), g.records.size()));
+    return g;
+  }
+
   SuperstepStats execute_superstep(Superstep s) {
     SuperstepStats step;
     step.superstep = s;
@@ -325,43 +393,63 @@ class MultiLogVCEngine {
     std::uint64_t consumed = 0;
     std::uint64_t active_count = 0;
     std::uint64_t edge_log_hits = 0;
+    step_io_seconds_ = 0;
+    step_compute_seconds_ = 0;
 
-    for (const auto& [g_begin, g_end] : plan_groups()) {
-      // ---- LoadLog + (async) drain ----------------------------------------
-      std::vector<std::byte> bytes;
-      for (IntervalId i = g_begin; i < g_end; ++i) {
-        store_.load_interval(i, bytes);
-        if (options_.model == ComputationModel::kAsynchronous) {
-          store_.drain_produce_interval(i, bytes);
+    const auto groups = plan_groups();
+    const bool drain_async = options_.model == ComputationModel::kAsynchronous;
+    // Stage 1 runs one group ahead only in the synchronous model: an
+    // asynchronous-mode load drains messages produced earlier in the *same*
+    // superstep, so group k+1's input depends on group k's compute.
+    const bool prefetch_groups = pipeline_enabled() && !drain_async;
+
+    std::future<GroupData> next_group;
+    const auto launch_group = [&](std::size_t gi) {
+      const IntervalId b = groups[gi].first;
+      const IntervalId e = groups[gi].second;
+      next_group = async_io_->submit([this, b, e] {
+        return prepare_group(b, e, /*drain_async=*/false,
+                             /*instrument=*/false);
+      });
+    };
+    if (prefetch_groups && !groups.empty()) launch_group(0);
+
+    try {
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        GroupData group;
+        if (prefetch_groups) {
+          {
+            ScopedAccumulator io_time(step_io_seconds_);
+            group = next_group.get();
+          }
+          if (gi + 1 < groups.size()) launch_group(gi + 1);
+        } else {
+          group = prepare_group(groups[gi].first, groups[gi].second,
+                                drain_async, /*instrument=*/true);
+        }
+        consumed += group.consumed;
+
+        // ---- ExtractActiveVert: receivers ∪ sticky actives ----------------
+        // Both inputs are ascending; merge per interval.
+        for (IntervalId i = group.begin; i < group.end; ++i) {
+          std::vector<ActiveVertex> actives =
+              collect_actives(i, group.records, group.offsets);
+          if (actives.empty()) continue;
+          active_count += actives.size();
+          process_interval(s, i, group.records, actives, active_now,
+                           edge_log_hits);
         }
       }
-      std::vector<Rec> records = multilog::decode_records<Message>(bytes);
-      bytes.clear();
-      bytes.shrink_to_fit();
-      consumed += records.size();
-
-      // ---- sort + optional combine (§V.B, §V.D) ---------------------------
-      multilog::sort_records(records);
-      if constexpr (App::kHasCombine) {
-        if (options_.enable_combine) {
-          multilog::combine_sorted(records, [this](const Message& a,
-                                                   const Message& b) {
-            return app_.combine(a, b);
-          });
+    } catch (...) {
+      // A stage-1 task in flight captures `this`; don't let it outlive the
+      // frame (std::future destructors do not block).
+      if (next_group.valid()) {
+        try {
+          next_group.get();
+        } catch (...) {
         }
       }
-      const auto offsets = multilog::group_offsets(
-          std::span<const Rec>(records.data(), records.size()));
-
-      // ---- ExtractActiveVert: receivers ∪ sticky actives ------------------
-      // Both inputs are ascending; merge per interval.
-      for (IntervalId i = g_begin; i < g_end; ++i) {
-        std::vector<ActiveVertex> actives =
-            collect_actives(i, records, offsets);
-        if (actives.empty()) continue;
-        active_count += actives.size();
-        process_interval(s, i, records, actives, active_now, edge_log_hits);
-      }
+      throw;
     }
 
     // ---- close the superstep ---------------------------------------------
@@ -369,8 +457,13 @@ class MultiLogVCEngine {
     predictor_.observe(active_now);
     const auto util = util_tracker_.finish_superstep();
     apply_structural_updates();
-    store_.swap_generations();
-    edge_log_.swap_generations();
+    {
+      // swap_generations barriers any background eviction writes still
+      // pending against the produce generation.
+      ScopedAccumulator io_time(step_io_seconds_);
+      store_.swap_generations();
+      edge_log_.swap_generations();
+    }
 
     step.active_vertices = active_count;
     step.messages_consumed = consumed;
@@ -382,7 +475,8 @@ class MultiLogVCEngine {
     step.edge_log_hits = edge_log_hits;
     step.predicted_active = predictor_score.predicted_and_active;
     step.total_wall_seconds = wall.elapsed_seconds();
-    step.compute_wall_seconds = step.total_wall_seconds;
+    step.compute_wall_seconds = step_compute_seconds_;
+    step.io_wall_seconds = step_io_seconds_;
     step.io = storage.stats().snapshot() - io_before;
     step.modeled_storage_seconds = storage.device().modeled_seconds_between(
         dev_before, storage.device().snapshot());
@@ -443,18 +537,37 @@ class MultiLogVCEngine {
     return actives;
   }
 
+  /// Pipeline stage 2 output: one active-vertex batch's adjacency and
+  /// gathered values, ready for compute.
+  struct BatchData {
+    std::vector<VertexId> ids;
+    AdjacencyBatch adj;
+    std::vector<Value> vals;
+  };
+
+  BatchData load_batch(IntervalId interval,
+                       std::span<const ActiveVertex> batch) {
+    BatchData data;
+    data.ids.resize(batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) data.ids[k] = batch[k].v;
+    loader_.load(interval, data.ids, data.adj);
+    data.vals = values_.gather(data.ids);
+    return data;
+  }
+
   void process_interval(Superstep s, IntervalId interval,
                         const std::vector<Rec>& records,
                         const std::vector<ActiveVertex>& actives,
                         DynamicBitset& active_now,
                         std::uint64_t& edge_log_hits) {
     // Batch by loader budget: adjacency bytes per vertex known from the
-    // in-memory degree array.
+    // in-memory degree array. Boundaries are fixed up front so batches can
+    // load ahead of compute.
     const std::size_t per_edge =
         sizeof(VertexId) + (App::kNeedsWeights ? sizeof(float) : 0);
     const std::size_t batch_budget =
         std::max<std::size_t>(options_.loader_budget() / 2, 64_KiB);
-
+    std::vector<std::pair<std::size_t, std::size_t>> batches;
     std::size_t begin = 0;
     while (begin < actives.size()) {
       std::size_t end = begin;
@@ -466,29 +579,79 @@ class MultiLogVCEngine {
         bytes += cost;
         ++end;
       }
-      process_batch(s, interval,
-                    std::span<const ActiveVertex>(actives.data() + begin,
-                                                  end - begin),
-                    records, active_now, edge_log_hits);
+      batches.emplace_back(begin, end);
       begin = end;
+    }
+    const auto slice = [&](std::size_t bi) {
+      return std::span<const ActiveVertex>(
+          actives.data() + batches[bi].first,
+          batches[bi].second - batches[bi].first);
+    };
+
+    if (!pipeline_enabled() || batches.size() <= 1) {
+      for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+        BatchData data;
+        {
+          ScopedAccumulator io_time(step_io_seconds_);
+          data = load_batch(interval, slice(bi));
+        }
+        compute_batch(s, slice(bi), records, data, active_now,
+                      edge_log_hits);
+      }
+      return;
+    }
+
+    // Stage 2: double-buffered adjacency prefetch — batch b+1 (up to
+    // b+prefetch_depth) loads on I/O threads while batch b computes. Safe
+    // because batches are disjoint ascending vertices: loads read only
+    // consume-side state (current log generations, stored CSR, values of
+    // vertices no earlier batch scatters).
+    std::deque<std::future<BatchData>> inflight;
+    std::size_t next_issue = 0;
+    const std::size_t depth = std::max(1u, options_.prefetch_depth);
+    const auto issue = [&] {
+      const auto b = slice(next_issue++);
+      inflight.push_back(async_io_->submit(
+          [this, interval, b] { return load_batch(interval, b); }));
+    };
+    try {
+      while (next_issue < batches.size() && inflight.size() <= depth) {
+        issue();
+      }
+      for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+        BatchData data;
+        {
+          ScopedAccumulator io_time(step_io_seconds_);
+          data = inflight.front().get();
+        }
+        inflight.pop_front();
+        if (next_issue < batches.size()) issue();
+        compute_batch(s, slice(bi), records, data, active_now,
+                      edge_log_hits);
+      }
+    } catch (...) {
+      // In-flight loads borrow `actives` and `this`; drain before unwind.
+      for (auto& f : inflight) {
+        try {
+          f.get();
+        } catch (...) {
+        }
+      }
+      throw;
     }
   }
 
-  void process_batch(Superstep s, IntervalId interval,
-                     std::span<const ActiveVertex> batch,
-                     const std::vector<Rec>& records,
+  void compute_batch(Superstep s, std::span<const ActiveVertex> batch,
+                     const std::vector<Rec>& records, BatchData& data,
                      DynamicBitset& active_now,
                      std::uint64_t& edge_log_hits) {
-    std::vector<VertexId> ids(batch.size());
-    for (std::size_t k = 0; k < batch.size(); ++k) ids[k] = batch[k].v;
-
-    AdjacencyBatch adj;
-    loader_.load(interval, ids, adj);
+    AdjacencyBatch& adj = data.adj;
+    std::vector<Value>& vals = data.vals;
     edge_log_hits += adj.edge_log_hits;
-
-    std::vector<Value> vals = values_.gather(ids);
     std::vector<std::uint8_t> deactivated(batch.size(), 0);
 
+    std::optional<ScopedAccumulator> compute_time;
+    compute_time.emplace(step_compute_seconds_);
     parallel_for(std::size_t{0}, batch.size(), [&](std::size_t k) {
       const ActiveVertex& av = batch[k];
       Context ctx(*this, av.v, s, adj, k, vals[k]);
@@ -521,13 +684,17 @@ class MultiLogVCEngine {
         }
       }
     });
+    compute_time.reset();
 
     // Serial post-pass: sticky bits, predictor input, values write-back.
     for (std::size_t k = 0; k < batch.size(); ++k) {
       active_now.set(batch[k].v);
       sticky_active_.set(batch[k].v, deactivated[k] == 0);
     }
-    values_.scatter(ids, vals);
+    {
+      ScopedAccumulator io_time(step_io_seconds_);
+      values_.scatter(data.ids, vals);
+    }
   }
 
   void apply_structural_updates() {
@@ -542,6 +709,10 @@ class MultiLogVCEngine {
   graph::StoredCsrGraph& graph_;
   App app_;
   EngineOptions options_;
+  /// Pipeline I/O threads; null = serial execution. Declared before store_
+  /// (whose config borrows the pool and whose destructor waits on pending
+  /// background evictions) so it outlives every user.
+  std::unique_ptr<ssd::AsyncIo> async_io_;
   multilog::MultiLogStore store_;
   multilog::EdgeLog edge_log_;
   multilog::HistoryPredictor predictor_;
@@ -551,6 +722,12 @@ class MultiLogVCEngine {
   DynamicBitset sticky_active_;
   RunStats stats_;
   Superstep next_superstep_ = 0;
+
+  // Per-superstep critical-path attribution, main thread only: time blocked
+  // on storage (loads, prefetch waits, gather/scatter, eviction barriers)
+  // vs time computing (sort/combine inline + vertex processing).
+  double step_io_seconds_ = 0;
+  double step_compute_seconds_ = 0;
 
   std::atomic<std::uint64_t> messages_produced_{0};
   std::atomic<std::uint64_t> edges_activated_{0};

@@ -88,35 +88,55 @@ void GraphLoaderUnit::load_from_csr(IntervalId interval,
   // ---- 1. Row pointers, in coalesced windows -----------------------------
   // Consecutive actives whose row-pointer entries are within one page of
   // each other share a window; a gap larger than a page starts a new one.
+  // All windows go to storage as one vectored read.
   const std::size_t rowptr_gap = page_size / sizeof(EdgeIndex);
   std::vector<EdgeIndex> lo(csr_vertices.size());
   std::vector<EdgeIndex> hi(csr_vertices.size());
+  struct Window {
+    std::size_t first_j = 0;  // csr_vertices index range [first_j, end_j)
+    std::size_t end_j = 0;
+    std::size_t buf_off = 0;  // offset into the shared window buffer
+  };
+  std::vector<Window> windows;
+  std::size_t rowptr_total = 0;
   std::size_t run_start = 0;
-  std::vector<EdgeIndex> window;
   for (std::size_t k = 1; k <= csr_vertices.size(); ++k) {
     if (k < csr_vertices.size() &&
         csr_vertices[k] - csr_vertices[k - 1] <= rowptr_gap) {
       continue;
     }
-    const VertexId first = csr_vertices[run_start];
-    const VertexId last = csr_vertices[k - 1];
-    const VertexId local_first = first - interval_begin;
-    const std::size_t count = last - first + 2;  // +1 vertex, +1 closing entry
-    window.resize(count);
-    graph_.read_local_row_ptrs(interval, local_first, count, window);
-    for (std::size_t j = run_start; j < k; ++j) {
-      const VertexId local = csr_vertices[j] - first;
-      lo[j] = window[local];
-      hi[j] = window[local + 1];
-    }
+    // +1 vertex, +1 closing entry
+    const std::size_t count = csr_vertices[k - 1] - csr_vertices[run_start] + 2;
+    windows.push_back({run_start, k, rowptr_total});
+    rowptr_total += count;
     run_start = k;
   }
+  std::vector<EdgeIndex> window_buf(rowptr_total);
+  {
+    std::vector<graph::StoredCsrGraph::ElemRange> ranges;
+    ranges.reserve(windows.size());
+    for (const Window& w : windows) {
+      const VertexId local_first = csr_vertices[w.first_j] - interval_begin;
+      const VertexId local_last = csr_vertices[w.end_j - 1] - interval_begin;
+      ranges.push_back({local_first, local_last + 2,
+                        window_buf.data() + w.buf_off});
+    }
+    graph_.read_local_row_ptrs_multi(interval, ranges);
+  }
+  for (const Window& w : windows) {
+    const VertexId first = csr_vertices[w.first_j];
+    for (std::size_t j = w.first_j; j < w.end_j; ++j) {
+      const VertexId local = csr_vertices[j] - first;
+      lo[j] = window_buf[w.buf_off + local];
+      hi[j] = window_buf[w.buf_off + local + 1];
+    }
+  }
 
-  // ---- 2. Adjacency, page-merged reads ------------------------------------
+  // ---- 2. Adjacency, page-merged vectored reads ---------------------------
   // Merge consecutive vertices' [lo, hi) byte ranges whenever the next range
   // starts on (or before) the page the previous one ends on: those pages
   // must be fetched anyway, so one contiguous read covers them without
-  // touching any extra page.
+  // touching any extra page. All runs are then fetched in one vectored call.
   const auto start_page = [&](std::size_t j) {
     return lo[j] * sizeof(VertexId) / page_size;
   };
@@ -126,31 +146,50 @@ void GraphLoaderUnit::load_from_csr(IntervalId interval,
                          : start_page(j);
   };
 
-  std::vector<VertexId> adj_buf;
-  std::vector<float> weight_buf;
+  struct Run {
+    std::size_t first_j = 0;
+    std::size_t end_j = 0;
+    EdgeIndex lo = 0;
+    EdgeIndex hi = 0;
+    std::size_t buf_off = 0;
+  };
+  std::vector<Run> runs;
+  std::size_t adj_total = 0;
   run_start = 0;
   for (std::size_t k = 1; k <= csr_vertices.size(); ++k) {
-    if (k < csr_vertices.size() && start_page(k) <= end_page(k - 1) + 0) {
+    if (k < csr_vertices.size() && start_page(k) <= end_page(k - 1)) {
       continue;  // same page chain — extend the run
     }
     const EdgeIndex run_lo = lo[run_start];
     const EdgeIndex run_hi = hi[k - 1];
-    if (run_hi > run_lo) {
-      adj_buf.resize(run_hi - run_lo);
-      graph_.read_adjacency(interval, run_lo, run_hi, adj_buf);
-      if (config_.load_weights) {
-        weight_buf.resize(run_hi - run_lo);
-        graph_.read_values(interval, run_lo, run_hi, weight_buf);
-      }
-    } else {
-      adj_buf.clear();
-      weight_buf.clear();
+    runs.push_back({run_start, k, run_lo, run_hi, adj_total});
+    if (run_hi > run_lo) adj_total += run_hi - run_lo;
+    run_start = k;
+  }
+  std::vector<VertexId> adj_buf(adj_total);
+  std::vector<float> weight_buf(config_.load_weights ? adj_total : 0);
+  {
+    std::vector<graph::StoredCsrGraph::ElemRange> ranges;
+    ranges.reserve(runs.size());
+    for (const Run& r : runs) {
+      if (r.hi <= r.lo) continue;
+      ranges.push_back({r.lo, r.hi, adj_buf.data() + r.buf_off});
     }
+    graph_.read_adjacency_multi(interval, ranges);
+    if (config_.load_weights) {
+      for (auto& range : ranges) {
+        range.out = weight_buf.data() + (static_cast<VertexId*>(range.out) -
+                                         adj_buf.data());
+      }
+      graph_.read_values_multi(interval, ranges);
+    }
+  }
 
+  const std::uint64_t blob_id = graph_.colidx_blob(interval).id();
+  for (const Run& r : runs) {
     // Per-page useful bytes for this run (only the active vertices' slices
     // count as useful; gap bytes between them on shared pages do not).
-    const std::uint64_t blob_id = graph_.colidx_blob(interval).id();
-    for (std::size_t j = run_start; j < k; ++j) {
+    for (std::size_t j = r.first_j; j < r.end_j; ++j) {
       const std::uint64_t byte_lo = lo[j] * sizeof(VertexId);
       const std::uint64_t byte_hi = hi[j] * sizeof(VertexId);
       if (util_tracker_ != nullptr && byte_hi > byte_lo) {
@@ -168,15 +207,14 @@ void GraphLoaderUnit::load_from_csr(IntervalId interval,
       out.spans[slot] = {out.adjacency.size(),
                          static_cast<std::size_t>(hi[j] - lo[j])};
       out.adjacency.insert(out.adjacency.end(),
-                           adj_buf.begin() + (lo[j] - run_lo),
-                           adj_buf.begin() + (hi[j] - run_lo));
+                           adj_buf.begin() + r.buf_off + (lo[j] - r.lo),
+                           adj_buf.begin() + r.buf_off + (hi[j] - r.lo));
       if (config_.load_weights) {
         out.weights.insert(out.weights.end(),
-                           weight_buf.begin() + (lo[j] - run_lo),
-                           weight_buf.begin() + (hi[j] - run_lo));
+                           weight_buf.begin() + r.buf_off + (lo[j] - r.lo),
+                           weight_buf.begin() + r.buf_off + (hi[j] - r.lo));
       }
     }
-    run_start = k;
   }
 
   // ---- 3. Start-page utilization for the edge-log decision ----------------

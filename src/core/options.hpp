@@ -49,6 +49,23 @@ struct EngineOptions {
   /// (paper uses 10%).
   double page_util_threshold = 0.10;
 
+  /// Pipelined superstep execution (§VI async I/O): log load/decode/sort of
+  /// interval group k+1 overlaps group k's compute, adjacency batches are
+  /// prefetched while the current batch runs, and full multi-log top pages
+  /// are written back by I/O threads instead of the producing compute
+  /// thread. Vertex values are identical to the serial path; only the
+  /// overlap (and so wall time) changes. false = fully serial superstep.
+  bool enable_pipeline = true;
+
+  /// Dedicated I/O threads for the pipeline (ssd::AsyncIo pool size). The
+  /// paper keeps "many page reads in flight with minimal host resources";
+  /// 0 behaves like enable_pipeline = false.
+  unsigned io_threads = 4;
+
+  /// How many active-vertex batches ahead the graph loader may run. 1 is
+  /// classic double buffering (next batch loads while current computes).
+  unsigned prefetch_depth = 2;
+
   /// Seed for all app-level randomness (MIS priorities, random walks).
   std::uint64_t seed = 1;
 

@@ -24,7 +24,14 @@ struct SuperstepStats {
 
   ssd::IoStatsSnapshot io;  // traffic attributable to this superstep
   double modeled_storage_seconds = 0;  // device model, this superstep
-  double compute_wall_seconds = 0;     // host time minus storage waits
+  /// Host wall time the superstep's critical path spent doing compute work:
+  /// sort/combine/group (when not hidden by the pipeline) plus vertex
+  /// processing. Measured directly, not derived from total_wall_seconds.
+  double compute_wall_seconds = 0;
+  /// Host wall time the critical path spent blocked on storage: log loads,
+  /// adjacency/value fetches, and waits on pipeline prefetch futures. Under
+  /// pipelined execution this shrinks as I/O hides behind compute.
+  double io_wall_seconds = 0;
   double total_wall_seconds = 0;       // host wall clock for the superstep
 
   /// Primary metric (DESIGN.md §4): host compute + modeled device time.
@@ -69,6 +76,16 @@ struct RunStats {
   double compute_seconds() const {
     double t = 0;
     for (const auto& s : supersteps) t += s.compute_wall_seconds;
+    return t;
+  }
+  double io_wait_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.io_wall_seconds;
+    return t;
+  }
+  double total_wall_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.total_wall_seconds;
     return t;
   }
   double modeled_total_seconds() const {

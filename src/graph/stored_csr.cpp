@@ -175,6 +175,40 @@ void StoredCsrGraph::read_values(IntervalId i, EdgeIndex lo, EdgeIndex hi,
                       (hi - lo) * sizeof(float));
 }
 
+namespace {
+template <typename T>
+std::vector<ssd::ReadOp> to_read_ops(
+    std::span<const StoredCsrGraph::ElemRange> ranges) {
+  std::vector<ssd::ReadOp> ops;
+  ops.reserve(ranges.size());
+  for (const auto& r : ranges) {
+    MLVC_CHECK(r.lo <= r.hi);
+    ops.push_back({static_cast<std::uint64_t>(r.lo) * sizeof(T), r.out,
+                   (r.hi - r.lo) * sizeof(T)});
+  }
+  return ops;
+}
+}  // namespace
+
+void StoredCsrGraph::read_local_row_ptrs_multi(
+    IntervalId i, std::span<const ElemRange> ranges) const {
+  MLVC_CHECK(i < intervals_.count());
+  rowptr_blobs_[i]->read_multi(to_read_ops<EdgeIndex>(ranges));
+}
+
+void StoredCsrGraph::read_adjacency_multi(
+    IntervalId i, std::span<const ElemRange> ranges) const {
+  MLVC_CHECK(i < intervals_.count());
+  colidx_blobs_[i]->read_multi(to_read_ops<VertexId>(ranges));
+}
+
+void StoredCsrGraph::read_values_multi(
+    IntervalId i, std::span<const ElemRange> ranges) const {
+  MLVC_CHECK_MSG(options_.with_weights, "graph stored without weights");
+  MLVC_CHECK(i < intervals_.count());
+  val_blobs_[i]->read_multi(to_read_ops<float>(ranges));
+}
+
 const ssd::Blob& StoredCsrGraph::colidx_blob(IntervalId i) const {
   MLVC_CHECK(i < intervals_.count());
   return *colidx_blobs_[i];

@@ -92,6 +92,25 @@ class StoredCsrGraph {
   void read_values(IntervalId i, EdgeIndex lo, EdgeIndex hi,
                    std::span<float> out) const;
 
+  /// One element range [lo, hi) of a per-interval vector, destined for
+  /// `out[0 .. hi-lo)`. Used by the vectored read paths below.
+  struct ElemRange {
+    EdgeIndex lo = 0;
+    EdgeIndex hi = 0;
+    void* out = nullptr;
+  };
+
+  /// Vectored forms: every range in one Blob::read_multi call, so a batch of
+  /// coalesced page windows costs one kernel round trip. Accounting is
+  /// identical to the scalar calls. Ranges index EdgeIndex entries for
+  /// rowptr, VertexId entries for adjacency, float entries for values.
+  void read_local_row_ptrs_multi(IntervalId i,
+                                 std::span<const ElemRange> ranges) const;
+  void read_adjacency_multi(IntervalId i,
+                            std::span<const ElemRange> ranges) const;
+  void read_values_multi(IntervalId i,
+                         std::span<const ElemRange> ranges) const;
+
   EdgeIndex interval_edge_count(IntervalId i) const {
     MLVC_CHECK(i < intervals_.count());
     return interval_edges_[i];

@@ -61,6 +61,8 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
       << ",\"messages\":" << stats.total_messages()
       << ",\"modeled_storage_seconds\":" << stats.modeled_storage_seconds()
       << ",\"compute_seconds\":" << stats.compute_seconds()
+      << ",\"io_wait_seconds\":" << stats.io_wait_seconds()
+      << ",\"total_wall_seconds\":" << stats.total_wall_seconds()
       << ",\"modeled_total_seconds\":" << stats.modeled_total_seconds()
       << ",\"build_seconds\":" << stats.build_seconds << '}'
       << ",\"supersteps\":[";
@@ -74,6 +76,8 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
         << ",\"edges_activated\":" << s.edges_activated
         << ",\"modeled_storage_seconds\":" << s.modeled_storage_seconds
         << ",\"compute_wall_seconds\":" << s.compute_wall_seconds
+        << ",\"io_wall_seconds\":" << s.io_wall_seconds
+        << ",\"total_wall_seconds\":" << s.total_wall_seconds
         << ",\"pages_touched\":" << s.pages_touched
         << ",\"pages_inefficient\":" << s.pages_inefficient
         << ",\"pages_inefficient_predicted\":"

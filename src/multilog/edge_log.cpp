@@ -138,4 +138,15 @@ void EdgeLog::swap_generations() {
   produced_edges_ = 0;
 }
 
+void EdgeLog::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++swap_count_;
+  reset_generation(generations_[0], prefix_ + "/edgelog_reset0_s" +
+                                        std::to_string(swap_count_));
+  reset_generation(generations_[1], prefix_ + "/edgelog_reset1_s" +
+                                        std::to_string(swap_count_));
+  produce_index_ = 0;
+  produced_edges_ = 0;
+}
+
 }  // namespace mlvc::multilog

@@ -64,6 +64,11 @@ class EdgeLog {
 
   void swap_generations();
 
+  /// Drop both generations (the edge log is a cache — checkpoint rollback
+  /// just empties it). Unlike two swap_generations() calls, this leaves no
+  /// stale consume-side index behind.
+  void reset();
+
  private:
   struct Entry {
     std::uint64_t offset = 0;  // logical byte offset in the generation stream

@@ -41,6 +41,15 @@ MultiLogStore::MultiLogStore(ssd::Storage& storage, std::string prefix,
   reset_generation(generations_[1], prefix_ + "/log_gen1");
 }
 
+MultiLogStore::~MultiLogStore() {
+  try {
+    std::lock_guard<std::mutex> lock(evict_mutex_);
+    wait_background_evictions();
+  } catch (...) {
+    // Destructor: the log is going away, a failed flush of it is moot.
+  }
+}
+
 void MultiLogStore::reset_generation(Generation& gen,
                                      const std::string& blob_name) {
   const IntervalId n = intervals_->count();
@@ -104,14 +113,37 @@ void MultiLogStore::flush_evictions(Generation& gen) {
   // — this is what lets log write-back run at streaming bandwidth, per the
   // paper's §V.A.3 design.
   if (gen.evict_owners.empty()) return;
-  const std::uint64_t offset =
-      gen.blob->append(gen.evict_buffer.data(), gen.evict_buffer.size());
+  if (config_.async_io == nullptr) {
+    const std::uint64_t offset =
+        gen.blob->append(gen.evict_buffer.data(), gen.evict_buffer.size());
+    std::uint64_t page_no = offset / page_size_;
+    for (IntervalId owner : gen.evict_owners) {
+      gen.pages[owner].push_back(page_no++);
+    }
+    gen.evict_buffer.clear();
+    gen.evict_owners.clear();
+    return;
+  }
+  // Background path: reserve the blob range now so every interval's page
+  // chain stays in append order (records straddle page boundaries — order is
+  // load-bearing), then hand the batch to an I/O thread. Readers of these
+  // pages are gated behind wait_background_evictions().
+  const std::uint64_t offset = gen.blob->reserve(gen.evict_buffer.size());
   std::uint64_t page_no = offset / page_size_;
   for (IntervalId owner : gen.evict_owners) {
     gen.pages[owner].push_back(page_no++);
   }
+  auto data = std::make_shared<std::vector<std::byte>>(
+      std::move(gen.evict_buffer));
+  ssd::Blob* blob = gen.blob;
+  pending_evictions_.add(config_.async_io->submit(
+      [blob, offset, data] { blob->write(offset, data->data(), data->size()); }));
   gen.evict_buffer.clear();
   gen.evict_owners.clear();
+}
+
+void MultiLogStore::wait_background_evictions() {
+  pending_evictions_.wait();
 }
 
 void MultiLogStore::swap_generations() {
@@ -120,6 +152,7 @@ void MultiLogStore::swap_generations() {
   {
     std::lock_guard<std::mutex> lock(evict_mutex_);
     flush_evictions(generations_[produce_index_]);
+    wait_background_evictions();
   }
   // The consume generation's data has been fully read; recycle it as the
   // new produce generation.
@@ -160,17 +193,20 @@ void MultiLogStore::load_interval(IntervalId i,
   std::byte* dst = out.data() + base;
   std::size_t written = 0;
   // Runs of adjacent page numbers (frequent thanks to batched eviction)
-  // are fetched in one contiguous read.
+  // coalesce into one op each; the whole interval is then fetched with a
+  // single vectored read call.
   const auto& pages = gen.pages[i];
+  std::vector<ssd::ReadOp> ops;
   std::size_t p = 0;
   while (p < pages.size()) {
     std::size_t q = p + 1;
     while (q < pages.size() && pages[q] == pages[q - 1] + 1) ++q;
-    gen.blob->read(pages[p] * page_size_, dst + written,
-                   (q - p) * page_size_);
+    ops.push_back({pages[p] * page_size_, dst + written,
+                   (q - p) * page_size_});
     written += (q - p) * page_size_;
     p = q;
   }
+  gen.blob->read_multi(ops);
   const std::size_t tail = gen.top_fill[i];
   if (tail > 0) {
     // Resident tail: never hit storage, so no I/O charged.
@@ -183,6 +219,15 @@ void MultiLogStore::load_interval(IntervalId i,
 }
 
 void MultiLogStore::reset_all() {
+  {
+    // Both generations are being discarded; let in-flight writes finish so
+    // nothing scribbles on a recycled blob. Their errors are moot.
+    std::lock_guard<std::mutex> lock(evict_mutex_);
+    try {
+      wait_background_evictions();
+    } catch (...) {
+    }
+  }
   ++swap_count_;
   reset_generation(generations_[0],
                    prefix_ + "/log_reset0_s" + std::to_string(swap_count_));
@@ -224,9 +269,11 @@ std::uint64_t MultiLogStore::drain_produce_interval(
   Generation& gen = generations_[produce_index_];
   {
     // Queued evictions may hold pages of this interval; push them out so
-    // the page list below is complete.
+    // the page list below is complete, and make sure background writes have
+    // landed before the reads below.
     std::lock_guard<std::mutex> evict_lock(evict_mutex_);
     flush_evictions(gen);
+    wait_background_evictions();
   }
   std::lock_guard<std::mutex> lock(*interval_locks_[i]);
   const std::uint64_t count = gen.counts[i];

@@ -29,6 +29,7 @@
 
 #include "common/types.hpp"
 #include "graph/intervals.hpp"
+#include "ssd/async_io.hpp"
 #include "ssd/storage.hpp"
 
 namespace mlvc::multilog {
@@ -46,12 +47,23 @@ struct MultiLogConfig {
   /// (§V.A.3: evictions are batched and striped to "maximize log writeback
   /// bandwidth"). 1 = write each page immediately.
   std::size_t evict_batch_pages = 16;
+
+  /// When set, full eviction batches are written to the generation blob by
+  /// these I/O threads instead of inline on the producing compute thread
+  /// (the paper's §VI async-I/O overlap). Blob offsets — and therefore page
+  /// numbers — are still assigned synchronously, so log layout and page
+  /// accounting are byte-identical to the inline path. Non-owning.
+  ssd::AsyncIo* async_io = nullptr;
 };
 
 class MultiLogStore {
  public:
   MultiLogStore(ssd::Storage& storage, std::string prefix,
                 const graph::VertexIntervals& intervals, MultiLogConfig config);
+
+  /// Waits for outstanding background eviction writes (errors are dropped —
+  /// the data is being discarded anyway).
+  ~MultiLogStore();
 
   std::size_t record_size() const noexcept { return config_.record_size; }
   IntervalId interval_count() const noexcept {
@@ -127,6 +139,10 @@ class MultiLogStore {
   void queue_eviction(Generation& gen, IntervalId interval,
                       const std::byte* page);
   void flush_evictions(Generation& gen);
+  /// Block until every background eviction write issued so far has landed on
+  /// storage, rethrowing the first captured I/O error. Caller must hold
+  /// evict_mutex_.
+  void wait_background_evictions();
 
   ssd::Storage& storage_;
   std::string prefix_;
@@ -136,6 +152,7 @@ class MultiLogStore {
 
   std::vector<std::unique_ptr<std::mutex>> interval_locks_;
   mutable std::mutex evict_mutex_;
+  ssd::IoBatch pending_evictions_;  // guarded by evict_mutex_
   Generation generations_[2];
   unsigned produce_index_ = 0;  // generations_[produce_index_] receives sends
   unsigned swap_count_ = 0;

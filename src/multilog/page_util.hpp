@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -26,15 +27,18 @@ class PageUtilTracker {
   }
 
   /// Record that `useful_bytes` of page (blob_id, page_no) were needed by
-  /// the current superstep's loads.
+  /// the current superstep's loads. Thread-safe: pipelined execution issues
+  /// adjacency loads from I/O threads while compute proceeds.
   void record(std::uint64_t blob_id, std::uint64_t page_no,
               std::size_t useful_bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
     useful_[key(blob_id, page_no)] += useful_bytes;
   }
 
   /// Was this page inefficiently used in the *previous* superstep? This is
   /// the optimizer's prediction signal for the current superstep.
   bool was_inefficient(std::uint64_t blob_id, std::uint64_t page_no) const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return previous_inefficient_.count(key(blob_id, page_no)) != 0;
   }
 
@@ -58,6 +62,7 @@ class PageUtilTracker {
   /// Close the current superstep: classify pages, score the prediction, and
   /// roll the inefficient set into "previous".
   SuperstepSummary finish_superstep() {
+    std::lock_guard<std::mutex> lock(mutex_);
     SuperstepSummary s;
     std::unordered_set<std::uint64_t> inefficient;
     for (const auto& [k, bytes] : useful_) {
@@ -85,6 +90,7 @@ class PageUtilTracker {
 
   std::size_t page_size_;
   double threshold_;
+  mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::size_t> useful_;
   std::unordered_set<std::uint64_t> previous_inefficient_;
 };

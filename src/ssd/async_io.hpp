@@ -34,6 +34,13 @@ class AsyncIo {
     });
   }
 
+  /// Queue an arbitrary task on the I/O threads. The engine's pipeline uses
+  /// this to run whole stages (load + decode + sort) off the compute thread.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    return pool_.submit(std::forward<Fn>(fn));
+  }
+
   /// Block until all queued operations complete.
   void drain() { pool_.wait_idle(); }
 
@@ -50,8 +57,20 @@ class IoBatch {
   void add(std::future<void> f) { futures_.push_back(std::move(f)); }
 
   void wait() {
-    for (auto& f : futures_) f.get();
+    // Wait on *every* future before rethrowing: an op that is still running
+    // may be writing into caller-owned buffers, which the caller is free to
+    // destroy once wait() exits (even by exception). Abandoning futures on
+    // the first failure would leave those writes racing the unwind.
+    std::exception_ptr first_error;
+    for (auto& f : futures_) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
     futures_.clear();
+    if (first_error) std::rethrow_exception(first_error);
   }
 
   std::size_t pending() const noexcept { return futures_.size(); }

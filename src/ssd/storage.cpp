@@ -1,6 +1,8 @@
 #include "ssd/storage.hpp"
 
 #include <fcntl.h>
+#include <limits.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -86,6 +88,71 @@ void Blob::read(std::uint64_t offset, void* buf, std::size_t len) const {
   }
 }
 
+void Blob::read_multi(std::span<const ReadOp> ops) const {
+  if (ops.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(size_mutex_);
+    for (const ReadOp& op : ops) {
+      MLVC_CHECK_MSG(op.offset + op.len <= size_,
+                     "read past end of blob '" << name_
+                                               << "': offset=" << op.offset
+                                               << " len=" << op.len
+                                               << " size=" << size_);
+    }
+  }
+  // Accounting is per op — the same pages (and the same sequential discount
+  // structure) as one read() call per op, so read_multi never changes what a
+  // workload is charged.
+  for (const ReadOp& op : ops) account(op.offset, op.len, /*is_write=*/false);
+
+  // Issue maximal runs of file-contiguous ops as one scattered read.
+  std::size_t i = 0;
+  std::vector<struct iovec> iov;
+  while (i < ops.size()) {
+    if (ops[i].len == 0) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < ops.size() && ops[j].len > 0 && iov.size() + (j - i) < IOV_MAX &&
+           ops[j].offset == ops[j - 1].offset + ops[j - 1].len) {
+      ++j;
+    }
+    iov.clear();
+    for (std::size_t k = i; k < j; ++k) {
+      iov.push_back({ops[k].buf, ops[k].len});
+    }
+    std::uint64_t pos = ops[i].offset;
+    std::size_t vec_begin = 0;
+    while (vec_begin < iov.size()) {
+      const ssize_t n =
+          ::preadv(fd_, iov.data() + vec_begin,
+                   static_cast<int>(iov.size() - vec_begin),
+                   static_cast<off_t>(pos));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw IoError("preadv", path_.string(), errno);
+      }
+      MLVC_CHECK_MSG(n != 0, "unexpected EOF reading blob '" << name_ << "'");
+      pos += static_cast<std::uint64_t>(n);
+      // Retire fully-read iovecs; trim a partially-read one in place.
+      std::size_t done = static_cast<std::size_t>(n);
+      while (done > 0 && vec_begin < iov.size()) {
+        struct iovec& v = iov[vec_begin];
+        if (done >= v.iov_len) {
+          done -= v.iov_len;
+          ++vec_begin;
+        } else {
+          v.iov_base = static_cast<char*>(v.iov_base) + done;
+          v.iov_len -= done;
+          done = 0;
+        }
+      }
+    }
+    i = j;
+  }
+}
+
 void Blob::write(std::uint64_t offset, const void* buf, std::size_t len) {
   if (len == 0) return;
   account(offset, len, /*is_write=*/true);
@@ -129,6 +196,13 @@ std::uint64_t Blob::append(const void* buf, std::size_t len) {
     pos += static_cast<std::uint64_t>(n);
     remaining -= static_cast<std::size_t>(n);
   }
+  return offset;
+}
+
+std::uint64_t Blob::reserve(std::size_t len) {
+  std::lock_guard<std::mutex> lock(size_mutex_);
+  const std::uint64_t offset = size_;
+  size_ += len;
   return offset;
 }
 

@@ -25,6 +25,14 @@ namespace mlvc::ssd {
 
 class Storage;
 
+/// One scattered read request for Blob::read_multi: fill `buf` with the
+/// `len` bytes at `offset`.
+struct ReadOp {
+  std::uint64_t offset = 0;
+  void* buf = nullptr;
+  std::size_t len = 0;
+};
+
 /// A single append-/overwrite-able file with page accounting. Thread-safe:
 /// pread/pwrite are positional, and the logical size is guarded.
 class Blob {
@@ -44,11 +52,24 @@ class Blob {
   /// Read [offset, offset+len); throws IoError/Error on short read.
   void read(std::uint64_t offset, void* buf, std::size_t len) const;
 
+  /// Vectored read: satisfy every op in one pass. Ops whose file ranges are
+  /// back-to-back are issued as a single preadv-style scattered call, so a
+  /// coalesced page window costs one kernel round trip. Page accounting is
+  /// identical to calling read() once per op.
+  void read_multi(std::span<const ReadOp> ops) const;
+
   /// Write [offset, offset+len), extending the blob if needed.
   void write(std::uint64_t offset, const void* buf, std::size_t len);
 
   /// Append at the current end; returns the offset written at.
   std::uint64_t append(const void* buf, std::size_t len);
+
+  /// Reserve [size, size+len) at the logical end without writing, returning
+  /// the reserved offset. Lets a producer assign stable offsets (e.g. log
+  /// page numbers) synchronously while the data itself is written by a
+  /// background I/O thread. Reading a reserved-but-unwritten range is a
+  /// caller bug (short read).
+  std::uint64_t reserve(std::size_t len);
 
   void truncate(std::uint64_t new_size);
 

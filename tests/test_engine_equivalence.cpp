@@ -128,6 +128,79 @@ TEST(EngineEquivalence, MisValidAndIdentical) {
   EXPECT_EQ(a, b);
 }
 
+// ---- pipelined vs serial matrix -------------------------------------------
+//
+// The pipeline must be a pure scheduling change: for every app, running with
+// enable_pipeline (io_threads 1 and 4) must produce the same vertex values
+// as the serial path. Integer-valued apps compare bit-exact. PageRank
+// combines floats whose per-destination order is unspecified even in serial
+// mode (sort_records leaves equal-dst order open), so it compares within a
+// rounding tolerance instead.
+
+template <core::VertexApp App, typename Cmp>
+void pipeline_matrix(const graph::CsrGraph& csr, App app,
+                     core::EngineOptions base, Cmp&& compare) {
+  base.enable_pipeline = false;
+  const auto serial = run_mlvc(csr, app, base);
+  for (unsigned io_threads : {1u, 4u}) {
+    auto opts = base;
+    opts.enable_pipeline = true;
+    opts.io_threads = io_threads;
+    const auto piped = run_mlvc(csr, app, opts);
+    ASSERT_EQ(serial.size(), piped.size());
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+      compare(serial[v], piped[v], v, io_threads);
+    }
+  }
+}
+
+const auto exact_match = [](const auto& a, const auto& b, VertexId v,
+                            unsigned io_threads) {
+  ASSERT_EQ(a, b) << "vertex " << v << ", io_threads " << io_threads;
+};
+
+TEST(PipelineEquivalence, Bfs) {
+  pipeline_matrix(test_graph(), apps::Bfs{.source = 3}, mlvc_opts(),
+                  exact_match);
+}
+
+TEST(PipelineEquivalence, BfsAsynchronousModel) {
+  auto opts = mlvc_opts();
+  opts.model = core::ComputationModel::kAsynchronous;
+  pipeline_matrix(test_graph(), apps::Bfs{.source = 3}, opts, exact_match);
+}
+
+TEST(PipelineEquivalence, PageRank) {
+  apps::PageRank app;
+  app.threshold = 0.1f;
+  pipeline_matrix(test_graph(), app, mlvc_opts(15),
+                  [](float a, float b, VertexId v, unsigned io_threads) {
+                    ASSERT_NEAR(a, b, 1e-4)
+                        << "vertex " << v << ", io_threads " << io_threads;
+                  });
+}
+
+TEST(PipelineEquivalence, Cdlp) {
+  pipeline_matrix(test_graph(), apps::Cdlp{}, mlvc_opts(15), exact_match);
+}
+
+TEST(PipelineEquivalence, GraphColoring) {
+  pipeline_matrix(test_graph(8), apps::GraphColoring{}, mlvc_opts(300),
+                  exact_match);
+}
+
+TEST(PipelineEquivalence, Mis) {
+  pipeline_matrix(test_graph(8, 21), apps::Mis{}, mlvc_opts(200),
+                  exact_match);
+}
+
+TEST(PipelineEquivalence, RandomWalk) {
+  apps::RandomWalk app;
+  app.source_stride = 64;
+  app.max_steps = 10;
+  pipeline_matrix(test_graph(9, 31), app, mlvc_opts(20), exact_match);
+}
+
 TEST(EngineEquivalence, RandomWalkVisitBudget) {
   const auto csr = test_graph(9, 31);
   apps::RandomWalk app;

@@ -332,6 +332,91 @@ TEST(AsyncIo, ParallelReadsComplete) {
   EXPECT_EQ(out, data);
 }
 
+TEST(Storage, ReadMultiRoundTrip) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<std::uint32_t> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint32_t>(i * 7);
+  }
+  blob.append(data.data(), data.size() * 4);
+
+  // Mix of contiguous, gapped, and empty ranges in one vectored call.
+  std::vector<std::uint32_t> a(100), b(200), c(50);
+  std::vector<ssd::ReadOp> ops = {
+      {0, a.data(), a.size() * 4},
+      {400, b.data(), b.size() * 4},  // contiguous with the first
+      {0, nullptr, 0},                // empty op is legal
+      {20000, c.data(), c.size() * 4},
+  };
+  blob.read_multi(ops);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], data[i]);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], data[100 + i]);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], data[5000 + i]);
+}
+
+TEST(Storage, ReadMultiAccountsLikeScalarReads) {
+  ssd::TempDir dir;
+  ssd::Storage scalar_storage(dir.path() / "s", small_pages());
+  ssd::Storage multi_storage(dir.path() / "m", small_pages());
+  ssd::Blob& scalar_blob =
+      scalar_storage.create_blob("a", ssd::IoCategory::kMisc);
+  ssd::Blob& multi_blob = multi_storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<char> data(64_KiB, 'x');
+  scalar_blob.append(data.data(), data.size());
+  multi_blob.append(data.data(), data.size());
+
+  const std::vector<std::pair<std::uint64_t, std::size_t>> reads = {
+      {100, 5000}, {5100, 2000}, {40000, 123}, {0, 4096}};
+  std::vector<char> buf(8_KiB);
+  const auto s_io_before = scalar_storage.stats().snapshot();
+  const auto m_io_before = multi_storage.stats().snapshot();
+  const auto s_dev_before = scalar_storage.device().snapshot();
+  const auto m_dev_before = multi_storage.device().snapshot();
+  std::vector<ssd::ReadOp> ops;
+  for (const auto& [off, len] : reads) {
+    scalar_blob.read(off, buf.data(), len);
+    ops.push_back({off, buf.data(), len});
+  }
+  multi_blob.read_multi(ops);
+  const auto s_io = scalar_storage.stats().snapshot() - s_io_before;
+  const auto m_io = multi_storage.stats().snapshot() - m_io_before;
+  EXPECT_EQ(s_io.total_pages_read(), m_io.total_pages_read());
+  EXPECT_EQ(scalar_storage.device().modeled_seconds_between(
+                s_dev_before, scalar_storage.device().snapshot()),
+            multi_storage.device().modeled_seconds_between(
+                m_dev_before, multi_storage.device().snapshot()));
+}
+
+TEST(Storage, ReadMultiPastEndThrowsBeforeReading) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<char> data(100, 'x');
+  blob.append(data.data(), data.size());
+  char buf[64];
+  std::vector<ssd::ReadOp> ops = {{0, buf, 64}, {80, buf, 64}};
+  EXPECT_THROW(blob.read_multi(ops), Error);
+}
+
+TEST(Storage, ReserveAssignsDisjointRegions) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  const std::uint64_t first = blob.reserve(100);
+  const std::uint64_t second = blob.reserve(50);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(second, 100u);
+  EXPECT_EQ(blob.size(), 150u);
+  // Reserved regions accept writes and read back intact.
+  std::vector<char> payload(50, 'z');
+  blob.write(second, payload.data(), payload.size());
+  std::vector<char> back(50);
+  blob.read(second, back.data(), back.size());
+  EXPECT_EQ(back, payload);
+}
+
 TEST(AsyncIo, ErrorsSurfaceOnWait) {
   ssd::TempDir dir;
   ssd::Storage storage(dir.path(), small_pages());
@@ -343,6 +428,24 @@ TEST(AsyncIo, ErrorsSurfaceOnWait) {
   char buf[64];
   batch.add(io.read(blob, 1000, buf, 64));  // past EOF
   EXPECT_THROW(batch.wait(), Error);
+}
+
+TEST(AsyncIo, WaitDrainsEveryOpBeforeThrowing) {
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path(), small_pages());
+  ssd::Blob& blob = storage.create_blob("a", ssd::IoCategory::kMisc);
+  std::vector<char> data(4096, 'y');
+  blob.append(data.data(), data.size());
+  ssd::AsyncIo io(1);  // one thread => ops complete in submission order
+  ssd::IoBatch batch;
+  char bad[64];
+  std::vector<char> good(data.size(), '\0');
+  batch.add(io.read(blob, 100000, bad, 64));               // fails
+  batch.add(io.read(blob, 0, good.data(), good.size()));   // queued after
+  EXPECT_THROW(batch.wait(), Error);
+  // wait() joins the ops submitted after the failing one before rethrowing,
+  // so their buffers are safe to release as soon as it returns.
+  EXPECT_EQ(good, data);
 }
 
 TEST(TempDir, CreatesUniqueAndCleansUp) {
