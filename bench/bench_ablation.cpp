@@ -39,6 +39,13 @@ void ablate(const Dataset& data, App app, metrics::Table& table) {
       {"no_pipeline",
        [](core::EngineOptions& o) { o.enable_pipeline = false; }},
       {"pipeline_1io", [](core::EngineOptions& o) { o.io_threads = 1; }},
+      // §V.B ablation: force the pre-scatter decode + comparison-sort path.
+      // Page counts and final values must be identical to the default
+      // (counting scatter); only host sort/group time may differ.
+      {"comparison_sort",
+       [](core::EngineOptions& o) {
+         o.sort_group_path = SortGroupPath::kComparisonSort;
+       }},
   };
 
   double base_time = 0;
@@ -48,7 +55,9 @@ void ablate(const Dataset& data, App app, metrics::Table& table) {
     opts.memory_budget_bytes = cfg.memory_budget;
     opts.max_supersteps = cfg.max_supersteps;
     variant.tweak(opts);
-    const auto stats = run_mlvc(data, app, cfg, always_continue, &opts);
+    std::uint64_t values_hash = 0;
+    const auto stats =
+        run_mlvc(data, app, cfg, always_continue, &opts, &values_hash);
     const double t = stats.modeled_total_seconds();
     const std::uint64_t pages = stats.total_pages();
     if (std::string(variant.name) == "default") {
@@ -63,17 +72,23 @@ void ablate(const Dataset& data, App app, metrics::Table& table) {
                                     : 0.0,
                                 3),
                    format_fixed(stats.total_wall_seconds(), 3),
-                   format_fixed(stats.io_wait_seconds(), 3)});
+                   format_fixed(stats.io_wait_seconds(), 3),
+                   format_fixed(stats.sort_group_seconds(), 3),
+                   std::to_string(stats.groups_scatter()) + "/" +
+                       std::to_string(stats.groups_comparison()),
+                   format_hex(values_hash)});
   }
 }
 
 void run() {
   print_header("Ablation: MultiLogVC design choices",
                "edge log (§V.C), interval fusion (§V.A.2), combine (§V.D), "
-               "predictor depth N (paper: N=1 'proved effective')");
+               "predictor depth N (paper: N=1 'proved effective'), "
+               "sort-and-group path (§V.B counting scatter vs comparison)");
   metrics::Table table({"dataset", "app", "variant", "modeled_s", "pages",
                         "time_vs_default", "pages_vs_default", "wall_s",
-                        "io_wait_s"});
+                        "io_wait_s", "sortgrp_s", "grp_scat/cmp",
+                        "values_hash"});
   for (const auto& data : {make_cf(), make_yws()}) {
     ablate(data, apps::Bfs{.source = 0}, table);
     ablate(data, apps::Cdlp{}, table);

@@ -4,6 +4,11 @@
 // engine sits on.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "grafboost/external_sorter.hpp"
 #include "graph/generators.hpp"
@@ -102,6 +107,83 @@ void BM_SortGroup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SortGroup)->Arg(1 << 16)->Arg(1 << 20);
+
+// ---- §V.B scatter-vs-comparison sweep --------------------------------------
+//
+// One fused interval group's raw log: n records, destinations uniform in
+// [0, width). The sweep crosses record counts (2^10–2^24) with sparse →
+// dense interval widths and combine on/off, one benchmark per grouping
+// path, so the counting scatter's win (and the fallback's crossover region)
+// is directly visible. Each run logs the path the group actually took as a
+// counter (path_scatter = 1 for the counting scatter).
+std::vector<std::byte> make_group_log(std::int64_t n, std::int64_t width,
+                                      std::uint64_t seed) {
+  using Rec = multilog::Record<std::uint32_t>;
+  std::vector<std::byte> bytes(static_cast<std::size_t>(n) * sizeof(Rec));
+  SplitMix64 rng(seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    Rec rec{static_cast<VertexId>(
+                rng.next_below(static_cast<std::uint64_t>(width))),
+            1u};
+    std::memcpy(bytes.data() + static_cast<std::size_t>(i) * sizeof(Rec),
+                &rec, sizeof(Rec));
+  }
+  return bytes;
+}
+
+void sort_group_path_bench(benchmark::State& state, SortGroupPath policy) {
+  const std::int64_t n = state.range(0);
+  const std::int64_t width = state.range(1);
+  const bool combine = state.range(2) != 0;
+  const auto bytes = make_group_log(n, width, 3);
+  const auto span = std::span<const std::byte>(bytes);
+  const auto end = static_cast<VertexId>(width);
+  SortGroupPath taken = policy;
+  for (auto _ : state) {
+    if (combine) {
+      auto g = multilog::sort_and_group<std::uint32_t>(
+          span, 0, end, policy,
+          [](std::uint32_t a, std::uint32_t b) { return a + b; });
+      taken = g.path;
+      benchmark::DoNotOptimize(g.records.data());
+    } else {
+      auto g = multilog::sort_and_group<std::uint32_t>(span, 0, end, policy);
+      taken = g.path;
+      benchmark::DoNotOptimize(g.records.data());
+    }
+  }
+  state.counters["path_scatter"] =
+      taken == SortGroupPath::kCountingScatter ? 1 : 0;
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_SortGroupScatter(benchmark::State& state) {
+  sort_group_path_bench(state, SortGroupPath::kCountingScatter);
+}
+void BM_SortGroupComparison(benchmark::State& state) {
+  sort_group_path_bench(state, SortGroupPath::kComparisonSort);
+}
+void BM_SortGroupAuto(benchmark::State& state) {
+  sort_group_path_bench(state, SortGroupPath::kAuto);
+}
+
+void SortGroupSweep(benchmark::internal::Benchmark* b) {
+  for (int ln : {10, 14, 18, 22, 24}) {        // record counts 2^10–2^24
+    for (int lw : {ln - 6, ln, ln + 2}) {      // dense → sparse widths
+      const int w = std::max(4, lw);
+      for (int combine : {0, 1}) {
+        b->Args({std::int64_t{1} << ln, std::int64_t{1} << w, combine});
+      }
+    }
+  }
+}
+BENCHMARK(BM_SortGroupScatter)->Apply(SortGroupSweep);
+BENCHMARK(BM_SortGroupComparison)->Apply(SortGroupSweep);
+// The auto path at the crossover region, to watch the heuristic choose.
+BENCHMARK(BM_SortGroupAuto)
+    ->Args({1 << 10, 1 << 16, 0})
+    ->Args({1 << 18, 1 << 12, 0})
+    ->Args({1 << 18, 1 << 12, 1});
 
 void BM_ExternalSorter(benchmark::State& state) {
   const std::int64_t n = state.range(0);

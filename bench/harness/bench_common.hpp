@@ -59,10 +59,24 @@ using StepCallback = std::function<bool(const core::SuperstepStats&)>;
 
 inline bool always_continue(const core::SuperstepStats&) { return true; }
 
+/// FNV-1a over the raw bytes of a final vertex-value array. Lets ablation
+/// variants assert "identical results" in one table cell.
+template <typename Value>
+std::uint64_t hash_values(const std::vector<Value>& values) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(values.data());
+  for (std::size_t i = 0; i < values.size() * sizeof(Value); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 template <core::VertexApp App>
 core::RunStats run_mlvc(const Dataset& data, App app, const ScaledConfig& cfg,
                         const StepCallback& cb = always_continue,
-                        core::EngineOptions* opts_out = nullptr) {
+                        core::EngineOptions* opts_out = nullptr,
+                        std::uint64_t* values_hash = nullptr) {
   ssd::TempDir dir("mlvc_bench");
   ssd::Storage storage(dir.path(), cfg.device());
   core::EngineOptions opts;
@@ -78,6 +92,7 @@ core::RunStats run_mlvc(const Dataset& data, App app, const ScaledConfig& cfg,
   const double build_s = build.elapsed_seconds();
   auto stats = engine.run_with_callback(cb);
   stats.build_seconds = build_s;
+  if (values_hash != nullptr) *values_hash = hash_values(engine.values());
   return stats;
 }
 

@@ -46,4 +46,11 @@ inline std::string format_fixed(double v, int precision = 2) {
   return os.str();
 }
 
+/// "0x1a2b3c..." — compact fingerprint (e.g. a vertex-value hash).
+inline std::string format_hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
 }  // namespace mlvc

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <exception>
+#include <span>
 #include <vector>
 
 #ifdef _OPENMP
@@ -53,6 +54,61 @@ void parallel_for(Index begin, Index end, Body&& body) {
 #endif
 }
 
+/// Split [0, n) into at most `max_chunks` contiguous chunks of roughly equal
+/// size, each (except possibly the last) at least `min_chunk` items. Returns
+/// the chunk boundaries: first entry 0, last entry n; n == 0 yields {0}.
+/// The split is a pure function of (n, min_chunk, max_chunks), so results
+/// computed per chunk are deterministic under any scheduling.
+inline std::vector<std::size_t> chunk_bounds(std::size_t n,
+                                             std::size_t min_chunk,
+                                             std::size_t max_chunks) {
+  const std::size_t by_min =
+      min_chunk > 0 ? (n + min_chunk - 1) / min_chunk : n;
+  const std::size_t n_chunks =
+      std::max<std::size_t>(1, std::min(by_min, std::max<std::size_t>(
+                                                    1, max_chunks)));
+  const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+  std::vector<std::size_t> bounds;
+  bounds.reserve(n_chunks + 1);
+  for (std::size_t off = 0; off < n; off += chunk) bounds.push_back(off);
+  bounds.push_back(n);
+  return bounds;
+}
+
+/// In-place exclusive prefix sum over `values`; returns the grand total.
+/// Blocked two-pass scan: per-chunk totals in parallel, a serial scan over
+/// the few chunk totals, then a parallel fix-up pass. The counting-scatter
+/// grouping path uses this to turn a destination histogram into final group
+/// offsets.
+template <typename T>
+T parallel_exclusive_scan(std::span<T> values) {
+  const auto bounds =
+      chunk_bounds(values.size(), std::size_t{1} << 15, hardware_threads());
+  const std::size_t n_chunks = bounds.size() - 1;
+  if (values.empty()) return T{};
+  std::vector<T> sums(n_chunks, T{});
+  parallel_for(std::size_t{0}, n_chunks, [&](std::size_t c) {
+    T s{};
+    for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) s += values[i];
+    sums[c] = s;
+  });
+  T total{};
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const T s = sums[c];
+    sums[c] = total;
+    total += s;
+  }
+  parallel_for(std::size_t{0}, n_chunks, [&](std::size_t c) {
+    T running = sums[c];
+    for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+      const T v = values[i];
+      values[i] = running;
+      running += v;
+    }
+  });
+  return total;
+}
+
 /// Parallel sort. gcc's std::sort is serial; for the log sort (the hot path
 /// of the sort-and-group unit) we split into per-thread chunks and merge.
 template <typename It, typename Cmp>
@@ -64,21 +120,23 @@ void parallel_sort(It begin, It end, Cmp cmp) {
     std::sort(begin, end, cmp);
     return;
   }
-  const std::size_t chunk = (n + t - 1) / t;
-  std::vector<std::size_t> bounds;
-  for (std::size_t off = 0; off < n; off += chunk) {
-    bounds.push_back(off);
-  }
-  bounds.push_back(n);
+  const std::vector<std::size_t> bounds =
+      chunk_bounds(n, std::size_t{1} << 14, t);
 #pragma omp parallel for schedule(static)
   for (long long c = 0; c < static_cast<long long>(bounds.size()) - 1; ++c) {
     std::sort(begin + bounds[c], begin + bounds[c + 1], cmp);
   }
-  // Binary merge tree.
-  for (std::size_t width = 1; width + 1 < bounds.size(); width *= 2) {
-    for (std::size_t i = 0; i + width < bounds.size() - 1; i += 2 * width) {
+  // Binary merge tree. The merges at one width touch disjoint ranges, so
+  // each level runs in parallel; only the log2(chunks) levels are serial.
+  const std::size_t n_lists = bounds.size() - 1;
+  for (std::size_t width = 1; width < n_lists; width *= 2) {
+    const long long n_merges =
+        static_cast<long long>((n_lists - width + 2 * width - 1) / (2 * width));
+#pragma omp parallel for schedule(dynamic, 1)
+    for (long long m = 0; m < n_merges; ++m) {
+      const std::size_t i = static_cast<std::size_t>(m) * 2 * width;
       const std::size_t mid = bounds[i + width];
-      const std::size_t hi = bounds[std::min(i + 2 * width, bounds.size() - 1)];
+      const std::size_t hi = bounds[std::min(i + 2 * width, n_lists)];
       std::inplace_merge(begin + bounds[i], begin + mid, begin + hi, cmp);
     }
   }

@@ -33,6 +33,31 @@ inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
 inline constexpr IntervalId kInvalidInterval =
     std::numeric_limits<IntervalId>::max();
 
+/// Which implementation the sort-and-group unit (§V.B) uses to group one
+/// fused interval group's message log by destination. Shared by the engine
+/// options (which may force a path for ablation) and the multilog layer
+/// (which reports the path actually taken).
+enum class SortGroupPath : std::uint8_t {
+  /// Heuristic: counting scatter unless the destination histogram would be
+  /// large relative to the record count (width >> n, e.g. a nearly-empty
+  /// tail-superstep log), then comparison sort.
+  kAuto,
+  /// Fused histogram + prefix-sum + scatter keyed by dst - interval_begin.
+  kCountingScatter,
+  /// Decode + comparison parallel_sort (+ combine scan) — the pre-scatter
+  /// path, kept as the wide-range fallback and for ablation.
+  kComparisonSort,
+};
+
+inline constexpr const char* to_string(SortGroupPath p) {
+  switch (p) {
+    case SortGroupPath::kAuto: return "auto";
+    case SortGroupPath::kCountingScatter: return "counting_scatter";
+    case SortGroupPath::kComparisonSort: return "comparison_sort";
+  }
+  return "?";
+}
+
 /// Byte-size helpers.
 inline constexpr std::size_t operator""_KiB(unsigned long long v) {
   return static_cast<std::size_t>(v) << 10;

@@ -327,8 +327,8 @@ class MultiLogVCEngine {
 
   bool pipeline_enabled() const noexcept { return async_io_ != nullptr; }
 
-  /// One fused interval group's sorted, combined message input — the output
-  /// of pipeline stage 1 (LoadLog + decode + sort + group).
+  /// One fused interval group's grouped (and possibly combined) message
+  /// input — the output of pipeline stage 1 (LoadLog + scatter/sort+group).
   struct GroupData {
     IntervalId begin = 0;
     IntervalId end = 0;
@@ -337,44 +337,62 @@ class MultiLogVCEngine {
     /// Records loaded from the logs, before combine shrinks them —
     /// messages_consumed counts what was sent, not what survived combine.
     std::size_t consumed = 0;
+    /// Wall time of the sort-and-group stage, wherever it ran, and the
+    /// §V.B implementation chosen for this group.
+    double sort_group_seconds = 0;
+    SortGroupPath path = SortGroupPath::kComparisonSort;
   };
 
-  /// Stage 1: load + decode + sort + combine + group one fused interval
-  /// group. Runs on the main thread (instrument = true: attribute load time
-  /// to io, sort time to compute) or on an I/O thread one group ahead of
-  /// compute (instrument = false: the main thread only accounts its wait on
-  /// the future — the stage itself is off the critical path).
+  /// Stage 1: load + group (fused counting scatter by default, §V.B, with
+  /// combine folded in per §V.D) one fused interval group. Runs on the main
+  /// thread (instrument = true: attribute load time to io, grouping time to
+  /// compute) or on an I/O thread one group ahead of compute (instrument =
+  /// false: the main thread only accounts its wait on the future — the
+  /// stage itself is off the critical path).
   GroupData prepare_group(IntervalId g_begin, IntervalId g_end,
                           bool drain_async, bool instrument) {
     GroupData g;
     g.begin = g_begin;
     g.end = g_end;
+    std::vector<std::byte> bytes;
     {
       std::optional<ScopedAccumulator> io_time;
       if (instrument) io_time.emplace(step_io_seconds_);
-      std::vector<std::byte> bytes;
       for (IntervalId i = g_begin; i < g_end; ++i) {
         store_.load_interval(i, bytes);
         if (drain_async) store_.drain_produce_interval(i, bytes);
       }
-      g.records = multilog::decode_records<Message>(bytes);
-      g.consumed = g.records.size();
     }
 
-    // ---- sort + optional combine (§V.B, §V.D) -----------------------------
+    // ---- group by destination, combine fused in (§V.B, §V.D) --------------
+    // Destinations are bounded by the fused intervals' vertex range — what
+    // the §V.A.1 sizing guarantees — so grouping is a counting-sort problem.
     std::optional<ScopedAccumulator> compute_time;
     if (instrument) compute_time.emplace(step_compute_seconds_);
-    multilog::sort_records(g.records);
+    WallTimer sort_timer;
+    const VertexId vb = graph_.intervals().begin(g_begin);
+    const VertexId ve = graph_.intervals().end(g_end - 1);
+    multilog::GroupedLog<Message> grouped;
+    bool combined = false;
     if constexpr (App::kHasCombine) {
       if (options_.enable_combine) {
-        multilog::combine_sorted(g.records, [this](const Message& a,
-                                                   const Message& b) {
-          return app_.combine(a, b);
-        });
+        grouped = multilog::sort_and_group<Message>(
+            bytes, vb, ve, options_.sort_group_path,
+            [this](const Message& a, const Message& b) {
+              return app_.combine(a, b);
+            });
+        combined = true;
       }
     }
-    g.offsets = multilog::group_offsets(
-        std::span<const Rec>(g.records.data(), g.records.size()));
+    if (!combined) {
+      grouped = multilog::sort_and_group<Message>(bytes, vb, ve,
+                                                  options_.sort_group_path);
+    }
+    g.records = std::move(grouped.records);
+    g.offsets = std::move(grouped.offsets);
+    g.consumed = grouped.decoded;
+    g.path = grouped.path;
+    g.sort_group_seconds = sort_timer.elapsed_seconds();
     return g;
   }
 
@@ -393,6 +411,9 @@ class MultiLogVCEngine {
     std::uint64_t consumed = 0;
     std::uint64_t active_count = 0;
     std::uint64_t edge_log_hits = 0;
+    double sort_group_seconds = 0;
+    std::uint64_t groups_scatter = 0;
+    std::uint64_t groups_comparison = 0;
     step_io_seconds_ = 0;
     step_compute_seconds_ = 0;
 
@@ -428,6 +449,12 @@ class MultiLogVCEngine {
                                 drain_async, /*instrument=*/true);
         }
         consumed += group.consumed;
+        sort_group_seconds += group.sort_group_seconds;
+        if (group.path == SortGroupPath::kCountingScatter) {
+          ++groups_scatter;
+        } else {
+          ++groups_comparison;
+        }
 
         // ---- ExtractActiveVert: receivers ∪ sticky actives ----------------
         // Both inputs are ascending; merge per interval.
@@ -477,6 +504,9 @@ class MultiLogVCEngine {
     step.total_wall_seconds = wall.elapsed_seconds();
     step.compute_wall_seconds = step_compute_seconds_;
     step.io_wall_seconds = step_io_seconds_;
+    step.sort_group_seconds = sort_group_seconds;
+    step.groups_scatter = groups_scatter;
+    step.groups_comparison = groups_comparison;
     step.io = storage.stats().snapshot() - io_before;
     step.modeled_storage_seconds = storage.device().modeled_seconds_between(
         dev_before, storage.device().snapshot());

@@ -42,6 +42,13 @@ struct EngineOptions {
   /// preserved even when the app provides a combine operator.
   bool enable_combine = true;
 
+  /// §V.B sort-and-group implementation. kAuto uses the fused parallel
+  /// counting scatter (histogram + prefix sum + scatter keyed by
+  /// dst - interval_begin) whenever the fused range is not vastly wider than
+  /// the log, falling back to decode + comparison sort for nearly-empty
+  /// logs over wide ranges. Forcing a path is for tests and ablation.
+  SortGroupPath sort_group_path = SortGroupPath::kAuto;
+
   /// History depth N for the active-vertex predictor (paper uses 1).
   unsigned predictor_history = 1;
 

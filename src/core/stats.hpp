@@ -34,6 +34,17 @@ struct SuperstepStats {
   double io_wall_seconds = 0;
   double total_wall_seconds = 0;       // host wall clock for the superstep
 
+  /// Wall time of the §V.B sort-and-group stage (decode + scatter-or-sort +
+  /// combine + group offsets) summed over this superstep's interval groups,
+  /// measured where the stage ran. On the serial path it is a subset of
+  /// compute_wall_seconds; under the pipeline the stage runs on I/O threads
+  /// one group ahead of compute, so it may exceed the critical-path share.
+  double sort_group_seconds = 0;
+  /// Interval groups handled by each §V.B implementation this superstep
+  /// (the fused counting scatter vs the comparison-sort fallback).
+  std::uint64_t groups_scatter = 0;
+  std::uint64_t groups_comparison = 0;
+
   /// Primary metric (DESIGN.md §4): host compute + modeled device time.
   double modeled_total_seconds() const {
     return compute_wall_seconds + modeled_storage_seconds;
@@ -76,6 +87,21 @@ struct RunStats {
   double compute_seconds() const {
     double t = 0;
     for (const auto& s : supersteps) t += s.compute_wall_seconds;
+    return t;
+  }
+  double sort_group_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.sort_group_seconds;
+    return t;
+  }
+  std::uint64_t groups_scatter() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.groups_scatter;
+    return t;
+  }
+  std::uint64_t groups_comparison() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.groups_comparison;
     return t;
   }
   double io_wait_seconds() const {

@@ -61,6 +61,9 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
       << ",\"messages\":" << stats.total_messages()
       << ",\"modeled_storage_seconds\":" << stats.modeled_storage_seconds()
       << ",\"compute_seconds\":" << stats.compute_seconds()
+      << ",\"sort_group_seconds\":" << stats.sort_group_seconds()
+      << ",\"groups_scatter\":" << stats.groups_scatter()
+      << ",\"groups_comparison\":" << stats.groups_comparison()
       << ",\"io_wait_seconds\":" << stats.io_wait_seconds()
       << ",\"total_wall_seconds\":" << stats.total_wall_seconds()
       << ",\"modeled_total_seconds\":" << stats.modeled_total_seconds()
@@ -76,6 +79,9 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
         << ",\"edges_activated\":" << s.edges_activated
         << ",\"modeled_storage_seconds\":" << s.modeled_storage_seconds
         << ",\"compute_wall_seconds\":" << s.compute_wall_seconds
+        << ",\"sort_group_seconds\":" << s.sort_group_seconds
+        << ",\"groups_scatter\":" << s.groups_scatter
+        << ",\"groups_comparison\":" << s.groups_comparison
         << ",\"io_wall_seconds\":" << s.io_wall_seconds
         << ",\"total_wall_seconds\":" << s.total_wall_seconds
         << ",\"pages_touched\":" << s.pages_touched

@@ -10,6 +10,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "multilog/multilog_store.hpp"
 
@@ -33,13 +34,26 @@ void append_record(MultiLogStore& store, VertexId dst, const Message& m) {
   store.append(dst, &rec);
 }
 
-/// Reinterpret a loaded byte buffer as records. The store guarantees the
-/// buffer length is a multiple of the record size; we copy into a properly
+/// Number of records in a raw log buffer, validating that the buffer is a
+/// whole number of records. The store guarantees this for healthy logs, so
+/// a remainder means a torn or truncated log page — every grouping path
+/// (decode + sort and counting scatter alike) funnels through this check so
+/// corruption surfaces as a typed mlvc::Error instead of undefined behaviour.
+template <typename Message>
+std::size_t checked_record_count(std::span<const std::byte> bytes) {
+  MLVC_CHECK_MSG(bytes.size() % sizeof(Record<Message>) == 0,
+                 "log buffer of " << bytes.size()
+                                  << " bytes is not a whole number of "
+                                  << sizeof(Record<Message>)
+                                  << "-byte records — torn/truncated page?");
+  return bytes.size() / sizeof(Record<Message>);
+}
+
+/// Reinterpret a loaded byte buffer as records. We copy into a properly
 /// aligned vector (log pages have no alignment guarantees mid-stream).
 template <typename Message>
 std::vector<Record<Message>> decode_records(std::span<const std::byte> bytes) {
-  MLVC_CHECK(bytes.size() % sizeof(Record<Message>) == 0);
-  std::vector<Record<Message>> out(bytes.size() / sizeof(Record<Message>));
+  std::vector<Record<Message>> out(checked_record_count<Message>(bytes));
   std::memcpy(out.data(), bytes.data(), bytes.size());
   return out;
 }
