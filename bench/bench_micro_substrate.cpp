@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstring>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -184,6 +185,82 @@ BENCHMARK(BM_SortGroupAuto)
     ->Args({1 << 10, 1 << 16, 0})
     ->Args({1 << 18, 1 << 12, 0})
     ->Args({1 << 18, 1 << 12, 1});
+
+// ---- produce-path scatter contention sweep ----------------------------------
+//
+// N producer threads hammer one MultiLogStore with random-destination
+// appends — the engine's scatter hot path. BM_ScatterAppendLocked is the
+// per-record interval-locked path; BM_ScatterAppendStaged batches through
+// per-thread staging buffers of the given depth, taking each interval lock
+// once per flushed chunk. The sweep crosses thread count × interval count ×
+// staging depth; at high contention (8 threads, 64 intervals) staged must
+// beat locked by well over 2x. Manual std::threads, so wall time is the
+// meaningful clock (UseRealTime).
+void scatter_append_bench(benchmark::State& state, std::int64_t depth) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto n_intervals = static_cast<VertexId>(state.range(1));
+  constexpr std::int64_t kPerThread = 1 << 17;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  const auto intervals =
+      graph::VertexIntervals::uniform(n_intervals * 64, n_intervals);
+  multilog::MultiLogStore store(
+      storage, "bench", intervals,
+      {.record_size = 8,
+       .staging_records = static_cast<std::size_t>(depth)});
+  // Destinations are pregenerated so the timed region is the append path
+  // itself, not the RNG.
+  std::vector<std::vector<VertexId>> dsts(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    SplitMix64 rng(t + 1);
+    dsts[t].reserve(kPerThread);
+    for (std::int64_t k = 0; k < kPerThread; ++k) {
+      dsts[t].push_back(
+          static_cast<VertexId>(rng.next_below(n_intervals * 64)));
+    }
+  }
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        auto staging = store.make_staging();
+        std::uint32_t k = 0;
+        for (const VertexId dst : dsts[t]) {
+          multilog::append_record_staged<std::uint32_t>(store, staging, dst,
+                                                        k++);
+        }
+        store.flush_staging(staging);
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() * threads * kPerThread);
+}
+
+void BM_ScatterAppendLocked(benchmark::State& state) {
+  scatter_append_bench(state, 0);
+}
+void BM_ScatterAppendStaged(benchmark::State& state) {
+  scatter_append_bench(state, state.range(2));
+}
+
+void ScatterSweepLocked(benchmark::internal::Benchmark* b) {
+  for (std::int64_t threads : {1, 2, 4, 8}) {
+    for (std::int64_t iv : {4, 64, 512}) b->Args({threads, iv});
+  }
+  b->UseRealTime();
+}
+void ScatterSweepStaged(benchmark::internal::Benchmark* b) {
+  for (std::int64_t threads : {1, 2, 4, 8}) {
+    for (std::int64_t iv : {4, 64, 512}) {
+      for (std::int64_t depth : {1, 16, 64}) b->Args({threads, iv, depth});
+    }
+  }
+  b->UseRealTime();
+}
+BENCHMARK(BM_ScatterAppendLocked)->Apply(ScatterSweepLocked);
+BENCHMARK(BM_ScatterAppendStaged)->Apply(ScatterSweepStaged);
 
 void BM_ExternalSorter(benchmark::State& state) {
   const std::int64_t n = state.range(0);

@@ -25,6 +25,17 @@ inline unsigned hardware_threads() {
 #endif
 }
 
+/// Index of the calling thread within the current parallel_for team:
+/// 0 .. hardware_threads() - 1, and 0 outside any parallel region. Used to
+/// index per-thread state (e.g. multi-log staging) without thread_local.
+inline unsigned thread_index() {
+#ifdef _OPENMP
+  return static_cast<unsigned>(omp_get_thread_num());
+#else
+  return 0;
+#endif
+}
+
 /// Parallel for over [begin, end) with dynamic scheduling. Body must be
 /// thread-safe. Chunk size is tuned for skewed per-iteration cost (power-law
 /// vertex degrees make static partitioning badly unbalanced).

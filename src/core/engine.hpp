@@ -10,9 +10,10 @@
 //   3. per interval, in loader-budget-bounded batches of active vertices:
 //      gather vertex values, load adjacency through the Graph Loader Unit
 //      (edge-log hits first, then page-coalesced CSR reads), run the
-//      application's ProcessVertex in parallel, route its SendUpdate()s into
-//      the produce-generation multi-log, apply the §V.C edge-log decision,
-//      scatter values back;
+//      application's ProcessVertex in parallel, route its SendUpdate()s
+//      through per-thread staging buffers into the produce-generation
+//      multi-log (flushed in chunks at batch end), apply the §V.C edge-log
+//      decision, scatter values back;
 //   4. close the superstep: score/advance the predictor, summarize page
 //      utilization, apply buffered structural updates, swap log generations.
 //
@@ -25,7 +26,6 @@
 // are identical to the serial path; only the overlap changes.
 #pragma once
 
-#include <atomic>
 #include <deque>
 #include <future>
 #include <memory>
@@ -74,32 +74,41 @@ class MultiLogVCEngine {
                    EngineOptions options)
       : graph_(graph),
         app_(std::move(app)),
-        options_(options),
-        async_io_(options.enable_pipeline && options.io_threads > 0
-                      ? std::make_unique<ssd::AsyncIo>(options.io_threads)
+        options_(apply_env_overrides(options)),
+        async_io_(options_.enable_pipeline && options_.io_threads > 0
+                      ? std::make_unique<ssd::AsyncIo>(options_.io_threads)
                       : nullptr),
         store_(graph.storage(), "mlvc", graph.intervals(),
                multilog::MultiLogConfig{
                    .record_size = sizeof(Rec),
-                   .buffer_budget_bytes = options.log_buffer_budget(),
+                   .buffer_budget_bytes = options_.log_buffer_budget(),
+                   .staging_records = options_.scatter_staging_records,
                    .async_io = async_io_.get()}),
         edge_log_(graph.storage(), "mlvc",
                   multilog::EdgeLogConfig{App::kNeedsWeights,
-                                          options.edge_log_budget()}),
-        predictor_(graph.num_vertices(), options.predictor_history),
+                                          options_.edge_log_budget()}),
+        predictor_(graph.num_vertices(), options_.predictor_history),
         util_tracker_(graph.storage().page_size(),
-                      options.page_util_threshold),
+                      options_.page_util_threshold),
         loader_(graph, &edge_log_, &util_tracker_,
                 GraphLoaderUnit::Config{App::kNeedsWeights,
-                                        options.enable_edge_log}),
+                                        options_.enable_edge_log}),
         values_(graph.storage(), "mlvc/values", graph.num_vertices(),
                 [this](VertexId v) { return app_.initial_value(v); },
-                options.values_on_storage),
+                options_.values_on_storage),
         sticky_active_(graph.num_vertices()) {
     MLVC_CHECK_MSG(!App::kNeedsWeights || graph.has_weights(),
                    "application '" << app_.name()
                                    << "' needs edge weights but the stored "
                                       "graph has none");
+    if (options_.adjacency_cache_bytes > 0) {
+      graph_.set_adjacency_cache(options_.adjacency_cache_bytes);
+    }
+    // One staging area + message counters per compute thread. Only
+    // parallel_for workers (and the main thread, index 0) call send();
+    // AsyncIo threads never do, so indexing by thread_index() is race-free.
+    thread_state_.resize(std::max(1u, hardware_threads()));
+    for (auto& ts : thread_state_) ts.staging = store_.make_staging();
     for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
       if (app_.initially_active(v)) sticky_active_.set(v);
     }
@@ -181,6 +190,9 @@ class MultiLogVCEngine {
     IntervalId n_int = 0;
     read(&n_int, 4);
     MLVC_CHECK(n_int == graph_.intervals().count());
+    // Records staged by an aborted superstep must not flush into the
+    // rolled-back generations.
+    for (auto& ts : thread_state_) ts.staging.discard();
     store_.reset_all();
     std::vector<std::byte> bytes;
     for (IntervalId i = 0; i < n_int; ++i) {
@@ -246,9 +258,14 @@ class MultiLogVCEngine {
     }
 
     void send(VertexId dst, const Message& m) {
-      multilog::append_record<Message>(engine_.store_, dst, m);
-      engine_.messages_produced_.fetch_add(1, std::memory_order_relaxed);
-      engine_.edges_activated_.fetch_add(1, std::memory_order_relaxed);
+      // Lock-free scatter: the record goes into this thread's staging area
+      // and the counters are thread-private; nothing shared is touched until
+      // a staged chunk flushes (buffer-full here, batch end in the engine).
+      auto& ts = engine_.thread_state_[thread_index()];
+      multilog::append_record_staged<Message>(engine_.store_, ts.staging, dst,
+                                              m);
+      ++ts.messages_produced;
+      ++ts.edges_activated;
     }
     void send_to_all_neighbors(const Message& m) {
       for (std::size_t i = 0; i < out_degree(); ++i) send(out_edge(i), m);
@@ -298,6 +315,13 @@ class MultiLogVCEngine {
   void queue_structural(const graph::StructuralUpdate& u) {
     std::lock_guard<std::mutex> lock(structural_mutex_);
     structural_queue_.push_back(u);
+  }
+
+  /// Flush every compute thread's staged records into the shared multi-log.
+  /// Must run on the main thread with no parallel region active (batch end,
+  /// before an asynchronous-mode drain, and at superstep close).
+  void flush_produce_staging() {
+    for (auto& ts : thread_state_) store_.flush_staging(ts.staging);
   }
 
   /// Greedy §V.A.2 fusion: consecutive intervals whose current logs (by the
@@ -354,6 +378,13 @@ class MultiLogVCEngine {
     GroupData g;
     g.begin = g_begin;
     g.end = g_end;
+    // Asynchronous-mode drain barrier: the drain below reads the produce
+    // logs, so records still parked in per-thread staging must be flushed
+    // first or this superstep's earlier sends would be delivered a superstep
+    // late. Runs on the main thread (async mode never prefetches groups —
+    // group k+1's input depends on group k's compute), with no parallel
+    // region active.
+    if (drain_async) flush_produce_staging();
     std::vector<std::byte> bytes;
     {
       std::optional<ScopedAccumulator> io_time;
@@ -404,8 +435,11 @@ class MultiLogVCEngine {
     const auto dev_before = storage.device().snapshot();
     WallTimer wall;
 
-    messages_produced_.store(0, std::memory_order_relaxed);
-    edges_activated_.store(0, std::memory_order_relaxed);
+    for (auto& ts : thread_state_) {
+      ts.messages_produced = 0;
+      ts.edges_activated = 0;
+      ts.staging.reset_stats();
+    }
     DynamicBitset active_now(graph_.num_vertices());
 
     std::uint64_t consumed = 0;
@@ -484,6 +518,20 @@ class MultiLogVCEngine {
     predictor_.observe(active_now);
     const auto util = util_tracker_.finish_superstep();
     apply_structural_updates();
+    // Every staged record must reach the shared top pages before the produce
+    // generation becomes readable. Batch-end flushes already did this for
+    // all compute; this is the safety barrier for the swap.
+    flush_produce_staging();
+    std::uint64_t messages_produced = 0;
+    std::uint64_t edges_activated = 0;
+    std::uint64_t scatter_flush_count = 0;
+    double scatter_stall_seconds = 0;
+    for (auto& ts : thread_state_) {
+      messages_produced += ts.messages_produced;
+      edges_activated += ts.edges_activated;
+      scatter_flush_count += ts.staging.flush_count();
+      scatter_stall_seconds += ts.staging.stall_seconds();
+    }
     {
       // swap_generations barriers any background eviction writes still
       // pending against the produce generation.
@@ -494,8 +542,10 @@ class MultiLogVCEngine {
 
     step.active_vertices = active_count;
     step.messages_consumed = consumed;
-    step.messages_produced = messages_produced_.load();
-    step.edges_activated = edges_activated_.load();
+    step.messages_produced = messages_produced;
+    step.edges_activated = edges_activated;
+    step.scatter_flush_count = scatter_flush_count;
+    step.scatter_stall_seconds = scatter_stall_seconds;
     step.pages_touched = util.pages_touched;
     step.pages_inefficient = util.pages_inefficient;
     step.pages_inefficient_predicted = util.inefficient_predicted;
@@ -714,6 +764,11 @@ class MultiLogVCEngine {
         }
       }
     });
+    // Batch-end flush: the workers just joined, so their staged sends move
+    // to the shared top pages here, one interval-lock take per chunk. This
+    // is what makes staged records visible to produced_count (fusion
+    // planning) and to the next asynchronous-mode drain.
+    flush_produce_staging();
     compute_time.reset();
 
     // Serial post-pass: sticky bits, predictor input, values write-back.
@@ -759,8 +814,16 @@ class MultiLogVCEngine {
   double step_io_seconds_ = 0;
   double step_compute_seconds_ = 0;
 
-  std::atomic<std::uint64_t> messages_produced_{0};
-  std::atomic<std::uint64_t> edges_activated_{0};
+  /// Per-compute-thread produce state, indexed by thread_index(): the
+  /// multi-log staging area plus message counters that replace the shared
+  /// atomics send() used to bump per record. Padded to a cache line so one
+  /// thread's counter writes don't bounce its neighbors' lines.
+  struct alignas(64) ThreadProduceState {
+    multilog::MultiLogStore::Staging staging;
+    std::uint64_t messages_produced = 0;
+    std::uint64_t edges_activated = 0;
+  };
+  std::vector<ThreadProduceState> thread_state_;
   std::mutex structural_mutex_;
   std::vector<graph::StructuralUpdate> structural_queue_;
 };

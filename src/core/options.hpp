@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 
 #include "common/memory_budget.hpp"
 #include "common/types.hpp"
@@ -73,6 +74,20 @@ struct EngineOptions {
   /// classic double buffering (next batch loads while current computes).
   unsigned prefetch_depth = 2;
 
+  /// Per-thread, per-interval staging depth (records) for the produce path:
+  /// send() appends into a thread-local buffer with no lock and no shared
+  /// atomics, flushing into the shared multi-log top page one chunk at a
+  /// time (on buffer-full, at batch end, and before asynchronous-mode
+  /// drains). 0 = the old per-record locked append. The
+  /// MLVC_SCATTER_STAGING environment variable, when set, overrides this
+  /// (CI uses it to pin the worst-case depth of 1).
+  unsigned scatter_staging_records = 64;
+
+  /// Host-side CLOCK cache over CSR adjacency (colidx) pages, in bytes.
+  /// 0 = no cache: every adjacency read hits storage (the out-of-core
+  /// default, and what the paper's page-access counts assume).
+  std::size_t adjacency_cache_bytes = 0;
+
   /// Seed for all app-level randomness (MIS priorities, random walks).
   std::uint64_t seed = 1;
 
@@ -99,5 +114,17 @@ struct EngineOptions {
            edge_log_budget();
   }
 };
+
+/// Environment overrides, applied by the engine at construction so every
+/// entry point (tools, tests, benches) honors them. MLVC_SCATTER_STAGING
+/// pins the produce-path staging depth — CI runs the tier-1 suite with it
+/// set to 1 to keep the worst-case flush-churn configuration honest.
+inline EngineOptions apply_env_overrides(EngineOptions options) {
+  if (const char* env = std::getenv("MLVC_SCATTER_STAGING")) {
+    options.scatter_staging_records =
+        static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  return options;
+}
 
 }  // namespace mlvc::core

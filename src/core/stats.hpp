@@ -45,6 +45,13 @@ struct SuperstepStats {
   std::uint64_t groups_scatter = 0;
   std::uint64_t groups_comparison = 0;
 
+  /// Produce-path staging (§V.A): chunks flushed from per-thread staging
+  /// buffers into the shared top pages, and the wall time those flushes
+  /// spent holding interval locks (the residual serialized section of the
+  /// scatter path — per-record locking made this the whole send cost).
+  std::uint64_t scatter_flush_count = 0;
+  double scatter_stall_seconds = 0;
+
   /// Primary metric (DESIGN.md §4): host compute + modeled device time.
   double modeled_total_seconds() const {
     return compute_wall_seconds + modeled_storage_seconds;
@@ -102,6 +109,16 @@ struct RunStats {
   std::uint64_t groups_comparison() const {
     std::uint64_t t = 0;
     for (const auto& s : supersteps) t += s.groups_comparison;
+    return t;
+  }
+  std::uint64_t scatter_flush_count() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.scatter_flush_count;
+    return t;
+  }
+  double scatter_stall_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.scatter_stall_seconds;
     return t;
   }
   double io_wait_seconds() const {

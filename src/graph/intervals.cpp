@@ -1,6 +1,7 @@
 #include "graph/intervals.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace mlvc::graph {
 
@@ -29,6 +30,7 @@ VertexIntervals VertexIntervals::partition_by_in_degree(
     out.boundaries_.pop_back();
   }
   if (out.boundaries_.size() == 1) out.boundaries_.clear();
+  out.build_index();
   return out;
 }
 
@@ -44,6 +46,7 @@ VertexIntervals VertexIntervals::uniform(VertexId num_vertices,
     v += width;
   }
   out.boundaries_.push_back(num_vertices);
+  out.build_index();
   return out;
 }
 
@@ -57,14 +60,29 @@ VertexIntervals VertexIntervals::from_boundaries(
                  "boundaries must be strictly increasing");
   VertexIntervals out;
   out.boundaries_ = std::move(boundaries);
+  out.build_index();
   return out;
 }
 
-IntervalId VertexIntervals::interval_of(VertexId v) const {
-  MLVC_CHECK_MSG(v < num_vertices(), "vertex " << v << " out of range");
-  const auto it =
-      std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
-  return static_cast<IntervalId>(it - boundaries_.begin() - 1);
+void VertexIntervals::build_index() {
+  block_first_.clear();
+  block_shift_ = 0;
+  const IntervalId n = count();
+  if (n == 0) return;
+  VertexId min_width = boundaries_[1] - boundaries_[0];
+  for (IntervalId i = 1; i < n; ++i) {
+    min_width = std::min(min_width, boundaries_[i + 1] - boundaries_[i]);
+  }
+  block_shift_ = std::bit_width(std::max<VertexId>(min_width, 1)) - 1;
+  const std::uint64_t blocks =
+      ((std::uint64_t{num_vertices()} - 1) >> block_shift_) + 1;
+  block_first_.resize(blocks);
+  IntervalId i = 0;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const VertexId first = static_cast<VertexId>(b << block_shift_);
+    while (boundaries_[i + 1] <= first) ++i;
+    block_first_[b] = i;
+  }
 }
 
 }  // namespace mlvc::graph

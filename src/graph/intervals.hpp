@@ -56,13 +56,29 @@ class VertexIntervals {
   }
   VertexId width(IntervalId i) const { return end(i) - begin(i); }
 
-  /// Interval containing vertex v. The paper's vId2IntervalMap. O(log I).
-  IntervalId interval_of(VertexId v) const;
+  /// Interval containing vertex v — the paper's vId2IntervalMap. A block
+  /// index sized to the narrowest interval makes this one table load plus at
+  /// most one boundary probe (the scatter path calls it per message, so it
+  /// must not be a binary search).
+  IntervalId interval_of(VertexId v) const {
+    MLVC_CHECK_MSG(v < num_vertices(), "vertex " << v << " out of range");
+    IntervalId i = block_first_[v >> block_shift_];
+    while (boundaries_[i + 1] <= v) ++i;
+    return i;
+  }
 
   std::span<const VertexId> boundaries() const noexcept { return boundaries_; }
 
  private:
+  /// Build block_first_: blocks of 2^block_shift_ vertices, each mapped to
+  /// the interval containing its first vertex. Block size ≤ the narrowest
+  /// interval, so a block overlaps at most two intervals and the probe loop
+  /// in interval_of takes at most one step.
+  void build_index();
+
   std::vector<VertexId> boundaries_;  // count()+1 entries
+  std::vector<IntervalId> block_first_;
+  unsigned block_shift_ = 0;
 };
 
 }  // namespace mlvc::graph

@@ -146,6 +146,9 @@ void StoredCsrGraph::write_interval(IntervalId i,
     val_blobs_[i]->truncate(0);
     val_blobs_[i]->append(val.data(), val.size_bytes());
   }
+  // The interval's colidx pages just changed identity/content; cached copies
+  // are stale.
+  if (adjacency_cache_) adjacency_cache_->invalidate();
 }
 
 void StoredCsrGraph::read_local_row_ptrs(IntervalId i, VertexId local_begin,
@@ -158,10 +161,22 @@ void StoredCsrGraph::read_local_row_ptrs(IntervalId i, VertexId local_begin,
                          out.data(), count * sizeof(EdgeIndex));
 }
 
+void StoredCsrGraph::set_adjacency_cache(std::size_t capacity_bytes) {
+  adjacency_cache_ =
+      capacity_bytes == 0
+          ? nullptr
+          : std::make_unique<ssd::PageCache>(storage_, capacity_bytes);
+}
+
 void StoredCsrGraph::read_adjacency(IntervalId i, EdgeIndex lo, EdgeIndex hi,
                                     std::span<VertexId> out) const {
   MLVC_CHECK(i < intervals_.count() && lo <= hi);
   MLVC_CHECK(out.size() >= hi - lo);
+  if (adjacency_cache_) {
+    adjacency_cache_->read(*colidx_blobs_[i], lo * sizeof(VertexId),
+                           out.data(), (hi - lo) * sizeof(VertexId));
+    return;
+  }
   colidx_blobs_[i]->read(lo * sizeof(VertexId), out.data(),
                          (hi - lo) * sizeof(VertexId));
 }
@@ -199,6 +214,18 @@ void StoredCsrGraph::read_local_row_ptrs_multi(
 void StoredCsrGraph::read_adjacency_multi(
     IntervalId i, std::span<const ElemRange> ranges) const {
   MLVC_CHECK(i < intervals_.count());
+  if (adjacency_cache_) {
+    // Cached path serves each range from host pages (no preadv coalescing —
+    // hits never reach the kernel at all).
+    for (const auto& r : ranges) {
+      MLVC_CHECK(r.lo <= r.hi);
+      adjacency_cache_->read(*colidx_blobs_[i],
+                             static_cast<std::uint64_t>(r.lo) *
+                                 sizeof(VertexId),
+                             r.out, (r.hi - r.lo) * sizeof(VertexId));
+    }
+    return;
+  }
   colidx_blobs_[i]->read_multi(to_read_ops<VertexId>(ranges));
 }
 

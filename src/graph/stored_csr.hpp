@@ -21,6 +21,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/intervals.hpp"
+#include "ssd/page_cache.hpp"
 #include "ssd/storage.hpp"
 
 namespace mlvc::graph {
@@ -116,6 +117,16 @@ class StoredCsrGraph {
     return interval_edges_[i];
   }
 
+  /// Route adjacency (colidx) reads through a host-side CLOCK page cache of
+  /// `capacity_bytes` (0 disables). Cached hits cost no storage pages — they
+  /// are counted as cache_hit_pages in IoStats instead. The cache is
+  /// invalidated whenever an interval's CSR vectors are rewritten
+  /// (structural-update merges), so readers always see current data.
+  void set_adjacency_cache(std::size_t capacity_bytes);
+  bool adjacency_cache_enabled() const noexcept {
+    return adjacency_cache_ != nullptr;
+  }
+
   const ssd::Blob& colidx_blob(IntervalId i) const;
   const ssd::Blob& rowptr_blob(IntervalId i) const;
 
@@ -153,6 +164,9 @@ class StoredCsrGraph {
   std::vector<ssd::Blob*> rowptr_blobs_;
   std::vector<ssd::Blob*> colidx_blobs_;
   std::vector<ssd::Blob*> val_blobs_;
+  /// Optional adjacency page cache; mutable because reads are logically
+  /// const (the cache has its own internal lock).
+  mutable std::unique_ptr<ssd::PageCache> adjacency_cache_;
 
   mutable std::mutex updates_mutex_;
   std::vector<std::vector<StructuralUpdate>> pending_;  // per interval

@@ -30,6 +30,8 @@ void write_escaped(std::ostream& out, const std::string& s) {
 void write_io(std::ostream& out, const ssd::IoStatsSnapshot& io) {
   out << "{\"pages_read\":" << io.total_pages_read()
       << ",\"pages_written\":" << io.total_pages_written()
+      << ",\"cache_hit_pages\":" << io.cache_hit_pages
+      << ",\"cache_miss_pages\":" << io.cache_miss_pages
       << ",\"by_category\":{";
   bool first = true;
   for (unsigned c = 0; c < ssd::kNumIoCategories; ++c) {
@@ -64,6 +66,8 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
       << ",\"sort_group_seconds\":" << stats.sort_group_seconds()
       << ",\"groups_scatter\":" << stats.groups_scatter()
       << ",\"groups_comparison\":" << stats.groups_comparison()
+      << ",\"scatter_flush_count\":" << stats.scatter_flush_count()
+      << ",\"scatter_stall_seconds\":" << stats.scatter_stall_seconds()
       << ",\"io_wait_seconds\":" << stats.io_wait_seconds()
       << ",\"total_wall_seconds\":" << stats.total_wall_seconds()
       << ",\"modeled_total_seconds\":" << stats.modeled_total_seconds()
@@ -82,6 +86,8 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
         << ",\"sort_group_seconds\":" << s.sort_group_seconds
         << ",\"groups_scatter\":" << s.groups_scatter
         << ",\"groups_comparison\":" << s.groups_comparison
+        << ",\"scatter_flush_count\":" << s.scatter_flush_count
+        << ",\"scatter_stall_seconds\":" << s.scatter_stall_seconds
         << ",\"io_wall_seconds\":" << s.io_wall_seconds
         << ",\"total_wall_seconds\":" << s.total_wall_seconds
         << ",\"pages_touched\":" << s.pages_touched

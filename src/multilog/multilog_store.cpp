@@ -1,8 +1,10 @@
 #include "multilog/multilog_store.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 
 namespace mlvc::multilog {
 
@@ -33,6 +35,20 @@ MultiLogStore::MultiLogStore(ssd::Storage& storage, std::string prefix,
                        << " B) smaller than one page (" << page_size_
                        << " B)");
   }
+  usable_page_bytes_ = (page_size_ / config_.record_size) * config_.record_size;
+  if (config_.staging_records > 0) {
+    staging_slot_bytes_ = config_.staging_records * config_.record_size;
+    if (config_.buffer_budget_bytes > 0) {
+      // Worst case one thread stages a full slot for every interval; keep
+      // that within the (advisory) log-buffer budget, but never below one
+      // record — a 1-deep slot still batches the interval_of hoist.
+      const std::size_t cap =
+          std::max<std::size_t>(config_.buffer_budget_bytes / n,
+                                config_.record_size);
+      staging_slot_bytes_ = std::min(staging_slot_bytes_, cap);
+      staging_slot_bytes_ -= staging_slot_bytes_ % config_.record_size;
+    }
+  }
   interval_locks_.reserve(n);
   for (IntervalId i = 0; i < n; ++i) {
     interval_locks_.push_back(std::make_unique<std::mutex>());
@@ -61,33 +77,106 @@ void MultiLogStore::reset_generation(Generation& gen,
   gen.next_page = 0;
 }
 
-void MultiLogStore::append(VertexId dst, const void* record) {
-  const IntervalId i = intervals_->interval_of(dst);
-  Generation& gen = generations_[produce_index_];
-  std::lock_guard<std::mutex> lock(*interval_locks_[i]);
-
+void MultiLogStore::append_bytes_locked(Generation& gen, IntervalId i,
+                                        const std::byte* data, std::size_t len,
+                                        std::uint64_t n_records) {
   auto& top = gen.top[i];
-  if (top.empty()) top.resize(page_size_);
+  if (top.empty()) top.resize(page_size_);  // zero-fills the slack tail too
   std::size_t& fill = gen.top_fill[i];
-
-  const std::byte* src = static_cast<const std::byte*>(record);
-  std::size_t remaining = config_.record_size;
-  while (remaining > 0) {
-    const std::size_t take = std::min(remaining, page_size_ - fill);
-    std::memcpy(top.data() + fill, src, take);
+  while (len > 0) {
+    // fill and len are both whole records, so `take` is too: records never
+    // straddle a page boundary and every flushed page passes
+    // checked_record_count on its own.
+    const std::size_t take = std::min(len, usable_page_bytes_ - fill);
+    std::memcpy(top.data() + fill, data, take);
     fill += take;
-    src += take;
-    remaining -= take;
-    if (fill == page_size_) {
+    data += take;
+    len -= take;
+    if (fill == usable_page_bytes_) {
       // Page-granular eviction (§V.A.3): the full top page joins the batch
-      // eviction queue and the interval starts a fresh one. Records may
-      // straddle the page boundary; the log is read back as a contiguous
-      // byte stream.
+      // eviction queue and the interval starts a fresh one.
       queue_eviction(gen, i, top.data());
       fill = 0;
     }
   }
-  ++gen.counts[i];
+  gen.counts[i] += n_records;
+}
+
+void MultiLogStore::append(VertexId dst, const void* record) {
+  const IntervalId i = intervals_->interval_of(dst);
+  Generation& gen = generations_[produce_index_];
+  std::lock_guard<std::mutex> lock(*interval_locks_[i]);
+  append_bytes_locked(gen, i, static_cast<const std::byte*>(record),
+                      config_.record_size, 1);
+}
+
+MultiLogStore::Staging MultiLogStore::make_staging() const {
+  Staging s;
+  // Slots exist even with staging disabled (they stay clean forever, so the
+  // inline fast path never fires and falls through to the locked append) —
+  // the last-interval cache must be safe to populate either way.
+  s.slots_.resize(intervals_->count());
+  if (staging_slot_bytes_ > 0) s.dirty_.reserve(intervals_->count());
+  return s;
+}
+
+void MultiLogStore::stage_slow(Staging& staging, VertexId dst,
+                               const void* record) {
+  // Last-interval cache: sends walk a vertex's out-edges, which cluster in
+  // destination ranges, so most lookups skip the interval_of binary search.
+  if (dst < staging.cache_begin_ || dst >= staging.cache_end_) {
+    staging.cache_interval_ = intervals_->interval_of(dst);
+    staging.cache_begin_ = intervals_->begin(staging.cache_interval_);
+    staging.cache_end_ = intervals_->end(staging.cache_interval_);
+  }
+  const IntervalId i = staging.cache_interval_;
+  if (staging_slot_bytes_ == 0) {
+    // Staging disabled: the old locked per-record path (still benefits from
+    // the cached interval lookup).
+    Generation& gen = generations_[produce_index_];
+    std::lock_guard<std::mutex> lock(*interval_locks_[i]);
+    append_bytes_locked(gen, i, static_cast<const std::byte*>(record),
+                        config_.record_size, 1);
+    return;
+  }
+  Staging::Slot& slot = staging.slots_[i];
+  if (!slot.dirty) {
+    if (staging.dirty_.empty()) staging.swap_tag_ = swap_count_;
+    slot.dirty = true;
+    staging.dirty_.push_back(i);
+    if (slot.buf.size() != staging_slot_bytes_) {
+      slot.buf.resize(staging_slot_bytes_);
+    }
+  }
+  std::memcpy(slot.buf.data() + slot.fill, record, config_.record_size);
+  slot.fill += config_.record_size;
+  if (slot.fill == staging_slot_bytes_) flush_slot(staging, i);
+}
+
+void MultiLogStore::flush_slot(Staging& staging, IntervalId i) {
+  Staging::Slot& slot = staging.slots_[i];
+  if (slot.fill == 0) return;
+  MLVC_CHECK_MSG(staging.swap_tag_ == swap_count_,
+                 "staging flushed across a generation swap — flush_staging() "
+                 "before swap_generations()");
+  WallTimer timer;
+  {
+    Generation& gen = generations_[produce_index_];
+    std::lock_guard<std::mutex> lock(*interval_locks_[i]);
+    append_bytes_locked(gen, i, slot.buf.data(), slot.fill,
+                        slot.fill / config_.record_size);
+  }
+  staging.stall_seconds_ += timer.elapsed_seconds();
+  ++staging.flush_count_;
+  slot.fill = 0;  // keeps the buffer; slot stays on the dirty list
+}
+
+void MultiLogStore::flush_staging(Staging& staging) {
+  for (IntervalId i : staging.dirty_) {
+    flush_slot(staging, i);
+    staging.slots_[i].dirty = false;
+  }
+  staging.dirty_.clear();
 }
 
 std::uint64_t MultiLogStore::produced_count(IntervalId i) const {
@@ -125,9 +214,9 @@ void MultiLogStore::flush_evictions(Generation& gen) {
     return;
   }
   // Background path: reserve the blob range now so every interval's page
-  // chain stays in append order (records straddle page boundaries — order is
-  // load-bearing), then hand the batch to an I/O thread. Readers of these
-  // pages are gated behind wait_background_evictions().
+  // chain stays in append order (the log is a per-interval record stream —
+  // order is load-bearing), then hand the batch to an I/O thread. Readers of
+  // these pages are gated behind wait_background_evictions().
   const std::uint64_t offset = gen.blob->reserve(gen.evict_buffer.size());
   std::uint64_t page_no = offset / page_size_;
   for (IntervalId owner : gen.evict_owners) {
@@ -194,17 +283,27 @@ void MultiLogStore::load_interval(IntervalId i,
   std::size_t written = 0;
   // Runs of adjacent page numbers (frequent thanks to batched eviction)
   // coalesce into one op each; the whole interval is then fetched with a
-  // single vectored read call.
+  // single vectored read call. When the record size does not divide the page
+  // size, each page carries a zero-padded slack tail that must be skipped,
+  // so pages are fetched one op each (still a single vectored call).
   const auto& pages = gen.pages[i];
   std::vector<ssd::ReadOp> ops;
-  std::size_t p = 0;
-  while (p < pages.size()) {
-    std::size_t q = p + 1;
-    while (q < pages.size() && pages[q] == pages[q - 1] + 1) ++q;
-    ops.push_back({pages[p] * page_size_, dst + written,
-                   (q - p) * page_size_});
-    written += (q - p) * page_size_;
-    p = q;
+  if (usable_page_bytes_ == page_size_) {
+    std::size_t p = 0;
+    while (p < pages.size()) {
+      std::size_t q = p + 1;
+      while (q < pages.size() && pages[q] == pages[q - 1] + 1) ++q;
+      ops.push_back({pages[p] * page_size_, dst + written,
+                     (q - p) * page_size_});
+      written += (q - p) * page_size_;
+      p = q;
+    }
+  } else {
+    ops.reserve(pages.size());
+    for (std::uint64_t page_no : pages) {
+      ops.push_back({page_no * page_size_, dst + written, usable_page_bytes_});
+      written += usable_page_bytes_;
+    }
   }
   gen.blob->read_multi(ops);
   const std::size_t tail = gen.top_fill[i];
@@ -246,13 +345,15 @@ void MultiLogStore::restore_current_interval(
   MLVC_CHECK_MSG(gen.counts[i] == 0,
                  "restore into a non-empty interval log; reset_all() first");
   // Full pages to the blob, remainder into the resident tail — the same
-  // physical shape a normally-written log has.
+  // physical shape a normally-written log has (usable_page_bytes_ of records
+  // per page, zero-padded slack when the record size doesn't divide pages).
   std::size_t off = 0;
-  while (bytes.size() - off >= page_size_) {
-    const std::uint64_t blob_off = gen.blob->append(bytes.data() + off,
-                                                    page_size_);
+  std::vector<std::byte> page(page_size_, std::byte{0});
+  while (bytes.size() - off >= usable_page_bytes_) {
+    std::memcpy(page.data(), bytes.data() + off, usable_page_bytes_);
+    const std::uint64_t blob_off = gen.blob->append(page.data(), page_size_);
     gen.pages[i].push_back(blob_off / page_size_);
-    off += page_size_;
+    off += usable_page_bytes_;
   }
   const std::size_t tail = bytes.size() - off;
   if (tail > 0) {
@@ -267,15 +368,16 @@ std::uint64_t MultiLogStore::drain_produce_interval(
     IntervalId i, std::vector<std::byte>& out) {
   MLVC_CHECK(i < intervals_->count());
   Generation& gen = generations_[produce_index_];
-  {
-    // Queued evictions may hold pages of this interval; push them out so
-    // the page list below is complete, and make sure background writes have
-    // landed before the reads below.
-    std::lock_guard<std::mutex> evict_lock(evict_mutex_);
-    flush_evictions(gen);
-    wait_background_evictions();
-  }
+  // Lock order matters: interval first, then evict — the same order the
+  // append path uses (queue_eviction runs under the interval lock). Holding
+  // the interval lock before flushing evictions means no appender can queue
+  // further pages of this interval in between, so the page list read below
+  // is complete; holding evict_mutex_ across the reads keeps concurrent
+  // drains/appends of *other* intervals from growing gen.pages under us.
   std::lock_guard<std::mutex> lock(*interval_locks_[i]);
+  std::lock_guard<std::mutex> evict_lock(evict_mutex_);
+  flush_evictions(gen);
+  wait_background_evictions();
   const std::uint64_t count = gen.counts[i];
   const std::uint64_t bytes = count * config_.record_size;
   if (bytes == 0) return 0;
@@ -284,8 +386,8 @@ std::uint64_t MultiLogStore::drain_produce_interval(
   std::byte* dst = out.data() + base;
   std::size_t written = 0;
   for (std::uint64_t page_no : gen.pages[i]) {
-    gen.blob->read(page_no * page_size_, dst + written, page_size_);
-    written += page_size_;
+    gen.blob->read(page_no * page_size_, dst + written, usable_page_bytes_);
+    written += usable_page_bytes_;
   }
   if (gen.top_fill[i] > 0) {
     std::memcpy(dst + written, gen.top[i].data(), gen.top_fill[i]);

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,6 +42,15 @@ struct MultiLogConfig {
   /// paper notes at least one page per interval must be resident; we enforce
   /// exactly one top page per interval and check the budget covers it.
   std::size_t buffer_budget_bytes = 0;  // 0 = don't enforce
+
+  /// Per-thread, per-interval staging depth (records) for append_staged().
+  /// A Staging object buffers up to this many records per interval with no
+  /// lock and no shared state, flushing into the shared top page in one
+  /// chunk. 0 = staging degrades to the per-record locked append (the old
+  /// produce path). When buffer_budget_bytes is set, the depth is clamped so
+  /// one thread's worst-case resident staging (every interval's slot full)
+  /// stays within the budget.
+  std::size_t staging_records = 0;
 
   /// Full pages queue in a small eviction buffer and are written to the
   /// generation blob in one batched, contiguous append of this many pages
@@ -76,6 +86,89 @@ class MultiLogStore {
   /// record_size bytes whose first 4 bytes equal `dst`. Thread-safe (per
   /// interval lock).
   void append(VertexId dst, const void* record);
+
+  /// Thread-local staging for the produce path. One Staging object belongs
+  /// to exactly one thread; append_staged() touches no lock and no shared
+  /// state until a slot fills (staging_records deep) and is flushed into the
+  /// shared top page in one chunk — one interval-lock acquisition per chunk
+  /// instead of one per record. Interval lookup is the O(1) block index
+  /// (VertexIntervals::interval_of); the staging-off locked path additionally
+  /// hoists it behind a last-interval cache (sends cluster by destination).
+  ///
+  /// Records parked in a Staging are invisible to produced_count /
+  /// drain_produce_interval / swap_generations until flushed; the owner must
+  /// flush_staging() before any of those read the produce generation.
+  class Staging {
+   public:
+    Staging() = default;
+
+    /// Flushed-chunk count and wall time spent inside flushes (the residual
+    /// serialized section of the scatter path) since the last reset_stats().
+    std::uint64_t flush_count() const noexcept { return flush_count_; }
+    double stall_seconds() const noexcept { return stall_seconds_; }
+    void reset_stats() noexcept {
+      flush_count_ = 0;
+      stall_seconds_ = 0;
+    }
+
+    /// Drop any buffered records without flushing them (checkpoint rollback:
+    /// records staged by an aborted superstep must not leak into the next
+    /// generation).
+    void discard() {
+      for (IntervalId i : dirty_) {
+        slots_[i].fill = 0;
+        slots_[i].dirty = false;
+      }
+      dirty_.clear();
+      cache_begin_ = cache_end_ = 0;
+    }
+
+    bool empty() const noexcept { return dirty_.empty(); }
+
+   private:
+    friend class MultiLogStore;
+    struct Slot {
+      std::vector<std::byte> buf;  // fixed capacity once allocated
+      std::size_t fill = 0;        // bytes of buf holding records
+      bool dirty = false;
+    };
+    std::vector<Slot> slots_;          // one per interval; buffers lazily
+    std::vector<IntervalId> dirty_;    // intervals with buffered records
+    // Last-interval cache for the interval_of hoist.
+    VertexId cache_begin_ = 0;
+    VertexId cache_end_ = 0;
+    IntervalId cache_interval_ = 0;
+    // Generation tag: swap_count_ observed when the staging first became
+    // dirty; flushing across a swap_generations() is a contract violation.
+    unsigned swap_tag_ = 0;
+    std::uint64_t flush_count_ = 0;
+    double stall_seconds_ = 0;
+  };
+
+  /// Create a staging area sized for this store's intervals. Call once per
+  /// compute thread; the result must not be shared between threads.
+  Staging make_staging() const;
+
+  /// Append one record through `staging`. Equivalent to append() record by
+  /// record up to ordering: per-staging append order is preserved within an
+  /// interval, interleaving between threads happens at chunk granularity.
+  /// Defined inline below — the hot path (slot live, room left) is an O(1)
+  /// interval lookup plus a memcpy, no lock and no shared state.
+  void append_staged(Staging& staging, VertexId dst, const void* record);
+
+  /// append_staged with the record size fixed at compile time (typed
+  /// callers); kRecordSize must equal record_size().
+  template <std::size_t kRecordSize>
+  void append_staged_fixed(Staging& staging, VertexId dst, const void* record);
+
+  /// Flush every buffered slot of `staging` into the shared top pages.
+  void flush_staging(Staging& staging);
+
+  /// Bytes of each flushed page that hold records. Pages always contain a
+  /// whole number of records (floor(page_size / record_size) of them); when
+  /// record_size does not divide the page size the slack tail of every page
+  /// is zero padding, written but never read back.
+  std::size_t usable_page_bytes() const noexcept { return usable_page_bytes_; }
 
   /// Records appended to interval i's produce-generation log so far. This is
   /// the counter §V.A.2 uses to estimate log sizes for interval fusion.
@@ -136,6 +229,17 @@ class MultiLogStore {
   };
 
   void reset_generation(Generation& gen, const std::string& blob_name);
+  /// Copy `n_records` records (`len` bytes) into interval i's top page,
+  /// evicting each page as it fills. Caller holds interval i's lock. Records
+  /// never straddle a page boundary: pages fill to usable_page_bytes_ only.
+  void append_bytes_locked(Generation& gen, IntervalId i,
+                           const std::byte* data, std::size_t len,
+                           std::uint64_t n_records);
+  /// Flush one staging slot's buffered records under the interval lock.
+  void flush_slot(Staging& staging, IntervalId i);
+  /// append_staged cold path: interval-cache refresh, first touch of a slot
+  /// (allocation + dirty-list insertion), and the staging-off locked append.
+  void stage_slow(Staging& staging, VertexId dst, const void* record);
   void queue_eviction(Generation& gen, IntervalId interval,
                       const std::byte* page);
   void flush_evictions(Generation& gen);
@@ -149,6 +253,11 @@ class MultiLogStore {
   const graph::VertexIntervals* intervals_;
   MultiLogConfig config_;
   std::size_t page_size_;
+  /// Record-holding prefix of every page: floor(page_size / record_size)
+  /// whole records. Eviction, load and drain all work in these units.
+  std::size_t usable_page_bytes_ = 0;
+  /// Capacity of one staging slot in bytes (whole records); 0 = staging off.
+  std::size_t staging_slot_bytes_ = 0;
 
   std::vector<std::unique_ptr<std::mutex>> interval_locks_;
   mutable std::mutex evict_mutex_;
@@ -157,5 +266,45 @@ class MultiLogStore {
   unsigned produce_index_ = 0;  // generations_[produce_index_] receives sends
   unsigned swap_count_ = 0;
 };
+
+inline void MultiLogStore::append_staged(Staging& staging, VertexId dst,
+                                         const void* record) {
+  if (staging_slot_bytes_ != 0) [[likely]] {
+    const IntervalId i = intervals_->interval_of(dst);  // O(1) block index
+    Staging::Slot& slot = staging.slots_[i];
+    if (slot.dirty) [[likely]] {
+      const std::size_t rs = config_.record_size;
+      std::memcpy(slot.buf.data() + slot.fill, record, rs);
+      slot.fill += rs;
+      if (slot.fill == staging_slot_bytes_) [[unlikely]] {
+        flush_slot(staging, i);
+      }
+      return;
+    }
+  }
+  stage_slow(staging, dst, record);
+}
+
+/// Compile-time record-size variant of append_staged for the typed layer
+/// (record.hpp): the copy collapses to a fixed-width move instead of a
+/// runtime-size memcpy dispatch. kRecordSize must equal record_size() —
+/// the same contract append()/append_record already rely on.
+template <std::size_t kRecordSize>
+void MultiLogStore::append_staged_fixed(Staging& staging, VertexId dst,
+                                        const void* record) {
+  if (staging_slot_bytes_ != 0) [[likely]] {
+    const IntervalId i = intervals_->interval_of(dst);
+    Staging::Slot& slot = staging.slots_[i];
+    if (slot.dirty) [[likely]] {
+      std::memcpy(slot.buf.data() + slot.fill, record, kRecordSize);
+      slot.fill += kRecordSize;
+      if (slot.fill == staging_slot_bytes_) [[unlikely]] {
+        flush_slot(staging, i);
+      }
+      return;
+    }
+  }
+  stage_slow(staging, dst, record);
+}
 
 }  // namespace mlvc::multilog

@@ -34,6 +34,15 @@ void append_record(MultiLogStore& store, VertexId dst, const Message& m) {
   store.append(dst, &rec);
 }
 
+/// Append a typed message through a thread-local staging area (the lock-free
+/// produce path; see MultiLogStore::Staging).
+template <typename Message>
+void append_record_staged(MultiLogStore& store, MultiLogStore::Staging& staging,
+                          VertexId dst, const Message& m) {
+  Record<Message> rec{dst, m};
+  store.append_staged_fixed<sizeof(rec)>(staging, dst, &rec);
+}
+
 /// Number of records in a raw log buffer, validating that the buffer is a
 /// whole number of records. The store guarantees this for healthy logs, so
 /// a remainder means a torn or truncated log page — every grouping path

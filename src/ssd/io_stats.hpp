@@ -54,6 +54,10 @@ struct IoStatsSnapshot {
     std::uint64_t bytes_written = 0;
   };
   std::array<Category, kNumIoCategories> categories{};
+  /// Host-side page-cache traffic (ssd::PageCache): hits cost no device
+  /// pages, misses show up both here and in the backing category's reads.
+  std::uint64_t cache_hit_pages = 0;
+  std::uint64_t cache_miss_pages = 0;
 
   const Category& operator[](IoCategory c) const {
     return categories[static_cast<unsigned>(c)];
@@ -88,6 +92,8 @@ struct IoStatsSnapshot {
       out.categories[i].bytes_written =
           categories[i].bytes_written - rhs.categories[i].bytes_written;
     }
+    out.cache_hit_pages = cache_hit_pages - rhs.cache_hit_pages;
+    out.cache_miss_pages = cache_miss_pages - rhs.cache_miss_pages;
     return out;
   }
 };
@@ -105,6 +111,12 @@ class IoStats {
     cat.pages_written.fetch_add(pages, std::memory_order_relaxed);
     cat.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
   }
+  void record_cache_hit(std::uint64_t pages) {
+    cache_hit_pages_.fetch_add(pages, std::memory_order_relaxed);
+  }
+  void record_cache_miss(std::uint64_t pages) {
+    cache_miss_pages_.fetch_add(pages, std::memory_order_relaxed);
+  }
 
   IoStatsSnapshot snapshot() const {
     IoStatsSnapshot out;
@@ -118,6 +130,8 @@ class IoStats {
       out.categories[i].bytes_written =
           categories_[i].bytes_written.load(std::memory_order_relaxed);
     }
+    out.cache_hit_pages = cache_hit_pages_.load(std::memory_order_relaxed);
+    out.cache_miss_pages = cache_miss_pages_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -128,6 +142,8 @@ class IoStats {
       cat.bytes_read.store(0, std::memory_order_relaxed);
       cat.bytes_written.store(0, std::memory_order_relaxed);
     }
+    cache_hit_pages_.store(0, std::memory_order_relaxed);
+    cache_miss_pages_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -138,6 +154,8 @@ class IoStats {
     std::atomic<std::uint64_t> bytes_written{0};
   };
   std::array<Category, kNumIoCategories> categories_{};
+  std::atomic<std::uint64_t> cache_hit_pages_{0};
+  std::atomic<std::uint64_t> cache_miss_pages_{0};
 };
 
 }  // namespace mlvc::ssd

@@ -79,10 +79,12 @@ class PageCache {
     auto it = map_.find(key);
     if (it != map_.end()) {
       ++hits_;
+      storage_.stats().record_cache_hit(1);
       frames_[it->second].referenced = true;
       return frames_[it->second].data.data();
     }
     ++misses_;
+    storage_.stats().record_cache_miss(1);
     const std::size_t frame_idx = evict_one();
     Frame& frame = frames_[frame_idx];
     if (frame.valid) map_.erase(frame.key);

@@ -96,6 +96,76 @@ TEST(StoredCsr, ReadsAreChargedToCsrCategories) {
   EXPECT_EQ(diff[ssd::IoCategory::kShard].pages_read, 0u);
 }
 
+// ---- adjacency page cache ---------------------------------------------------
+
+TEST(StoredCsrCache, CachedReadsMatchUncachedAndCountHits) {
+  Env env;
+  const auto csr = sample_graph();
+  const auto iv = VertexIntervals::uniform(csr.num_vertices(), 37);
+  StoredCsrGraph plain(env.storage, "p", csr, iv);
+  StoredCsrGraph cached(env.storage, "c", csr, iv);
+  cached.set_adjacency_cache(1_MiB);
+  EXPECT_TRUE(cached.adjacency_cache_enabled());
+  expect_equals(cached, csr);  // first pass: all misses, data still correct
+  expect_equals(cached, csr);  // second pass: served from the cache
+  expect_equals(plain, csr);
+
+  const auto snap = env.storage.stats().snapshot();
+  EXPECT_GT(snap.cache_hit_pages, 0u);
+  EXPECT_GT(snap.cache_miss_pages, 0u);
+}
+
+TEST(StoredCsrCache, RepeatReadCostsNoStoragePages) {
+  Env env;
+  const auto csr = sample_graph();
+  StoredCsrGraph stored(env.storage, "g", csr,
+                        VertexIntervals::uniform(csr.num_vertices(), 8));
+  stored.set_adjacency_cache(4_MiB);  // big enough to hold every colidx page
+  std::vector<EdgeIndex> rowptr(2);
+  stored.read_local_row_ptrs(0, 0, 2, rowptr);
+  ASSERT_GT(rowptr[1], rowptr[0]);
+  std::vector<VertexId> adj(rowptr[1] - rowptr[0]);
+  stored.read_adjacency(0, rowptr[0], rowptr[1], adj);  // warm the cache
+
+  const auto before = env.storage.stats().snapshot();
+  std::vector<VertexId> again(adj.size());
+  stored.read_adjacency(0, rowptr[0], rowptr[1], again);
+  const auto diff = env.storage.stats().snapshot() - before;
+  EXPECT_EQ(again, adj);
+  EXPECT_EQ(diff[ssd::IoCategory::kCsrColIdx].pages_read, 0u);
+  EXPECT_GT(diff.cache_hit_pages, 0u);
+  EXPECT_EQ(diff.cache_miss_pages, 0u);
+}
+
+TEST(StoredCsrCache, MergeInvalidatesCachedAdjacency) {
+  Env env;
+  const auto csr = sample_graph(6);
+  StoredCsrGraph stored(env.storage, "g", csr,
+                        VertexIntervals::uniform(csr.num_vertices(), 16));
+  stored.set_adjacency_cache(1_MiB);
+  VertexId v = 0;
+  while (csr.out_degree(v) == 0) ++v;
+  const IntervalId i = stored.intervals().interval_of(v);
+  const VertexId lv = v - stored.intervals().begin(i);
+  std::vector<EdgeIndex> rowptr(stored.intervals().width(i) + 1);
+  stored.read_local_row_ptrs(i, 0, rowptr.size(), rowptr);
+  std::vector<VertexId> adj(rowptr[lv + 1] - rowptr[lv]);
+  stored.read_adjacency(i, rowptr[lv], rowptr[lv + 1], adj);  // cache it
+
+  VertexId extra = csr.num_vertices() - 1;
+  const auto nbrs = csr.neighbors(v);
+  while (std::find(nbrs.begin(), nbrs.end(), extra) != nbrs.end()) --extra;
+  stored.buffer_update({StructuralUpdate::Kind::kAddEdge, v, extra, 1.0f});
+  stored.merge_interval(i);
+
+  // A stale cache would serve the pre-merge pages here.
+  stored.read_local_row_ptrs(i, 0, rowptr.size(), rowptr);
+  std::vector<VertexId> merged(rowptr[lv + 1] - rowptr[lv]);
+  stored.read_adjacency(i, rowptr[lv], rowptr[lv + 1], merged);
+  EXPECT_EQ(merged.size(), adj.size() + 1);
+  EXPECT_NE(std::find(merged.begin(), merged.end(), extra), merged.end());
+}
+
 // ---- structural updates (§V.E) ---------------------------------------------
 
 TEST(StoredCsrStructural, BufferedAddVisibleViaOverlay) {

@@ -35,6 +35,8 @@ struct RunConfig {
   std::size_t page_size;
   unsigned channels;
   std::string json_path;  // empty = no JSON dump
+  unsigned staging;       // produce-path staging depth (mlvc engine)
+  std::size_t adj_cache;  // adjacency page-cache bytes (mlvc engine)
 };
 
 template <core::VertexApp App>
@@ -51,6 +53,8 @@ int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
     opts.memory_budget_bytes = cfg.budget;
     opts.max_supersteps = cfg.supersteps;
     opts.seed = cfg.seed;
+    opts.scatter_staging_records = cfg.staging;
+    opts.adjacency_cache_bytes = cfg.adj_cache;
     graph::StoredCsrGraph stored(storage, "g", csr,
                                  core::partition_for_app<App>(csr, opts),
                                  {.with_weights = App::kNeedsWeights});
@@ -108,6 +112,9 @@ int main(int argc, char** argv) {
       .option("seed", "random seed", "1")
       .option("page-size", "modeled SSD page size", "16K")
       .option("channels", "modeled SSD channels", "8")
+      .option("staging", "produce-path staging depth in records, 0 = locked",
+              "64")
+      .option("adj-cache", "adjacency page-cache bytes, 0 = off", "0")
       .option("json", "write run statistics to this JSON file", "-");
   try {
     args.parse(argc, argv);
@@ -127,6 +134,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(args.get_int("channels", 8)),
         args.get_string("json", "-") == "-" ? std::string{}
                                             : args.get_string("json", "-"),
+        static_cast<unsigned>(args.get_int("staging", 64)),
+        static_cast<std::size_t>(args.get_bytes("adj-cache", 0)),
     };
     const auto source = static_cast<VertexId>(args.get_int("source", 0));
     const std::string app = args.get_string("app");

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Run the produce-path scatter contention sweep and emit BENCH_scatter.json.
+#
+#   tools/run_bench.sh [build-dir] [output.json]
+#
+# Environment:
+#   MLVC_BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.05;
+#                         raise for stable numbers, e.g. MLVC_BENCH_MIN_TIME=0.5)
+#   MLVC_BENCH_FILTER     benchmark_filter regex (default: the scatter sweep)
+set -eu
+
+build_dir="${1:-build}"
+out="${2:-BENCH_scatter.json}"
+min_time="${MLVC_BENCH_MIN_TIME:-0.05}"
+filter="${MLVC_BENCH_FILTER:-BM_ScatterAppend}"
+
+bench="$build_dir/bench/bench_micro_substrate"
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built (cmake --build $build_dir --target bench_micro_substrate)" >&2
+  exit 1
+fi
+
+"$bench" \
+  --benchmark_filter="$filter" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo "wrote $out"
