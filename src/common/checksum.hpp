@@ -1,0 +1,51 @@
+// CRC32 (ISO-HDLC / zlib polynomial, reflected) for integrity headers.
+//
+// Checkpoints and other crash-consistent artifacts carry a payload CRC so a
+// torn or bit-flipped image is detected at load time and surfaces as a typed
+// error instead of silently corrupting engine state.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mlvc {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Incremental update: feed chunks in order, starting from crc32_init().
+inline std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                  std::size_t len) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+inline std::uint32_t crc32_final(std::uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+/// One-shot convenience.
+inline std::uint32_t crc32(const void* data, std::size_t len) {
+  return crc32_final(crc32_update(crc32_init(), data, len));
+}
+
+}  // namespace mlvc

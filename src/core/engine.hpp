@@ -26,6 +26,9 @@
 // are identical to the serial path; only the overlap changes.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <cstring>
 #include <deque>
 #include <future>
 #include <memory>
@@ -33,6 +36,7 @@
 #include <optional>
 
 #include "common/bitset.hpp"
+#include "common/checksum.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -104,6 +108,12 @@ class MultiLogVCEngine {
     if (options_.adjacency_cache_bytes > 0) {
       graph_.set_adjacency_cache(options_.adjacency_cache_bytes);
     }
+    {
+      ssd::RetryPolicy retry;
+      retry.max_attempts = std::max(1u, options_.io_retry_attempts);
+      retry.base_delay_us = options_.io_retry_base_delay_us;
+      graph_.storage().set_retry_policy(retry);
+    }
     // One staging area + message counters per compute thread. Only
     // parallel_for workers (and the main thread, index 0) call send();
     // AsyncIo threads never do, so indexing by thread_index() is race-free.
@@ -144,43 +154,106 @@ class MultiLogVCEngine {
   // optimization cache and is simply dropped on rollback. Limitation:
   // structural updates already merged into the stored CSR are not rolled
   // back — checkpoint before mutating the graph.
+  //
+  // On-disk format (v2): a 20-byte header [u32 magic, u32 version,
+  // u64 payload_bytes, u32 crc32-of-payload] followed by the payload. The
+  // image is written to a ".tmp" blob, fsynced, then atomically renamed over
+  // the final name (Storage::publish_blob), so a crash mid-save leaves the
+  // previous checkpoint intact; the CRC catches torn or bit-flipped images
+  // at load time before any engine state is touched.
+
+  static constexpr std::uint32_t kCkptMagic = 0x4B435643u;  // "CVCK"
+  static constexpr std::uint32_t kCkptVersion = 2;
+  static constexpr std::size_t kCkptHeaderBytes = 20;
 
   /// Persist a checkpoint into the graph's storage under `name`.
   void save_checkpoint(const std::string& name) {
-    ssd::Blob& blob = graph_.storage().create_blob("mlvc/ckpt_" + name,
-                                                   ssd::IoCategory::kMisc);
-    const std::uint32_t magic = 0x4B435643u;  // "CVCK"
-    blob.append(&magic, 4);
-    blob.append(&next_superstep_, 4);
+    auto& storage = graph_.storage();
+    const std::string final_name = "mlvc/ckpt_" + name;
+    const std::string tmp_name = final_name + ".tmp";
+    ssd::Blob& blob = storage.create_blob(tmp_name, ssd::IoCategory::kMisc);
+    // Reserve the header; written last, once the payload size and CRC are
+    // known.
+    const std::array<std::byte, kCkptHeaderBytes> zero_header{};
+    blob.append(zero_header.data(), zero_header.size());
+    std::uint32_t crc = crc32_init();
+    std::uint64_t payload_bytes = 0;
+    const auto put = [&](const void* data, std::size_t len) {
+      blob.append(data, len);
+      crc = crc32_update(crc, data, len);
+      payload_bytes += len;
+    };
+    put(&next_superstep_, 4);
     const auto words = sticky_active_.words();
     const std::uint64_t n_words = words.size();
-    blob.append(&n_words, 8);
-    blob.append(words.data(), words.size_bytes());
+    put(&n_words, 8);
+    put(words.data(), words.size_bytes());
     const IntervalId n_int = graph_.intervals().count();
-    blob.append(&n_int, 4);
+    put(&n_int, 4);
     std::vector<std::byte> bytes;
     for (IntervalId i = 0; i < n_int; ++i) {
       bytes.clear();
       store_.load_interval(i, bytes);
       const std::uint64_t n_bytes = bytes.size();
-      blob.append(&n_bytes, 8);
-      blob.append(bytes.data(), bytes.size());
+      put(&n_bytes, 8);
+      put(bytes.data(), bytes.size());
     }
     const auto values = values_.all();
-    blob.append(values.data(), values.size() * sizeof(Value));
+    put(values.data(), values.size() * sizeof(Value));
+
+    std::array<std::byte, kCkptHeaderBytes> header{};
+    const std::uint32_t crc_value = crc32_final(crc);
+    std::memcpy(header.data() + 0, &kCkptMagic, 4);
+    std::memcpy(header.data() + 4, &kCkptVersion, 4);
+    std::memcpy(header.data() + 8, &payload_bytes, 8);
+    std::memcpy(header.data() + 16, &crc_value, 4);
+    blob.write(0, header.data(), header.size());
+    blob.sync();
+    storage.publish_blob(tmp_name, final_name);
   }
 
   /// Roll engine state back to a previously saved checkpoint.
   void load_checkpoint(const std::string& name) {
     ssd::Blob& blob = graph_.storage().open_blob("mlvc/ckpt_" + name);
-    std::uint64_t off = 0;
+    MLVC_CHECK_MSG(blob.size() >= kCkptHeaderBytes,
+                   "checkpoint blob too small for a header");
+    std::array<std::byte, kCkptHeaderBytes> header{};
+    blob.read(0, header.data(), header.size());
+    std::uint32_t magic = 0, version = 0, stored_crc = 0;
+    std::uint64_t payload_bytes = 0;
+    std::memcpy(&magic, header.data() + 0, 4);
+    std::memcpy(&version, header.data() + 4, 4);
+    std::memcpy(&payload_bytes, header.data() + 8, 8);
+    std::memcpy(&stored_crc, header.data() + 16, 4);
+    MLVC_CHECK_MSG(magic == kCkptMagic, "not a checkpoint blob");
+    MLVC_CHECK_MSG(version == kCkptVersion,
+                   "unsupported checkpoint version " << version);
+    MLVC_CHECK_MSG(kCkptHeaderBytes + payload_bytes <= blob.size(),
+                   "checkpoint payload truncated");
+    // Verify the payload CRC in a streaming pass BEFORE parsing anything, so
+    // a torn or corrupt image never leaves the engine half-restored.
+    {
+      std::uint32_t crc = crc32_init();
+      std::vector<std::byte> chunk(std::min<std::uint64_t>(
+          payload_bytes > 0 ? payload_bytes : 1, 1u << 20));
+      std::uint64_t pos = kCkptHeaderBytes;
+      std::uint64_t remaining = payload_bytes;
+      while (remaining > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk.size(), remaining));
+        blob.read(pos, chunk.data(), n);
+        crc = crc32_update(crc, chunk.data(), n);
+        pos += n;
+        remaining -= n;
+      }
+      MLVC_CHECK_MSG(crc32_final(crc) == stored_crc,
+                     "checkpoint CRC mismatch — torn or corrupt image");
+    }
+    std::uint64_t off = kCkptHeaderBytes;
     const auto read = [&](void* out, std::size_t len) {
       blob.read(off, out, len);
       off += len;
     };
-    std::uint32_t magic = 0;
-    read(&magic, 4);
-    MLVC_CHECK_MSG(magic == 0x4B435643u, "not a checkpoint blob");
     read(&next_superstep_, 4);
     std::uint64_t n_words = 0;
     read(&n_words, 8);
@@ -365,6 +438,8 @@ class MultiLogVCEngine {
     /// §V.B implementation chosen for this group.
     double sort_group_seconds = 0;
     SortGroupPath path = SortGroupPath::kComparisonSort;
+    /// Bytes dropped from torn trailing log pages (crash recovery).
+    std::uint64_t torn_bytes_dropped = 0;
   };
 
   /// Stage 1: load + group (fused counting scatter by default, §V.B, with
@@ -390,7 +465,21 @@ class MultiLogVCEngine {
       std::optional<ScopedAccumulator> io_time;
       if (instrument) io_time.emplace(step_io_seconds_);
       for (IntervalId i = g_begin; i < g_end; ++i) {
+        const std::size_t before = bytes.size();
         store_.load_interval(i, bytes);
+        if (options_.torn_page_recovery) {
+          // A crash mid-append can leave a partial trailing record in an
+          // interval's log. Drop the torn tail (per interval — the tear must
+          // not shift the next interval's records) and keep going; the count
+          // is surfaced per superstep as torn_bytes_dropped.
+          const std::size_t loaded = bytes.size() - before;
+          const std::size_t keep =
+              multilog::truncate_torn_tail(loaded, sizeof(Rec));
+          if (keep != loaded) {
+            g.torn_bytes_dropped += loaded - keep;
+            bytes.resize(before + keep);
+          }
+        }
         if (drain_async) store_.drain_produce_interval(i, bytes);
       }
     }
@@ -448,6 +537,7 @@ class MultiLogVCEngine {
     double sort_group_seconds = 0;
     std::uint64_t groups_scatter = 0;
     std::uint64_t groups_comparison = 0;
+    std::uint64_t torn_bytes_dropped = 0;
     step_io_seconds_ = 0;
     step_compute_seconds_ = 0;
 
@@ -484,6 +574,7 @@ class MultiLogVCEngine {
         }
         consumed += group.consumed;
         sort_group_seconds += group.sort_group_seconds;
+        torn_bytes_dropped += group.torn_bytes_dropped;
         if (group.path == SortGroupPath::kCountingScatter) {
           ++groups_scatter;
         } else {
@@ -557,6 +648,7 @@ class MultiLogVCEngine {
     step.sort_group_seconds = sort_group_seconds;
     step.groups_scatter = groups_scatter;
     step.groups_comparison = groups_comparison;
+    step.torn_bytes_dropped = torn_bytes_dropped;
     step.io = storage.stats().snapshot() - io_before;
     step.modeled_storage_seconds = storage.device().modeled_seconds_between(
         dev_before, storage.device().snapshot());

@@ -95,6 +95,18 @@ struct EngineOptions {
   /// host memory (false; only sensible for unit tests).
   bool values_on_storage = true;
 
+  // Robustness ------------------------------------------------------------
+  /// Transient I/O retry budget forwarded to ssd::Storage (attempts per
+  /// no-progress streak before a typed IoError escalates).
+  unsigned io_retry_attempts = 4;
+  /// First backoff sleep between retries, microseconds (doubles per retry).
+  unsigned io_retry_base_delay_us = 50;
+  /// When a loaded log group's byte count is not a whole number of records
+  /// (torn trailing page after a crash), drop the partial tail and continue
+  /// instead of throwing. The dropped bytes are reported per superstep as
+  /// torn_bytes_dropped. false = strict mode: any tear is fatal.
+  bool torn_page_recovery = true;
+
   // Derived budget slices --------------------------------------------------
   std::size_t sort_budget() const {
     return static_cast<std::size_t>(memory_budget_bytes *
@@ -118,11 +130,24 @@ struct EngineOptions {
 /// Environment overrides, applied by the engine at construction so every
 /// entry point (tools, tests, benches) honors them. MLVC_SCATTER_STAGING
 /// pins the produce-path staging depth — CI runs the tier-1 suite with it
-/// set to 1 to keep the worst-case flush-churn configuration honest.
+/// set to 1 to keep the worst-case flush-churn configuration honest. The
+/// MLVC_FAULT_* overrides let the CI fault matrix tune the retry budget and
+/// recovery mode underneath an unmodified test suite.
 inline EngineOptions apply_env_overrides(EngineOptions options) {
   if (const char* env = std::getenv("MLVC_SCATTER_STAGING")) {
     options.scatter_staging_records =
         static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("MLVC_FAULT_RETRIES")) {
+    const unsigned n = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    options.io_retry_attempts = n > 0 ? n : 1;
+  }
+  if (const char* env = std::getenv("MLVC_FAULT_RETRY_BASE_US")) {
+    options.io_retry_base_delay_us =
+        static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("MLVC_FAULT_TORN_RECOVERY")) {
+    options.torn_page_recovery = std::strtoul(env, nullptr, 10) != 0;
   }
   return options;
 }

@@ -52,6 +52,10 @@ struct SuperstepStats {
   std::uint64_t scatter_flush_count = 0;
   double scatter_stall_seconds = 0;
 
+  /// Bytes dropped from torn trailing log pages this superstep (crash
+  /// recovery with options.torn_page_recovery; always 0 on a healthy run).
+  std::uint64_t torn_bytes_dropped = 0;
+
   /// Primary metric (DESIGN.md §4): host compute + modeled device time.
   double modeled_total_seconds() const {
     return compute_wall_seconds + modeled_storage_seconds;
@@ -139,6 +143,21 @@ struct RunStats {
   std::uint64_t total_messages() const {
     std::uint64_t t = 0;
     for (const auto& s : supersteps) t += s.messages_produced;
+    return t;
+  }
+  std::uint64_t torn_bytes_dropped() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.torn_bytes_dropped;
+    return t;
+  }
+  std::uint64_t io_retries() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.io_retry_count;
+    return t;
+  }
+  std::uint64_t io_giveups() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.io_giveup_count;
     return t;
   }
 };

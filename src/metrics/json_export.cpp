@@ -32,6 +32,8 @@ void write_io(std::ostream& out, const ssd::IoStatsSnapshot& io) {
       << ",\"pages_written\":" << io.total_pages_written()
       << ",\"cache_hit_pages\":" << io.cache_hit_pages
       << ",\"cache_miss_pages\":" << io.cache_miss_pages
+      << ",\"io_retries\":" << io.io_retry_count
+      << ",\"io_giveups\":" << io.io_giveup_count
       << ",\"by_category\":{";
   bool first = true;
   for (unsigned c = 0; c < ssd::kNumIoCategories; ++c) {
@@ -69,6 +71,9 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
       << ",\"scatter_flush_count\":" << stats.scatter_flush_count()
       << ",\"scatter_stall_seconds\":" << stats.scatter_stall_seconds()
       << ",\"io_wait_seconds\":" << stats.io_wait_seconds()
+      << ",\"io_retries\":" << stats.io_retries()
+      << ",\"io_giveups\":" << stats.io_giveups()
+      << ",\"torn_bytes_dropped\":" << stats.torn_bytes_dropped()
       << ",\"total_wall_seconds\":" << stats.total_wall_seconds()
       << ",\"modeled_total_seconds\":" << stats.modeled_total_seconds()
       << ",\"build_seconds\":" << stats.build_seconds << '}'
@@ -90,6 +95,7 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
         << ",\"scatter_stall_seconds\":" << s.scatter_stall_seconds
         << ",\"io_wall_seconds\":" << s.io_wall_seconds
         << ",\"total_wall_seconds\":" << s.total_wall_seconds
+        << ",\"torn_bytes_dropped\":" << s.torn_bytes_dropped
         << ",\"pages_touched\":" << s.pages_touched
         << ",\"pages_inefficient\":" << s.pages_inefficient
         << ",\"pages_inefficient_predicted\":"

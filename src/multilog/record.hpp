@@ -43,13 +43,34 @@ void append_record_staged(MultiLogStore& store, MultiLogStore::Staging& staging,
   store.append_staged_fixed<sizeof(rec)>(staging, dst, &rec);
 }
 
+/// What to do when a raw log buffer is not a whole number of records (a
+/// torn or truncated trailing page left by a crash mid-append).
+enum class TornPagePolicy {
+  kThrow,     // strict: surface as a typed mlvc::Error
+  kTruncate,  // recovery: drop the partial tail record and continue
+};
+
+/// Bytes to keep from `bytes` so the buffer is a whole number of
+/// `record_size`-byte records — i.e. the length with the torn tail dropped.
+inline std::size_t truncate_torn_tail(std::size_t bytes,
+                                      std::size_t record_size) {
+  return bytes - bytes % record_size;
+}
+
 /// Number of records in a raw log buffer, validating that the buffer is a
 /// whole number of records. The store guarantees this for healthy logs, so
 /// a remainder means a torn or truncated log page — every grouping path
 /// (decode + sort and counting scatter alike) funnels through this check so
-/// corruption surfaces as a typed mlvc::Error instead of undefined behaviour.
+/// corruption surfaces as a typed mlvc::Error instead of undefined
+/// behaviour. Under TornPagePolicy::kTruncate the partial tail is ignored
+/// instead (the record count excludes it); the engine's recovery path uses
+/// this after a crash.
 template <typename Message>
-std::size_t checked_record_count(std::span<const std::byte> bytes) {
+std::size_t checked_record_count(std::span<const std::byte> bytes,
+                                 TornPagePolicy policy = TornPagePolicy::kThrow) {
+  if (policy == TornPagePolicy::kTruncate) {
+    return bytes.size() / sizeof(Record<Message>);
+  }
   MLVC_CHECK_MSG(bytes.size() % sizeof(Record<Message>) == 0,
                  "log buffer of " << bytes.size()
                                   << " bytes is not a whole number of "

@@ -1,0 +1,69 @@
+#include "ssd/fault_injector.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace mlvc::ssd {
+
+FaultProfile FaultInjector::named_profile(std::string_view name, double rate) {
+  FaultProfile p;
+  if (name == "off" || name.empty()) return p;
+  if (name == "transient") {
+    p.transient_read_rate = rate;
+    p.transient_write_rate = rate;
+    return p;
+  }
+  if (name == "short-io") {
+    p.short_read_rate = rate;
+    p.short_write_rate = rate;
+    return p;
+  }
+  if (name == "torn-page") {
+    // Inert during steady-state runs; bites when a crash point is armed
+    // (MLVC_FAULT_CRASH_AFTER / crash_after_writes), leaving a torn trailing
+    // page for recovery to absorb.
+    p.tear_on_crash = true;
+    return p;
+  }
+  if (name == "mixed") {
+    p.transient_read_rate = rate;
+    p.transient_write_rate = rate;
+    p.short_read_rate = rate;
+    p.short_write_rate = rate;
+    p.tear_on_crash = true;
+    return p;
+  }
+  if (name == "giveup") {
+    p.transient_read_rate = rate;
+    p.transient_write_rate = rate;
+    p.max_consecutive_transient = 0;  // exhaust any retry budget
+    return p;
+  }
+  throw InvalidArgument("unknown fault profile '" + std::string(name) +
+                        "' (off | transient | short-io | torn-page | mixed | "
+                        "giveup)");
+}
+
+std::shared_ptr<FaultInjector> FaultInjector::from_env() {
+  const char* profile_env = std::getenv("MLVC_FAULT_PROFILE");
+  if (profile_env == nullptr || std::string_view(profile_env) == "off" ||
+      std::string_view(profile_env).empty()) {
+    return nullptr;
+  }
+  double rate = 0.02;
+  if (const char* env = std::getenv("MLVC_FAULT_RATE")) {
+    rate = std::strtod(env, nullptr);
+  }
+  FaultProfile profile = named_profile(profile_env, rate);
+  if (const char* env = std::getenv("MLVC_FAULT_CRASH_AFTER")) {
+    profile.crash_after_writes = std::strtoull(env, nullptr, 10);
+  }
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("MLVC_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  return std::make_shared<FaultInjector>(profile, seed);
+}
+
+}  // namespace mlvc::ssd

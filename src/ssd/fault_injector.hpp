@@ -1,0 +1,170 @@
+// Seeded I/O fault injection for the storage layer.
+//
+// Flash-resident engines must treat transient device errors, short
+// reads/writes, and torn trailing pages as normal events to absorb, not as
+// process death (FlashGraph's SAFS and BigSparse's external runs both do).
+// The injector sits between ssd::Blob and the raw pread/pwrite syscalls:
+// every I/O asks decide() whether to fail this attempt, serve fewer bytes,
+// or — for the crashtest — kill the process mid-write, optionally leaving a
+// torn page behind. Decisions flow from one SplitMix64 stream per injector,
+// so a (profile, seed) pair replays the exact same fault schedule.
+//
+// The ssd::AsyncIo pool needs no hook of its own: its reads and writes are
+// plain Blob calls executed on I/O threads, so they pass through the same
+// injection (and the same retry policy) as synchronous callers.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace mlvc::ssd {
+
+enum class FaultSite : unsigned { kRead, kWrite, kSync };
+
+/// Exit code used by the crash failpoint so a parent driver (mlvc_crashtest)
+/// can tell an injected crash from a genuine failure.
+inline constexpr int kCrashExitCode = 37;
+
+/// What a single I/O attempt should do.
+struct FaultDecision {
+  enum class Kind : unsigned {
+    kNone,       // perform the I/O normally
+    kTransient,  // fail this attempt with errno `err` (retryable)
+    kShortIo,    // serve at most `max_len` bytes (the caller's loop resumes)
+    kCrash,      // kill the process now (torn = leave a partial write behind)
+  };
+  Kind kind = Kind::kNone;
+  int err = 0;
+  std::size_t max_len = 0;
+  bool torn = false;
+};
+
+/// Per-category failure rates. All probabilities are per I/O attempt.
+struct FaultProfile {
+  double transient_read_rate = 0;
+  double transient_write_rate = 0;
+  double short_read_rate = 0;
+  double short_write_rate = 0;
+  double sync_fail_rate = 0;
+
+  /// Longest run of consecutive transient failures the injector will emit
+  /// before forcing a success. Keeping this below the storage retry budget
+  /// makes every injected transient absorbable, so a faulted run converges
+  /// to the clean run's results. 0 = unbounded (give-up escalation testing).
+  unsigned max_consecutive_transient = 2;
+
+  /// Crash failpoint: after this many write decisions, the next write kills
+  /// the process with kCrashExitCode. 0 = off.
+  std::uint64_t crash_after_writes = 0;
+  /// When crashing, first pwrite roughly half the buffer — the torn trailing
+  /// page a real power loss leaves behind.
+  bool tear_on_crash = false;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultProfile profile, std::uint64_t seed)
+      : profile_(profile), seed_(seed), rng_(seed) {}
+
+  /// Decide the fate of one I/O attempt of `len` bytes. Thread-safe.
+  FaultDecision decide(FaultSite site, std::size_t len) {
+    if (site == FaultSite::kWrite && profile_.crash_after_writes > 0) {
+      const std::uint64_t n =
+          write_ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (n >= profile_.crash_after_writes) {
+        return {FaultDecision::Kind::kCrash, 0, 0, profile_.tear_on_crash};
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto roll = [this](double rate) {
+      return rate > 0 && rng_.next_bool(rate);
+    };
+    double transient_rate = 0;
+    double short_rate = 0;
+    switch (site) {
+      case FaultSite::kRead:
+        transient_rate = profile_.transient_read_rate;
+        short_rate = profile_.short_read_rate;
+        break;
+      case FaultSite::kWrite:
+        transient_rate = profile_.transient_write_rate;
+        short_rate = profile_.short_write_rate;
+        break;
+      case FaultSite::kSync:
+        if (roll(profile_.sync_fail_rate)) {
+          ++injected_sync_failures_;
+          return {FaultDecision::Kind::kTransient, EIO, 0, false};
+        }
+        return {};
+    }
+    if (roll(transient_rate)) {
+      if (profile_.max_consecutive_transient == 0 ||
+          consecutive_transient_ < profile_.max_consecutive_transient) {
+        ++consecutive_transient_;
+        ++injected_transient_;
+        // Mostly EIO (needs the backoff path); sprinkle EINTR to keep the
+        // immediate-retry path honest too.
+        const int err = rng_.next_bool(0.25) ? EINTR : EIO;
+        return {FaultDecision::Kind::kTransient, err, 0, false};
+      }
+    }
+    consecutive_transient_ = 0;
+    if (len > 1 && roll(short_rate)) {
+      ++injected_short_;
+      // Serve a uniform nonzero prefix, so partial-progress loops see every
+      // split point eventually.
+      const std::size_t max_len =
+          1 + static_cast<std::size_t>(rng_.next_below(len - 1));
+      return {FaultDecision::Kind::kShortIo, 0, max_len, false};
+    }
+    return {};
+  }
+
+  const FaultProfile& profile() const noexcept { return profile_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  std::uint64_t injected_transient() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return injected_transient_;
+  }
+  std::uint64_t injected_short() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return injected_short_;
+  }
+  std::uint64_t injected_sync_failures() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return injected_sync_failures_;
+  }
+
+  /// Named profile presets, scaled by `rate`. Names match the CI
+  /// fault-matrix: "transient", "short-io", "torn-page", "mixed", and
+  /// "giveup" (unbounded transients, for escalation tests). Throws
+  /// InvalidArgument for unknown names.
+  static FaultProfile named_profile(std::string_view name, double rate);
+
+  /// Build an injector from MLVC_FAULT_PROFILE / MLVC_FAULT_SEED /
+  /// MLVC_FAULT_RATE / MLVC_FAULT_CRASH_AFTER, or null when MLVC_FAULT_PROFILE
+  /// is unset or "off". This is how the CI fault matrix threads a fault
+  /// schedule under the whole test suite without code changes.
+  static std::shared_ptr<FaultInjector> from_env();
+
+ private:
+  FaultProfile profile_;
+  std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  SplitMix64 rng_;
+  unsigned consecutive_transient_ = 0;
+  std::uint64_t injected_transient_ = 0;
+  std::uint64_t injected_short_ = 0;
+  std::uint64_t injected_sync_failures_ = 0;
+  std::atomic<std::uint64_t> write_ops_{0};
+};
+
+}  // namespace mlvc::ssd

@@ -58,6 +58,11 @@ struct IoStatsSnapshot {
   /// pages, misses show up both here and in the backing category's reads.
   std::uint64_t cache_hit_pages = 0;
   std::uint64_t cache_miss_pages = 0;
+  /// Robustness counters: I/O attempts re-issued after a transient failure
+  /// (EINTR/EAGAIN/EIO), and operations that exhausted the retry budget (or
+  /// hit a non-recoverable errno) and escalated as a typed IoError.
+  std::uint64_t io_retry_count = 0;
+  std::uint64_t io_giveup_count = 0;
 
   const Category& operator[](IoCategory c) const {
     return categories[static_cast<unsigned>(c)];
@@ -94,6 +99,8 @@ struct IoStatsSnapshot {
     }
     out.cache_hit_pages = cache_hit_pages - rhs.cache_hit_pages;
     out.cache_miss_pages = cache_miss_pages - rhs.cache_miss_pages;
+    out.io_retry_count = io_retry_count - rhs.io_retry_count;
+    out.io_giveup_count = io_giveup_count - rhs.io_giveup_count;
     return out;
   }
 };
@@ -117,6 +124,12 @@ class IoStats {
   void record_cache_miss(std::uint64_t pages) {
     cache_miss_pages_.fetch_add(pages, std::memory_order_relaxed);
   }
+  void record_io_retry() {
+    io_retry_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_io_giveup() {
+    io_giveup_count_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   IoStatsSnapshot snapshot() const {
     IoStatsSnapshot out;
@@ -132,6 +145,8 @@ class IoStats {
     }
     out.cache_hit_pages = cache_hit_pages_.load(std::memory_order_relaxed);
     out.cache_miss_pages = cache_miss_pages_.load(std::memory_order_relaxed);
+    out.io_retry_count = io_retry_count_.load(std::memory_order_relaxed);
+    out.io_giveup_count = io_giveup_count_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -144,6 +159,8 @@ class IoStats {
     }
     cache_hit_pages_.store(0, std::memory_order_relaxed);
     cache_miss_pages_.store(0, std::memory_order_relaxed);
+    io_retry_count_.store(0, std::memory_order_relaxed);
+    io_giveup_count_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -156,6 +173,8 @@ class IoStats {
   std::array<Category, kNumIoCategories> categories_{};
   std::atomic<std::uint64_t> cache_hit_pages_{0};
   std::atomic<std::uint64_t> cache_miss_pages_{0};
+  std::atomic<std::uint64_t> io_retry_count_{0};
+  std::atomic<std::uint64_t> io_giveup_count_{0};
 };
 
 }  // namespace mlvc::ssd

@@ -2,13 +2,32 @@
 
 #include <fcntl.h>
 #include <limits.h>
+#include <stdio.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#include "ssd/fault_injector.hpp"
 
 namespace mlvc::ssd {
+
+namespace {
+void backoff_sleep(const RetryPolicy& policy, unsigned fails) {
+  const unsigned shift = std::min(fails > 0 ? fails - 1 : 0u, 20u);
+  std::uint64_t delay = static_cast<std::uint64_t>(policy.base_delay_us)
+                        << shift;
+  delay = std::min<std::uint64_t>(delay, policy.max_delay_us);
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Blob
@@ -62,6 +81,62 @@ void Blob::account(std::uint64_t offset, std::size_t len,
   }
 }
 
+template <typename Raw>
+void Blob::run_io(FaultSite site, const char* op, std::uint64_t offset,
+                  std::size_t len, Raw&& raw) const {
+  const std::shared_ptr<FaultInjector> fault = storage_->fault_injector();
+  const RetryPolicy policy = storage_->retry_policy();
+  unsigned fails = 0;
+  std::size_t done = 0;
+  while (done < len) {
+    std::size_t want = len - done;
+    if (fault) {
+      const FaultDecision d = fault->decide(site, want);
+      if (d.kind == FaultDecision::Kind::kCrash) {
+        if (d.torn && site == FaultSite::kWrite && want > 1) {
+          // Leave the torn trailing page a real power loss would.
+          (void)raw(offset + done, done, want / 2);
+        }
+        std::_Exit(kCrashExitCode);
+      }
+      if (d.kind == FaultDecision::Kind::kTransient) {
+        if (d.err == EINTR) {
+          storage_->stats_.record_io_retry();
+          continue;
+        }
+        if (++fails >= policy.max_attempts) {
+          storage_->stats_.record_io_giveup();
+          throw IoError(op, path_.string(), d.err);
+        }
+        storage_->stats_.record_io_retry();
+        backoff_sleep(policy, fails);
+        continue;
+      }
+      if (d.kind == FaultDecision::Kind::kShortIo) {
+        want = std::min(want, d.max_len);
+      }
+    }
+    const ssize_t n = raw(offset + done, done, want);
+    if (n < 0) {
+      const int err = errno;
+      if (err == EINTR) {
+        storage_->stats_.record_io_retry();
+        continue;
+      }
+      if ((err == EAGAIN || err == EIO) && ++fails < policy.max_attempts) {
+        storage_->stats_.record_io_retry();
+        backoff_sleep(policy, fails);
+        continue;
+      }
+      storage_->stats_.record_io_giveup();
+      throw IoError(op, path_.string(), err);
+    }
+    MLVC_CHECK_MSG(n != 0, "unexpected EOF on blob '" << name_ << "'");
+    done += static_cast<std::size_t>(n);
+    fails = 0;  // forward progress resets the retry budget
+  }
+}
+
 void Blob::read(std::uint64_t offset, void* buf, std::size_t len) const {
   if (len == 0) return;
   {
@@ -73,19 +148,10 @@ void Blob::read(std::uint64_t offset, void* buf, std::size_t len) const {
   }
   account(offset, len, /*is_write=*/false);
   char* dst = static_cast<char*>(buf);
-  std::size_t remaining = len;
-  std::uint64_t pos = offset;
-  while (remaining > 0) {
-    const ssize_t n = ::pread(fd_, dst, remaining, static_cast<off_t>(pos));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw IoError("pread", path_.string(), errno);
-    }
-    MLVC_CHECK_MSG(n != 0, "unexpected EOF reading blob '" << name_ << "'");
-    dst += n;
-    pos += static_cast<std::uint64_t>(n);
-    remaining -= static_cast<std::size_t>(n);
-  }
+  run_io(FaultSite::kRead, "pread", offset, len,
+         [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
+           return ::pread(fd_, dst + done, n, static_cast<off_t>(pos));
+         });
 }
 
 void Blob::read_multi(std::span<const ReadOp> ops) const {
@@ -108,47 +174,57 @@ void Blob::read_multi(std::span<const ReadOp> ops) const {
   // Issue maximal runs of file-contiguous ops as one scattered read.
   std::size_t i = 0;
   std::vector<struct iovec> iov;
+  std::vector<struct iovec> clip;
   while (i < ops.size()) {
     if (ops[i].len == 0) {
       ++i;
       continue;
     }
     std::size_t j = i + 1;
-    while (j < ops.size() && ops[j].len > 0 && iov.size() + (j - i) < IOV_MAX &&
+    std::size_t run_len = ops[i].len;
+    while (j < ops.size() && ops[j].len > 0 && (j - i) < IOV_MAX &&
            ops[j].offset == ops[j - 1].offset + ops[j - 1].len) {
+      run_len += ops[j].len;
       ++j;
     }
     iov.clear();
     for (std::size_t k = i; k < j; ++k) {
       iov.push_back({ops[k].buf, ops[k].len});
     }
-    std::uint64_t pos = ops[i].offset;
     std::size_t vec_begin = 0;
-    while (vec_begin < iov.size()) {
-      const ssize_t n =
-          ::preadv(fd_, iov.data() + vec_begin,
-                   static_cast<int>(iov.size() - vec_begin),
-                   static_cast<off_t>(pos));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        throw IoError("preadv", path_.string(), errno);
-      }
-      MLVC_CHECK_MSG(n != 0, "unexpected EOF reading blob '" << name_ << "'");
-      pos += static_cast<std::uint64_t>(n);
-      // Retire fully-read iovecs; trim a partially-read one in place.
-      std::size_t done = static_cast<std::size_t>(n);
-      while (done > 0 && vec_begin < iov.size()) {
-        struct iovec& v = iov[vec_begin];
-        if (done >= v.iov_len) {
-          done -= v.iov_len;
-          ++vec_begin;
-        } else {
-          v.iov_base = static_cast<char*>(v.iov_base) + done;
-          v.iov_len -= done;
-          done = 0;
-        }
-      }
-    }
+    run_io(FaultSite::kRead, "preadv", ops[i].offset, run_len,
+           [&](std::uint64_t pos, std::size_t, std::size_t want) -> ssize_t {
+             // Clip the remaining iovecs to at most `want` bytes, so a
+             // short-I/O fault decision bounds this attempt too.
+             clip.clear();
+             std::size_t acc = 0;
+             for (std::size_t k = vec_begin; k < iov.size() && acc < want;
+                  ++k) {
+               struct iovec v = iov[k];
+               if (acc + v.iov_len > want) v.iov_len = want - acc;
+               acc += v.iov_len;
+               clip.push_back(v);
+             }
+             const ssize_t n =
+                 ::preadv(fd_, clip.data(), static_cast<int>(clip.size()),
+                          static_cast<off_t>(pos));
+             if (n > 0) {
+               // Retire fully-read iovecs; trim a partially-read one.
+               std::size_t adv = static_cast<std::size_t>(n);
+               while (adv > 0 && vec_begin < iov.size()) {
+                 struct iovec& v = iov[vec_begin];
+                 if (adv >= v.iov_len) {
+                   adv -= v.iov_len;
+                   ++vec_begin;
+                 } else {
+                   v.iov_base = static_cast<char*>(v.iov_base) + adv;
+                   v.iov_len -= adv;
+                   adv = 0;
+                 }
+               }
+             }
+             return n;
+           });
     i = j;
   }
 }
@@ -157,18 +233,10 @@ void Blob::write(std::uint64_t offset, const void* buf, std::size_t len) {
   if (len == 0) return;
   account(offset, len, /*is_write=*/true);
   const char* src = static_cast<const char*>(buf);
-  std::size_t remaining = len;
-  std::uint64_t pos = offset;
-  while (remaining > 0) {
-    const ssize_t n = ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw IoError("pwrite", path_.string(), errno);
-    }
-    src += n;
-    pos += static_cast<std::uint64_t>(n);
-    remaining -= static_cast<std::size_t>(n);
-  }
+  run_io(FaultSite::kWrite, "pwrite", offset, len,
+         [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
+           return ::pwrite(fd_, src + done, n, static_cast<off_t>(pos));
+         });
   std::lock_guard<std::mutex> lock(size_mutex_);
   size_ = std::max(size_, offset + len);
 }
@@ -184,18 +252,10 @@ std::uint64_t Blob::append(const void* buf, std::size_t len) {
   if (len == 0) return offset;
   account(offset, len, /*is_write=*/true);
   const char* src = static_cast<const char*>(buf);
-  std::size_t remaining = len;
-  std::uint64_t pos = offset;
-  while (remaining > 0) {
-    const ssize_t n = ::pwrite(fd_, src, remaining, static_cast<off_t>(pos));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw IoError("pwrite", path_.string(), errno);
-    }
-    src += n;
-    pos += static_cast<std::uint64_t>(n);
-    remaining -= static_cast<std::size_t>(n);
-  }
+  run_io(FaultSite::kWrite, "pwrite", offset, len,
+         [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
+           return ::pwrite(fd_, src + done, n, static_cast<off_t>(pos));
+         });
   return offset;
 }
 
@@ -212,6 +272,30 @@ void Blob::truncate(std::uint64_t new_size) {
   }
   std::lock_guard<std::mutex> lock(size_mutex_);
   size_ = new_size;
+}
+
+void Blob::sync() {
+  if (const auto fault = storage_->fault_injector()) {
+    const FaultDecision d = fault->decide(FaultSite::kSync, 0);
+    if (d.kind == FaultDecision::Kind::kTransient) {
+      storage_->stats_.record_io_giveup();
+      throw IoError("fdatasync", path_.string(), d.err);
+    }
+    if (d.kind == FaultDecision::Kind::kCrash) {
+      std::_Exit(kCrashExitCode);
+    }
+  }
+  while (::fdatasync(fd_) != 0) {
+    const int err = errno;
+    if (err == EINTR) {
+      storage_->stats_.record_io_retry();
+      continue;
+    }
+    // Never retry a failed sync: the kernel may have dropped the dirty
+    // pages, so a later "successful" fdatasync would be a lie.
+    storage_->stats_.record_io_giveup();
+    throw IoError("fdatasync", path_.string(), err);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -239,6 +323,15 @@ Storage::Storage(std::filesystem::path dir, DeviceConfig config)
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) throw IoError("mkdir", dir_.string(), ec.value());
+  fault_ = FaultInjector::from_env();
+  if (const char* env = std::getenv("MLVC_FAULT_RETRIES")) {
+    retry_policy_.max_attempts = std::max(
+        1u, static_cast<unsigned>(std::strtoul(env, nullptr, 10)));
+  }
+  if (const char* env = std::getenv("MLVC_FAULT_RETRY_BASE_US")) {
+    retry_policy_.base_delay_us =
+        static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
 }
 
 Storage::~Storage() = default;
@@ -259,15 +352,62 @@ Blob& Storage::create_blob(const std::string& name, IoCategory category) {
 Blob& Storage::open_blob(const std::string& name) {
   std::lock_guard<std::mutex> lock(blobs_mutex_);
   auto it = blobs_.find(name);
-  if (it == blobs_.end()) {
+  if (it != blobs_.end()) return *it->second;
+  // No live handle — fall back to a file left on disk by a previous process
+  // (crash recovery re-opens checkpoints this way).
+  const std::filesystem::path path = dir_ / sanitize(name);
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec) {
     throw InvalidArgument("no such blob: '" + name + "'");
   }
-  return *it->second;
+  auto blob = std::unique_ptr<Blob>(
+      new Blob(this, next_blob_id_++, name, IoCategory::kMisc, path));
+  Blob& ref = *blob;
+  blobs_.emplace(name, std::move(blob));
+  return ref;
+}
+
+void Storage::publish_blob(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(blobs_mutex_);
+  auto it = blobs_.find(from);
+  if (it == blobs_.end()) {
+    throw InvalidArgument("no such blob: '" + from + "'");
+  }
+  const std::filesystem::path new_path = dir_ / sanitize(to);
+  blobs_.erase(to);  // close any open handle to the file being replaced
+  if (::rename(it->second->path_.c_str(), new_path.c_str()) != 0) {
+    throw IoError("rename", new_path.string(), errno);
+  }
+  auto node = blobs_.extract(it);
+  node.key() = to;
+  node.mapped()->name_ = to;
+  node.mapped()->path_ = new_path;
+  blobs_.insert(std::move(node));
 }
 
 bool Storage::has_blob(const std::string& name) const {
   std::lock_guard<std::mutex> lock(blobs_mutex_);
   return blobs_.count(name) != 0;
+}
+
+void Storage::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_ = std::move(injector);
+}
+
+std::shared_ptr<FaultInjector> Storage::fault_injector() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return fault_;
+}
+
+void Storage::set_retry_policy(const RetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  retry_policy_ = policy;
+}
+
+RetryPolicy Storage::retry_policy() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return retry_policy_;
 }
 
 void Storage::remove_blob(const std::string& name) {

@@ -24,6 +24,19 @@
 namespace mlvc::ssd {
 
 class Storage;
+class FaultInjector;
+enum class FaultSite : unsigned;
+
+/// Retry budget for transient I/O failures. EINTR is always retried for
+/// free; EAGAIN/EIO consume one attempt each and sleep an exponentially
+/// growing backoff between attempts. Forward progress (any bytes moved)
+/// resets the budget. Exhaustion escalates as a typed IoError and bumps
+/// IoStats::io_giveup_count.
+struct RetryPolicy {
+  unsigned max_attempts = 4;    // attempts per no-progress streak
+  unsigned base_delay_us = 50;  // first backoff sleep
+  unsigned max_delay_us = 5000; // backoff cap
+};
 
 /// One scattered read request for Blob::read_multi: fill `buf` with the
 /// `len` bytes at `offset`.
@@ -73,6 +86,11 @@ class Blob {
 
   void truncate(std::uint64_t new_size);
 
+  /// Flush written data to the device (fdatasync). A sync failure is never
+  /// retried — once the kernel reports it, dirty-page state is unknown — it
+  /// escalates immediately as IoError (and counts as a giveup).
+  void sync();
+
   // ---- typed helpers ------------------------------------------------------
   template <typename T>
   void read_span(std::uint64_t elem_offset, std::span<T> out) const {
@@ -101,6 +119,16 @@ class Blob {
 
   void account(std::uint64_t offset, std::size_t len, bool is_write) const;
 
+  /// Partial-progress transfer loop shared by read/read_multi/write/append:
+  /// consults the storage's fault injector before each attempt, applies the
+  /// retry policy to transient errnos, and throws IoError on giveup. `raw`
+  /// issues one syscall attempt of at most `n` bytes at file position `pos`
+  /// (with `done` bytes of the logical transfer already complete) and
+  /// returns the syscall result.
+  template <typename Raw>
+  void run_io(FaultSite site, const char* op, std::uint64_t offset,
+              std::size_t len, Raw&& raw) const;
+
   Storage* storage_;
   std::uint64_t id_;
   std::string name_;
@@ -124,8 +152,15 @@ class Storage {
   /// Create a blob (truncating any previous content under that name).
   Blob& create_blob(const std::string& name, IoCategory category);
 
-  /// Open an existing blob; throws InvalidArgument if absent.
+  /// Open an existing blob. Falls back to an on-disk file left by a previous
+  /// process (crash recovery) under IoCategory::kMisc; throws InvalidArgument
+  /// when neither a handle nor a file exists.
   Blob& open_blob(const std::string& name);
+
+  /// Atomically rename blob `from` to `to` (rename(2)), replacing any
+  /// existing blob under `to`. This is the publish step of write-temp +
+  /// sync + rename: a reader never observes a half-written `to`.
+  void publish_blob(const std::string& from, const std::string& to);
 
   bool has_blob(const std::string& name) const;
 
@@ -139,6 +174,15 @@ class Storage {
   const IoStats& stats() const noexcept { return stats_; }
   const std::filesystem::path& directory() const noexcept { return dir_; }
 
+  /// Fault injection (null = no faults). The constructor installs one from
+  /// MLVC_FAULT_* env vars when present, so a whole test suite can run under
+  /// a seeded fault schedule with no code changes.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+  std::shared_ptr<FaultInjector> fault_injector() const;
+
+  void set_retry_policy(const RetryPolicy& policy);
+  RetryPolicy retry_policy() const;
+
  private:
   friend class Blob;
 
@@ -148,6 +192,9 @@ class Storage {
   mutable std::mutex blobs_mutex_;
   std::map<std::string, std::unique_ptr<Blob>> blobs_;
   std::uint64_t next_blob_id_ = 1;
+  mutable std::mutex fault_mutex_;
+  std::shared_ptr<FaultInjector> fault_;
+  RetryPolicy retry_policy_;
 };
 
 /// RAII temporary directory (unique under the system temp dir) for tests,

@@ -1,0 +1,489 @@
+// Fault-injection substrate tests: seeded injector determinism, the storage
+// retry/giveup policy, torn-page truncate-and-continue, atomic CRC-checked
+// checkpoints, and the crash failpoint.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/bfs.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/engine.hpp"
+#include "core/options.hpp"
+#include "graph/generators.hpp"
+#include "multilog/record.hpp"
+#include "multilog/sort_group.hpp"
+#include "ssd/fault_injector.hpp"
+#include "ssd/storage.hpp"
+#include "tests/test_util.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define MLVC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MLVC_TSAN 1
+#endif
+#endif
+
+namespace mlvc {
+namespace {
+
+using ssd::FaultDecision;
+using ssd::FaultInjector;
+using ssd::FaultProfile;
+using ssd::FaultSite;
+
+/// Save + clear the MLVC_FAULT_* environment for a test, restore on exit —
+/// the suite itself may be running under a CI fault-matrix schedule.
+class ScopedFaultEnv {
+ public:
+  ScopedFaultEnv() {
+    for (const char* var : kVars) {
+      const char* v = std::getenv(var);
+      saved_.emplace_back(var, v ? std::string(v) : std::string());
+      ::unsetenv(var);
+    }
+  }
+  ~ScopedFaultEnv() {
+    for (const auto& [var, value] : saved_) {
+      if (value.empty()) {
+        ::unsetenv(var.c_str());
+      } else {
+        ::setenv(var.c_str(), value.c_str(), 1);
+      }
+    }
+  }
+
+ private:
+  static constexpr const char* kVars[] = {
+      "MLVC_FAULT_PROFILE", "MLVC_FAULT_RATE", "MLVC_FAULT_SEED",
+      "MLVC_FAULT_CRASH_AFTER", "MLVC_FAULT_RETRIES",
+      "MLVC_FAULT_RETRY_BASE_US"};
+  std::vector<std::pair<std::string, std::string>> saved_;
+};
+
+ssd::RetryPolicy fast_retries() {
+  ssd::RetryPolicy p;
+  p.max_attempts = 4;
+  p.base_delay_us = 0;
+  p.max_delay_us = 0;
+  return p;
+}
+
+TEST(FaultInjector, SeededDecisionStreamIsDeterministic) {
+  FaultProfile profile = FaultInjector::named_profile("mixed", 0.3);
+  FaultInjector a(profile, 42);
+  FaultInjector b(profile, 42);
+  FaultInjector c(profile, 43);
+  bool any_fault = false;
+  bool differs = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto site = (i % 2 == 0) ? FaultSite::kRead : FaultSite::kWrite;
+    const auto da = a.decide(site, 4096);
+    const auto db = b.decide(site, 4096);
+    const auto dc = c.decide(site, 4096);
+    ASSERT_EQ(da.kind, db.kind);
+    ASSERT_EQ(da.err, db.err);
+    ASSERT_EQ(da.max_len, db.max_len);
+    any_fault |= da.kind != FaultDecision::Kind::kNone;
+    differs |= da.kind != dc.kind || da.max_len != dc.max_len;
+  }
+  EXPECT_TRUE(any_fault);   // the profile actually fires at this rate
+  EXPECT_TRUE(differs);     // and the seed matters
+  EXPECT_EQ(a.injected_transient(), b.injected_transient());
+  EXPECT_EQ(a.injected_short(), b.injected_short());
+}
+
+TEST(FaultInjector, ConsecutiveTransientRunsAreCapped) {
+  FaultProfile profile;
+  profile.transient_read_rate = 1.0;
+  profile.max_consecutive_transient = 2;
+  FaultInjector inj(profile, 7);
+  unsigned consecutive = 0;
+  unsigned max_run = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto d = inj.decide(FaultSite::kRead, 64);
+    if (d.kind == FaultDecision::Kind::kTransient) {
+      max_run = std::max(max_run, ++consecutive);
+    } else {
+      consecutive = 0;
+    }
+  }
+  EXPECT_EQ(max_run, 2u);  // every injected streak fits a retry budget of 4
+}
+
+TEST(FaultInjector, NamedProfilesAndEnvParsing) {
+  ScopedFaultEnv env_guard;
+  EXPECT_GT(FaultInjector::named_profile("transient", 0.1).transient_read_rate,
+            0.0);
+  EXPECT_GT(FaultInjector::named_profile("short-io", 0.1).short_write_rate,
+            0.0);
+  EXPECT_TRUE(FaultInjector::named_profile("torn-page", 0.1).tear_on_crash);
+  EXPECT_EQ(FaultInjector::named_profile("torn-page", 0.1).transient_read_rate,
+            0.0);  // inert in steady state
+  EXPECT_EQ(FaultInjector::named_profile("giveup", 0.1)
+                .max_consecutive_transient,
+            0u);
+  EXPECT_THROW(FaultInjector::named_profile("bogus", 0.1), InvalidArgument);
+
+  EXPECT_EQ(FaultInjector::from_env(), nullptr);
+  ::setenv("MLVC_FAULT_PROFILE", "off", 1);
+  EXPECT_EQ(FaultInjector::from_env(), nullptr);
+  ::setenv("MLVC_FAULT_PROFILE", "mixed", 1);
+  ::setenv("MLVC_FAULT_SEED", "99", 1);
+  ::setenv("MLVC_FAULT_RATE", "0.25", 1);
+  ::setenv("MLVC_FAULT_CRASH_AFTER", "123", 1);
+  const auto inj = FaultInjector::from_env();
+  ASSERT_NE(inj, nullptr);
+  EXPECT_EQ(inj->seed(), 99u);
+  EXPECT_DOUBLE_EQ(inj->profile().transient_read_rate, 0.25);
+  EXPECT_EQ(inj->profile().crash_after_writes, 123u);
+}
+
+TEST(FaultOptions, EngineEnvOverridesParsed) {
+  ScopedFaultEnv env_guard;
+  ::setenv("MLVC_FAULT_RETRIES", "7", 1);
+  ::setenv("MLVC_FAULT_RETRY_BASE_US", "5", 1);
+  ::setenv("MLVC_FAULT_TORN_RECOVERY", "0", 1);
+  const auto opts = core::apply_env_overrides(core::EngineOptions{});
+  EXPECT_EQ(opts.io_retry_attempts, 7u);
+  EXPECT_EQ(opts.io_retry_base_delay_us, 5u);
+  EXPECT_FALSE(opts.torn_page_recovery);
+  ::unsetenv("MLVC_FAULT_TORN_RECOVERY");
+}
+
+TEST(FaultRetry, TransientFaultsAreRetriedThenSucceed) {
+  ScopedFaultEnv env_guard;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  storage.set_retry_policy(fast_retries());
+  FaultProfile profile;
+  profile.transient_read_rate = 0.5;
+  profile.transient_write_rate = 0.5;
+  profile.max_consecutive_transient = 2;
+  storage.set_fault_injector(std::make_shared<FaultInjector>(profile, 5));
+
+  ssd::Blob& blob = storage.create_blob("t", ssd::IoCategory::kMisc);
+  std::vector<char> data(64 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 31 + 7);
+  }
+  blob.write(0, data.data(), data.size());
+  std::vector<char> back(data.size());
+  blob.read(0, back.data(), back.size());
+  EXPECT_EQ(back, data);
+
+  const auto io = storage.stats().snapshot();
+  EXPECT_GT(io.io_retry_count, 0u);   // faults actually fired
+  EXPECT_EQ(io.io_giveup_count, 0u);  // and every one was absorbed
+}
+
+TEST(FaultRetry, ExhaustedBudgetEscalatesAsTypedIoError) {
+  ScopedFaultEnv env_guard;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  storage.set_retry_policy(fast_retries());
+  ssd::Blob& blob = storage.create_blob("t", ssd::IoCategory::kMisc);
+  const char byte = 'x';
+  blob.write(0, &byte, 1);
+
+  // Unbounded consecutive transients ("giveup" preset at rate 1) must blow
+  // through any finite retry budget.
+  storage.set_fault_injector(std::make_shared<FaultInjector>(
+      FaultInjector::named_profile("giveup", 1.0), 3));
+  char out = 0;
+  EXPECT_THROW(blob.read(0, &out, 1), IoError);
+  const auto io = storage.stats().snapshot();
+  EXPECT_GT(io.io_giveup_count, 0u);
+  EXPECT_GT(io.io_retry_count, 0u);
+}
+
+TEST(FaultRetry, ShortIoIsAbsorbedByPartialProgressLoops) {
+  ScopedFaultEnv env_guard;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  storage.set_retry_policy(fast_retries());
+  FaultProfile profile;
+  profile.short_read_rate = 1.0;  // every read attempt is clipped
+  profile.short_write_rate = 1.0;
+  storage.set_fault_injector(std::make_shared<FaultInjector>(profile, 9));
+
+  ssd::Blob& blob = storage.create_blob("t", ssd::IoCategory::kMisc);
+  std::vector<std::uint32_t> data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  }
+  blob.append(data.data(), data.size() * 4);
+  std::vector<std::uint32_t> back(data.size());
+  blob.read(0, back.data(), back.size() * 4);
+  EXPECT_EQ(back, data);
+
+  // read_multi under the same clipping: contiguous ops (coalesced into one
+  // preadv) and a scattered op both round-trip.
+  std::vector<std::uint32_t> a(1000), b(1000), c(1000);
+  const std::vector<ssd::ReadOp> ops = {
+      {0, a.data(), a.size() * 4},
+      {a.size() * 4, b.data(), b.size() * 4},
+      {10000 * 4, c.data(), c.size() * 4},
+  };
+  blob.read_multi(ops);
+  EXPECT_TRUE(std::memcmp(a.data(), data.data(), a.size() * 4) == 0);
+  EXPECT_TRUE(std::memcmp(b.data(), data.data() + 1000, b.size() * 4) == 0);
+  EXPECT_TRUE(std::memcmp(c.data(), data.data() + 10000, c.size() * 4) == 0);
+  EXPECT_EQ(storage.stats().snapshot().io_giveup_count, 0u);
+}
+
+TEST(FaultRetry, SyncFailureEscalatesImmediately) {
+  ScopedFaultEnv env_guard;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  ssd::Blob& blob = storage.create_blob("t", ssd::IoCategory::kMisc);
+  const char byte = 'x';
+  blob.write(0, &byte, 1);
+  blob.sync();  // no injector: must pass
+
+  FaultProfile profile;
+  profile.sync_fail_rate = 1.0;
+  storage.set_fault_injector(std::make_shared<FaultInjector>(profile, 2));
+  EXPECT_THROW(blob.sync(), IoError);
+  EXPECT_GT(storage.stats().snapshot().io_giveup_count, 0u);
+}
+
+TEST(FaultStorage, PublishBlobAtomicallyRenames) {
+  ScopedFaultEnv env_guard;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  ssd::Blob& tmp = storage.create_blob("ckpt.tmp", ssd::IoCategory::kMisc);
+  const std::uint64_t payload = 0xDEADBEEFCAFEF00Dull;
+  tmp.append(&payload, 8);
+  // Publishing replaces an existing blob under the final name.
+  ssd::Blob& stale = storage.create_blob("ckpt", ssd::IoCategory::kMisc);
+  const std::uint32_t junk = 1;
+  stale.append(&junk, 4);
+  storage.publish_blob("ckpt.tmp", "ckpt");
+
+  EXPECT_FALSE(storage.has_blob("ckpt.tmp"));
+  ssd::Blob& final_blob = storage.open_blob("ckpt");
+  EXPECT_EQ(final_blob.size(), 8u);
+  std::uint64_t back = 0;
+  final_blob.read(0, &back, 8);
+  EXPECT_EQ(back, payload);
+  EXPECT_THROW(storage.publish_blob("missing", "x"), InvalidArgument);
+}
+
+TEST(FaultStorage, OpenBlobFallsBackToOnDiskFile) {
+  ScopedFaultEnv env_guard;
+  ssd::TempDir dir;
+  const std::uint32_t payload = 77;
+  {
+    ssd::Storage storage(dir.path());
+    storage.create_blob("left/behind", ssd::IoCategory::kMisc)
+        .append(&payload, 4);
+  }
+  // A fresh Storage (fresh process, conceptually) sees the file.
+  ssd::Storage reopened(dir.path());
+  EXPECT_FALSE(reopened.has_blob("left/behind"));
+  ssd::Blob& blob = reopened.open_blob("left/behind");
+  std::uint32_t back = 0;
+  blob.read(0, &back, 4);
+  EXPECT_EQ(back, payload);
+  EXPECT_THROW(reopened.open_blob("never/existed"), InvalidArgument);
+}
+
+// ---- torn-page truncate-and-continue --------------------------------------
+
+TEST(TornPage, CheckedRecordCountPolicies) {
+  using Rec = multilog::Record<std::uint64_t>;
+  std::vector<std::byte> buf(5 * sizeof(Rec) + 3);  // 5 records + torn tail
+  const std::span<const std::byte> torn(buf.data(), buf.size());
+  const std::span<const std::byte> whole(buf.data(), 5 * sizeof(Rec));
+
+  EXPECT_EQ(multilog::checked_record_count<std::uint64_t>(whole), 5u);
+  EXPECT_THROW(multilog::checked_record_count<std::uint64_t>(torn), Error);
+  EXPECT_EQ(multilog::checked_record_count<std::uint64_t>(
+                torn, multilog::TornPagePolicy::kTruncate),
+            5u);
+  EXPECT_EQ(multilog::truncate_torn_tail(buf.size(), sizeof(Rec)),
+            5 * sizeof(Rec));
+  EXPECT_EQ(multilog::truncate_torn_tail(5 * sizeof(Rec), sizeof(Rec)),
+            5 * sizeof(Rec));
+}
+
+TEST(TornPage, SortGroupOnTruncatedBufferMatchesCleanRecords) {
+  using Msg = std::uint32_t;
+  using Rec = multilog::Record<Msg>;
+  std::vector<Rec> recs;
+  SplitMix64 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    recs.push_back(Rec{static_cast<VertexId>(rng.next_below(64)),
+                       static_cast<Msg>(rng.next_below(1u << 30))});
+  }
+  std::vector<std::byte> bytes(recs.size() * sizeof(Rec) + 5);  // torn tail
+  std::memcpy(bytes.data(), recs.data(), recs.size() * sizeof(Rec));
+
+  const std::size_t keep =
+      multilog::truncate_torn_tail(bytes.size(), sizeof(Rec));
+  ASSERT_EQ(keep, recs.size() * sizeof(Rec));
+  const std::span<const std::byte> healthy(bytes.data(), keep);
+  for (const auto path :
+       {SortGroupPath::kCountingScatter, SortGroupPath::kComparisonSort}) {
+    const auto grouped = multilog::sort_and_group<Msg>(healthy, 0, 64, path);
+    EXPECT_EQ(grouped.decoded, recs.size());
+  }
+}
+
+// ---- engine-level robustness ----------------------------------------------
+
+graph::CsrGraph fault_graph() {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 4;
+  p.seed = 21;
+  return graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
+}
+
+template <core::VertexApp App>
+struct Rig {
+  ssd::TempDir dir;
+  ssd::Storage storage;
+  core::EngineOptions opts;
+  graph::StoredCsrGraph stored;
+  core::MultiLogVCEngine<App> engine;
+
+  explicit Rig(const graph::CsrGraph& csr, App app = App{},
+               std::shared_ptr<FaultInjector> injector = nullptr)
+      : storage(dir.path(),
+                [] {
+                  ssd::DeviceConfig d;
+                  d.page_size = 4_KiB;
+                  return d;
+                }()),
+        opts([] {
+          auto o = testing_options();
+          o.io_retry_base_delay_us = 0;  // keep faulted runs fast
+          return o;
+        }()),
+        stored((storage.set_fault_injector(std::move(injector)), storage),
+               "g", csr, core::partition_for_app<App>(csr, opts)),
+        engine(stored, app, opts) {}
+};
+
+TEST(FaultEngine, RunUnderTransientFaultsMatchesCleanRun) {
+  ScopedFaultEnv env_guard;
+  const auto csr = fault_graph();
+  Rig<apps::Bfs> clean(csr, apps::Bfs{.source = 0});
+  const auto expected = clean.engine.run();
+  const auto clean_values = clean.engine.values();
+
+  auto injector = std::make_shared<FaultInjector>(
+      FaultInjector::named_profile("mixed", 0.05), 31);
+  Rig<apps::Bfs> faulted(csr, apps::Bfs{.source = 0}, injector);
+  const auto stats = faulted.engine.run();
+  EXPECT_EQ(faulted.engine.values(), clean_values);
+  EXPECT_EQ(stats.supersteps.size(), expected.supersteps.size());
+  // Retries happened and are visible in the per-superstep IO snapshots.
+  EXPECT_GT(stats.io_retries(), 0u);
+  EXPECT_EQ(stats.io_giveups(), 0u);
+  EXPECT_EQ(stats.torn_bytes_dropped(), 0u);
+}
+
+TEST(FaultEngine, CheckpointPublishIsAtomicAndReloadable) {
+  ScopedFaultEnv env_guard;
+  const auto csr = fault_graph();
+  Rig<apps::Bfs> rig(csr, apps::Bfs{.source = 0});
+  int steps = 0;
+  rig.engine.run_with_callback(
+      [&](const core::SuperstepStats&) { return ++steps < 2; });
+  rig.engine.save_checkpoint("atomic");
+  // No temp blob survives a successful save; the final name does, on disk.
+  EXPECT_FALSE(rig.storage.has_blob("mlvc/ckpt_atomic.tmp"));
+  EXPECT_TRUE(rig.storage.has_blob("mlvc/ckpt_atomic"));
+  const auto at_ckpt = rig.engine.values();
+
+  // Saving again under the same name atomically replaces the old image.
+  rig.engine.run();
+  const auto finished = rig.engine.values();
+  rig.engine.save_checkpoint("atomic");
+  rig.engine.load_checkpoint("atomic");
+  EXPECT_EQ(rig.engine.values(), finished);
+  EXPECT_NE(finished, at_ckpt);
+}
+
+TEST(FaultEngine, CorruptCheckpointIsRejectedWithoutPartialRestore) {
+  ScopedFaultEnv env_guard;
+  const auto csr = fault_graph();
+  Rig<apps::Bfs> rig(csr, apps::Bfs{.source = 0});
+  rig.engine.run();
+  const auto finished = rig.engine.values();
+  rig.engine.save_checkpoint("crc");
+
+  // Flip one payload byte: load must fail on the CRC pass and leave the
+  // engine exactly as it was.
+  ssd::Blob& blob = rig.storage.open_blob("mlvc/ckpt_crc");
+  std::uint8_t byte = 0;
+  blob.read(40, &byte, 1);
+  byte ^= 0xFF;
+  blob.write(40, &byte, 1);
+  EXPECT_THROW(rig.engine.load_checkpoint("crc"), Error);
+  EXPECT_EQ(rig.engine.values(), finished);
+
+  // A truncated header is rejected too (not silently mis-parsed).
+  ssd::Blob& stub = rig.storage.create_blob("mlvc/ckpt_stub",
+                                            ssd::IoCategory::kMisc);
+  const std::uint32_t magic = 0x4B435643u;
+  stub.append(&magic, 4);
+  EXPECT_THROW(rig.engine.load_checkpoint("stub"), Error);
+}
+
+TEST(FaultEngine, CheckpointSurvivesStorageReopen) {
+  // Cross-"process" recovery: a second Storage over the same directory must
+  // find the checkpoint through the on-disk fallback and restore it.
+  ScopedFaultEnv env_guard;
+  const auto csr = fault_graph();
+  Rig<apps::Bfs> rig(csr, apps::Bfs{.source = 0});
+  rig.engine.run();
+  rig.engine.save_checkpoint("xfer");
+  const auto expected = rig.engine.values();
+
+  ssd::DeviceConfig d;
+  d.page_size = 4_KiB;
+  ssd::Storage reopened(rig.dir.path(), d);
+  auto opts = testing_options();
+  graph::StoredCsrGraph stored(reopened, "g", csr,
+                               core::partition_for_app<apps::Bfs>(csr, opts));
+  core::MultiLogVCEngine<apps::Bfs> engine(stored, apps::Bfs{.source = 0},
+                                           opts);
+  engine.load_checkpoint("xfer");
+  EXPECT_EQ(engine.values(), expected);
+}
+
+#if !defined(MLVC_TSAN)
+using FaultDeathTest = ::testing::Test;
+
+TEST(FaultDeathTest, CrashFailpointKillsWithDedicatedExitCode) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ASSERT_EXIT(
+      {
+        ssd::TempDir dir;
+        ssd::Storage storage(dir.path());
+        FaultProfile profile;
+        profile.crash_after_writes = 3;
+        profile.tear_on_crash = true;
+        storage.set_fault_injector(
+            std::make_shared<FaultInjector>(profile, 1));
+        ssd::Blob& blob = storage.create_blob("t", ssd::IoCategory::kMisc);
+        std::vector<char> page(8192, 'a');
+        for (int i = 0; i < 10; ++i) {
+          blob.append(page.data(), page.size());
+        }
+      },
+      ::testing::ExitedWithCode(ssd::kCrashExitCode), "");
+}
+#endif  // !MLVC_TSAN
+
+}  // namespace
+}  // namespace mlvc

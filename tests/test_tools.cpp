@@ -63,6 +63,15 @@ TEST(Tools, BadInvocationsFailCleanly) {
             0);
 }
 
+TEST(Tools, CrashtestSingleCycleRecoversBfs) {
+  // One victim/recover cycle: the child is killed at an injected write with
+  // a torn trailing page, recovery resumes from the atomic checkpoint, and
+  // the recovered vertex values must equal a clean run's.
+  EXPECT_EQ(run_tool(std::string(MLVC_TOOL_CRASHTEST) +
+                     " --profile torn-page --seed 11 --crash-after 25"),
+            0);
+}
+
 TEST(Tools, EveryAppRunsOnEveryEngine) {
   ssd::TempDir dir;
   const std::string graph = (dir.path() / "g.mlvc").string();

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Bench regression guard for the produce-path scatter sweep.
+
+Compares a fresh BENCH_scatter.json against a committed baseline
+(bench/baselines/scatter.json). Raw items/second is machine-dependent, so
+the guarded quantity is the *staged-vs-locked throughput ratio* per
+(threads, intervals) configuration: for each BM_ScatterAppendStaged run we
+divide its items_per_second by the BM_ScatterAppendLocked run with the same
+thread/interval arguments. That ratio is what the lock-free staging commit
+bought, and it is stable across hosts in a way absolute numbers are not.
+
+Individual configurations are noisy at CI bench durations (a single 0.02 s
+run can swing ±30%), so the gate is the *geometric mean* of the ratios over
+all enforced configurations: a genuine staged-path regression shifts every
+configuration and moves the mean, while one noisy cell does not. Fails
+(exit 1) when the geometric-mean ratio drops more than --max-regression
+(default 0.30, i.e. 30%) below the baseline's.
+
+Usage:
+    tools/check_bench_regression.py CURRENT.json BASELINE.json \
+        [--max-regression 0.30] [--min-threads 2]
+
+Configurations with fewer than --min-threads producer threads are reported
+but not enforced: single-threaded staged-vs-locked differences are noise,
+the staging win is a contention effect.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_ratios(path, min_threads):
+    """Map 'threads/intervals[/depth]' -> staged/locked items_per_second."""
+    with open(path) as f:
+        data = json.load(f)
+    locked = {}
+    staged = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        parts = name.split("/")
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        args = [p for p in parts[1:] if p.isdigit()]
+        if parts[0] == "BM_ScatterAppendLocked" and len(args) >= 2:
+            locked[(args[0], args[1])] = ips
+        elif parts[0] == "BM_ScatterAppendStaged" and len(args) >= 3:
+            staged[(args[0], args[1], args[2])] = ips
+    ratios = {}
+    enforced = {}
+    for (t, iv, depth), s_ips in sorted(staged.items()):
+        l_ips = locked.get((t, iv))
+        if not l_ips:
+            continue
+        key = f"{t}t/{iv}iv/depth{depth}"
+        ratios[key] = s_ips / l_ips
+        if int(t) >= min_threads:
+            enforced[key] = ratios[key]
+    return ratios, enforced
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--max-regression", type=float, default=0.30,
+                    help="fail when ratio drops by more than this fraction")
+    ap.add_argument("--min-threads", type=int, default=2,
+                    help="only enforce configs with at least this many threads")
+    args = ap.parse_args()
+
+    cur_all, cur = load_ratios(args.current, args.min_threads)
+    base_all, base = load_ratios(args.baseline, args.min_threads)
+    if not base:
+        print(f"error: no enforceable scatter ratios in {args.baseline}",
+              file=sys.stderr)
+        return 2
+    if not cur:
+        print(f"error: no enforceable scatter ratios in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    floor = 1.0 - args.max_regression
+    print(f"{'config':<20} {'baseline':>9} {'current':>9} {'delta':>8}")
+    for key in sorted(base_all):
+        b = base_all[key]
+        c = cur_all.get(key)
+        if c is None:
+            continue
+        delta = (c - b) / b
+        enforced = key in base and key in cur
+        marker = "" if enforced else "  (not enforced)"
+        print(f"{key:<20} {b:>8.2f}x {c:>8.2f}x {delta:>+7.1%}{marker}")
+
+    def geomean(values):
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("error: no overlapping enforced configs", file=sys.stderr)
+        return 2
+    base_gm = geomean([base[k] for k in shared])
+    cur_gm = geomean([cur[k] for k in shared])
+    delta = (cur_gm - base_gm) / base_gm
+    print(f"\ngeomean staged/locked ratio over {len(shared)} enforced "
+          f"configs: baseline {base_gm:.2f}x, current {cur_gm:.2f}x "
+          f"({delta:+.1%})")
+    if cur_gm < base_gm * floor:
+        print(f"FAIL: geomean ratio regressed more than "
+              f"{args.max_regression:.0%} vs baseline", file=sys.stderr)
+        return 1
+    print(f"OK: within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

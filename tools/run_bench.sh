@@ -7,6 +7,12 @@
 #   MLVC_BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.05;
 #                         raise for stable numbers, e.g. MLVC_BENCH_MIN_TIME=0.5)
 #   MLVC_BENCH_FILTER     benchmark_filter regex (default: the scatter sweep)
+#   MLVC_BENCH_BASELINE   baseline JSON for the regression guard
+#                         (default: bench/baselines/scatter.json next to this
+#                         script; guard is skipped when the file is absent)
+#   MLVC_BENCH_CHECK      set to 0 to skip the regression guard entirely
+#   MLVC_BENCH_MAX_REGRESSION  allowed fractional drop in the staged/locked
+#                         throughput ratio before failing (default 0.30)
 set -eu
 
 build_dir="${1:-build}"
@@ -28,3 +34,16 @@ fi
   --benchmark_counters_tabular=true
 
 echo "wrote $out"
+
+# Regression guard: compare staged/locked throughput ratios against the
+# committed baseline. Skipped when no baseline exists or MLVC_BENCH_CHECK=0.
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+baseline="${MLVC_BENCH_BASELINE:-$repo_root/bench/baselines/scatter.json}"
+check="${MLVC_BENCH_CHECK:-1}"
+max_regression="${MLVC_BENCH_MAX_REGRESSION:-0.30}"
+if [ "$check" != "0" ] && [ -f "$baseline" ]; then
+  python3 "$repo_root/tools/check_bench_regression.py" "$out" "$baseline" \
+    --max-regression "$max_regression"
+elif [ "$check" != "0" ]; then
+  echo "no baseline at $baseline, skipping regression guard"
+fi
