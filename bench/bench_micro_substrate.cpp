@@ -16,7 +16,10 @@
 #include "multilog/multilog_store.hpp"
 #include "multilog/record.hpp"
 #include "multilog/sort_group.hpp"
+#include "ssd/async_io.hpp"
+#include "ssd/io_backend.hpp"
 #include "ssd/storage.hpp"
+#include "ssd/uring_io.hpp"
 
 namespace {
 
@@ -261,6 +264,124 @@ void ScatterSweepStaged(benchmark::internal::Benchmark* b) {
 }
 BENCHMARK(BM_ScatterAppendLocked)->Apply(ScatterSweepLocked);
 BENCHMARK(BM_ScatterAppendStaged)->Apply(ScatterSweepStaged);
+
+// ---- I/O-substrate sweep ----------------------------------------------------
+//
+// Random reads of a given size at a given queue depth through each backend,
+// against one shared 64 MiB blob. BM_IoRandReadThreadPool emulates the
+// engine's former substrate — an ssd::AsyncIo pool (4 threads) with one
+// future per read, so effective depth is capped by the pool. BM_IoRandReadUring
+// issues the whole batch as one read_multi on a kUring storage, which turns
+// it into at most `depth` SQEs submitted with a single io_uring_enter. The
+// guarded quantity (tools/check_bench_regression.py --suite io) is the
+// uring/threadpool throughput ratio per configuration; ISSUE acceptance
+// wants >= 1.5x at depth >= 32. Offsets are pregenerated and page-aligned;
+// manual batches mean wall time is the meaningful clock (UseRealTime).
+struct IoBenchFile {
+  static constexpr std::size_t kFileBytes = std::size_t{64} << 20;
+  ssd::TempDir dir;
+  ssd::Storage storage;
+  ssd::Blob* blob;
+
+  IoBenchFile() : storage(dir.path()) {
+    blob = &storage.create_blob("io_sweep", ssd::IoCategory::kMisc);
+    std::vector<std::uint64_t> chunk((1 << 20) / 8);
+    SplitMix64 rng(71);
+    for (std::size_t written = 0; written < kFileBytes;
+         written += chunk.size() * 8) {
+      for (auto& w : chunk) w = rng.next();
+      blob->append(chunk.data(), chunk.size() * 8);
+    }
+  }
+
+  static IoBenchFile& instance() {
+    static IoBenchFile f;
+    return f;
+  }
+};
+
+/// `batches` pregenerated offset sets, each `depth` page-aligned offsets in
+/// ascending order (read_multi's contract; random pages rarely touch, so
+/// coalescing stays honest).
+std::vector<std::vector<std::uint64_t>> io_offset_batches(std::size_t batches,
+                                                          std::size_t depth,
+                                                          std::size_t len) {
+  SplitMix64 rng(5);
+  const std::uint64_t pages = (IoBenchFile::kFileBytes - len) / 4096;
+  std::vector<std::vector<std::uint64_t>> out(batches);
+  for (auto& batch : out) {
+    batch.reserve(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+      batch.push_back(rng.next_below(pages) * 4096);
+    }
+    std::sort(batch.begin(), batch.end());
+  }
+  return out;
+}
+
+void BM_IoRandReadThreadPool(benchmark::State& state) {
+  auto& f = IoBenchFile::instance();
+  f.storage.set_io_backend(ssd::IoBackendKind::kThreadPool);
+  const std::size_t len = static_cast<std::size_t>(state.range(0)) * 1024;
+  const std::size_t depth = static_cast<std::size_t>(state.range(1));
+  const auto batches = io_offset_batches(64, depth, len);
+  std::vector<std::vector<char>> bufs(depth, std::vector<char>(len));
+  ssd::AsyncIo io(4);
+  std::size_t round = 0;
+  for (auto _ : state) {
+    const auto& offsets = batches[round++ % batches.size()];
+    ssd::IoBatch batch;
+    for (std::size_t i = 0; i < depth; ++i) {
+      batch.add(io.read(f.blob, offsets[i], bufs[i].data(), len));
+    }
+    batch.wait();
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * depth * len));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * depth));
+}
+
+void BM_IoRandReadUring(benchmark::State& state) {
+  if (!ssd::UringIo::probe().available) {
+    state.SkipWithError(("io_uring unavailable: " +
+                         ssd::UringIo::probe().reason).c_str());
+    return;
+  }
+  auto& f = IoBenchFile::instance();
+  const std::size_t len = static_cast<std::size_t>(state.range(0)) * 1024;
+  const std::size_t depth = static_cast<std::size_t>(state.range(1));
+  if (f.storage.set_io_backend(ssd::IoBackendKind::kUring,
+                               static_cast<unsigned>(depth)) !=
+      ssd::IoBackendKind::kUring) {
+    state.SkipWithError(f.storage.io_backend_fallback().c_str());
+    return;
+  }
+  const auto batches = io_offset_batches(64, depth, len);
+  std::vector<std::vector<char>> bufs(depth, std::vector<char>(len));
+  std::size_t round = 0;
+  for (auto _ : state) {
+    const auto& offsets = batches[round++ % batches.size()];
+    std::vector<ssd::ReadOp> ops;
+    ops.reserve(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+      ops.push_back({offsets[i], bufs[i].data(), len});
+    }
+    f.blob->read_multi(ops);
+  }
+  f.storage.set_io_backend(ssd::IoBackendKind::kThreadPool);
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * depth * len));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * depth));
+}
+
+void IoSweep(benchmark::internal::Benchmark* b) {
+  for (std::int64_t kib : {4, 64, 256}) {
+    for (std::int64_t depth : {4, 32, 128}) b->Args({kib, depth});
+  }
+  b->UseRealTime();
+}
+BENCHMARK(BM_IoRandReadThreadPool)->Apply(IoSweep);
+BENCHMARK(BM_IoRandReadUring)->Apply(IoSweep);
 
 void BM_ExternalSorter(benchmark::State& state) {
   const std::int64_t n = state.range(0);

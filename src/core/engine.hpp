@@ -114,6 +114,13 @@ class MultiLogVCEngine {
       retry.base_delay_us = options_.io_retry_base_delay_us;
       graph_.storage().set_retry_policy(retry);
     }
+    // Select the I/O substrate for every Blob call the run makes — compute
+    // threads, AsyncIo stage workers, and prefetchers all dispatch through
+    // it. A kUring request that the probe refuses lands back on the thread
+    // pool; RunStats reports the backend actually in effect.
+    stats_.io_backend = std::string(ssd::to_string(
+        graph_.storage().set_io_backend(options_.io_backend,
+                                        options_.io_queue_depth)));
     // One staging area + message counters per compute thread. Only
     // parallel_for workers (and the main thread, index 0) call send();
     // AsyncIo threads never do, so indexing by thread_index() is race-free.

@@ -8,6 +8,7 @@
 #include "common/memory_budget.hpp"
 #include "common/types.hpp"
 #include "ssd/device_model.hpp"
+#include "ssd/io_backend.hpp"
 
 namespace mlvc::core {
 
@@ -74,6 +75,17 @@ struct EngineOptions {
   /// classic double buffering (next batch loads while current computes).
   unsigned prefetch_depth = 2;
 
+  /// Hot-path I/O substrate for the run's Storage (ssd/io_backend.hpp):
+  /// kThreadPool = blocking pread/pwrite on the calling thread (default),
+  /// kUring = batched submission through a raw io_uring ring. A kUring
+  /// request transparently falls back to the thread pool when the kernel or
+  /// sandbox refuses io_uring. MLVC_IO_BACKEND overrides this.
+  ssd::IoBackendKind io_backend = ssd::IoBackendKind::kThreadPool;
+
+  /// SQEs kept in flight per io_uring batch (ring size; the kernel rounds
+  /// up to a power of two). Ignored by the thread-pool backend.
+  unsigned io_queue_depth = 64;
+
   /// Per-thread, per-interval staging depth (records) for the produce path:
   /// send() appends into a thread-local buffer with no lock and no shared
   /// atomics, flushing into the shared multi-log top page one chunk at a
@@ -132,7 +144,8 @@ struct EngineOptions {
 /// pins the produce-path staging depth — CI runs the tier-1 suite with it
 /// set to 1 to keep the worst-case flush-churn configuration honest. The
 /// MLVC_FAULT_* overrides let the CI fault matrix tune the retry budget and
-/// recovery mode underneath an unmodified test suite.
+/// recovery mode underneath an unmodified test suite, and MLVC_IO_BACKEND /
+/// MLVC_URING_DEPTH re-run the same suite on the io_uring substrate.
 inline EngineOptions apply_env_overrides(EngineOptions options) {
   if (const char* env = std::getenv("MLVC_SCATTER_STAGING")) {
     options.scatter_staging_records =
@@ -148,6 +161,17 @@ inline EngineOptions apply_env_overrides(EngineOptions options) {
   }
   if (const char* env = std::getenv("MLVC_FAULT_TORN_RECOVERY")) {
     options.torn_page_recovery = std::strtoul(env, nullptr, 10) != 0;
+  }
+  if (const char* env = std::getenv("MLVC_IO_BACKEND")) {
+    // Unknown values are rejected by Storage's own MLVC_IO_BACKEND parse;
+    // here an unparsable value just leaves the configured backend alone.
+    if (const auto kind = ssd::parse_io_backend(env)) {
+      options.io_backend = *kind;
+    }
+  }
+  if (const char* env = std::getenv("MLVC_URING_DEPTH")) {
+    const unsigned d = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (d > 0) options.io_queue_depth = d;
   }
   return options;
 }

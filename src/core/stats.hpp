@@ -74,6 +74,10 @@ struct SuperstepStats {
 struct RunStats {
   std::string engine;
   std::string app;
+  /// I/O substrate the run's Storage actually used ("threadpool"/"uring") —
+  /// the post-probe backend, so a uring request that fell back reports
+  /// "threadpool".
+  std::string io_backend;
   std::vector<SuperstepStats> supersteps;
   double build_seconds = 0;  // graph/shard materialization, excluded from run
 
@@ -159,6 +163,24 @@ struct RunStats {
     std::uint64_t t = 0;
     for (const auto& s : supersteps) t += s.io.io_giveup_count;
     return t;
+  }
+  std::uint64_t io_submit_batches() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.submit_batches;
+    return t;
+  }
+  std::uint64_t sqe_coalesced_ops() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.sqe_coalesced_ops;
+    return t;
+  }
+  /// Gauge: the deepest any superstep drove the submission ring.
+  std::uint64_t max_inflight_depth() const {
+    std::uint64_t m = 0;
+    for (const auto& s : supersteps) {
+      if (s.io.max_inflight_depth > m) m = s.io.max_inflight_depth;
+    }
+    return m;
   }
 };
 

@@ -34,6 +34,9 @@ void write_io(std::ostream& out, const ssd::IoStatsSnapshot& io) {
       << ",\"cache_miss_pages\":" << io.cache_miss_pages
       << ",\"io_retries\":" << io.io_retry_count
       << ",\"io_giveups\":" << io.io_giveup_count
+      << ",\"submit_batches\":" << io.submit_batches
+      << ",\"sqe_coalesced_ops\":" << io.sqe_coalesced_ops
+      << ",\"max_inflight_depth\":" << io.max_inflight_depth
       << ",\"by_category\":{";
   bool first = true;
   for (unsigned c = 0; c < ssd::kNumIoCategories; ++c) {
@@ -58,6 +61,8 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
   write_escaped(out, stats.engine);
   out << ",\"app\":";
   write_escaped(out, stats.app);
+  out << ",\"io_backend\":";
+  write_escaped(out, stats.io_backend);
   out << ",\"totals\":{"
       << "\"supersteps\":" << stats.supersteps.size()
       << ",\"pages_read\":" << stats.total_pages_read()
@@ -73,6 +78,9 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
       << ",\"io_wait_seconds\":" << stats.io_wait_seconds()
       << ",\"io_retries\":" << stats.io_retries()
       << ",\"io_giveups\":" << stats.io_giveups()
+      << ",\"io_submit_batches\":" << stats.io_submit_batches()
+      << ",\"sqe_coalesced_ops\":" << stats.sqe_coalesced_ops()
+      << ",\"max_inflight_depth\":" << stats.max_inflight_depth()
       << ",\"torn_bytes_dropped\":" << stats.torn_bytes_dropped()
       << ",\"total_wall_seconds\":" << stats.total_wall_seconds()
       << ",\"modeled_total_seconds\":" << stats.modeled_total_seconds()

@@ -75,6 +75,15 @@ std::string summarize(const core::RunStats& stats) {
      << format_fixed(stats.modeled_storage_seconds(), 3) << "s storage + "
      << format_fixed(stats.compute_seconds(), 3) << "s compute = "
      << format_fixed(stats.modeled_total_seconds(), 3) << "s";
+  if (!stats.io_backend.empty()) {
+    os << " [io=" << stats.io_backend;
+    if (stats.io_backend == "uring") {
+      os << ", " << format_count(stats.io_submit_batches()) << " batches, "
+         << format_count(stats.sqe_coalesced_ops()) << " coalesced, depth "
+         << stats.max_inflight_depth();
+    }
+    os << "]";
+  }
   return os.str();
 }
 

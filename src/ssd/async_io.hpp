@@ -4,6 +4,9 @@
 // non-contiguous SSD locations in flight with minimal host resources. We
 // emulate that with a small dedicated I/O thread pool: callers queue page
 // reads and either wait on individual futures or drain the whole batch.
+// The Blob calls the pool threads make dispatch through whatever backend
+// the owning Storage selected (io_backend.hpp), so submit()'d stage work
+// stays on these threads while the I/O underneath may ride io_uring.
 #pragma once
 
 #include <future>
@@ -19,18 +22,29 @@ class AsyncIo {
   explicit AsyncIo(unsigned io_threads = 4) : pool_(io_threads) {}
 
   /// Queue a read of blob[offset, offset+len) into caller-owned memory.
-  /// The buffer must stay alive until the returned future resolves.
-  std::future<void> read(const Blob& blob, std::uint64_t offset, void* buf,
+  ///
+  /// Ownership rule: AsyncIo never owns blobs or buffers. The lambda below
+  /// runs detached on a pool thread, so both the pointed-to Blob and `buf`
+  /// must stay alive until the returned future resolves (in practice:
+  /// blobs live in their Storage, which outlives the AsyncIo; callers hold
+  /// buffers across the future). Taking Blob* rather than Blob& keeps that
+  /// contract visible at every call site and lets us reject null eagerly
+  /// instead of capturing a dangling reference.
+  std::future<void> read(const Blob* blob, std::uint64_t offset, void* buf,
                          std::size_t len) {
-    return pool_.submit([&blob, offset, buf, len] {
-      blob.read(offset, buf, len);
+    MLVC_CHECK(blob != nullptr);
+    return pool_.submit([blob, offset, buf, len] {
+      blob->read(offset, buf, len);
     });
   }
 
-  std::future<void> write(Blob& blob, std::uint64_t offset, const void* buf,
+  /// Same ownership rule as read(): `blob` and `buf` must outlive the
+  /// returned future.
+  std::future<void> write(Blob* blob, std::uint64_t offset, const void* buf,
                           std::size_t len) {
-    return pool_.submit([&blob, offset, buf, len] {
-      blob.write(offset, buf, len);
+    MLVC_CHECK(blob != nullptr);
+    return pool_.submit([blob, offset, buf, len] {
+      blob->write(offset, buf, len);
     });
   }
 

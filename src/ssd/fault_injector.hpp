@@ -11,7 +11,11 @@
 //
 // The ssd::AsyncIo pool needs no hook of its own: its reads and writes are
 // plain Blob calls executed on I/O threads, so they pass through the same
-// injection (and the same retry policy) as synchronous callers.
+// injection (and the same retry policy) as synchronous callers. The
+// io_uring backend injects at completion-reap time instead: each reaped CQE
+// asks decide() before its real result is honored, so every profile
+// (transient, short-io, torn-page crash, giveup) exercises the uring path
+// with the same (profile, seed) schedule semantics as the syscall path.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,42 @@
+// Which substrate a Storage uses for hot-path reads and writes.
+//
+// kThreadPool is the original path: blocking pread/pwrite/preadv issued by
+// whichever thread called into Blob (including ssd::AsyncIo pool threads).
+// kUring batches operations into a raw io_uring submission ring so one
+// thread can keep queue-depth requests in flight with one syscall per
+// batch. Selection is per Storage (Storage::set_io_backend), defaulting to
+// kThreadPool; requesting kUring on a kernel or sandbox that refuses
+// io_uring falls back transparently and records the reason.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace mlvc::ssd {
+
+enum class IoBackendKind : unsigned {
+  kThreadPool = 0,  // blocking pread/pwrite on the calling thread
+  kUring,           // batched submission through a raw io_uring ring
+};
+
+inline std::string_view to_string(IoBackendKind k) {
+  switch (k) {
+    case IoBackendKind::kThreadPool: return "threadpool";
+    case IoBackendKind::kUring: return "uring";
+  }
+  return "?";
+}
+
+/// Accepts the spellings the CLI/env surface documents; nullopt for
+/// anything else so callers can produce their own error message.
+inline std::optional<IoBackendKind> parse_io_backend(std::string_view s) {
+  if (s == "threadpool" || s == "thread-pool" || s == "pool") {
+    return IoBackendKind::kThreadPool;
+  }
+  if (s == "uring" || s == "io_uring" || s == "io-uring") {
+    return IoBackendKind::kUring;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mlvc::ssd

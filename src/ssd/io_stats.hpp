@@ -63,6 +63,15 @@ struct IoStatsSnapshot {
   /// hit a non-recoverable errno) and escalated as a typed IoError.
   std::uint64_t io_retry_count = 0;
   std::uint64_t io_giveup_count = 0;
+  /// io_uring backend visibility: io_uring_enter calls that submitted at
+  /// least one SQE, and ops the read_multi coalescer folded into a larger
+  /// vectored SQE beyond the first of each run. Both 0 on the thread-pool
+  /// backend.
+  std::uint64_t submit_batches = 0;
+  std::uint64_t sqe_coalesced_ops = 0;
+  /// High-water mark of SQEs in flight on any one ring (a gauge, not a
+  /// counter — snapshot diffs carry the current mark through unchanged).
+  std::uint64_t max_inflight_depth = 0;
 
   const Category& operator[](IoCategory c) const {
     return categories[static_cast<unsigned>(c)];
@@ -101,6 +110,11 @@ struct IoStatsSnapshot {
     out.cache_miss_pages = cache_miss_pages - rhs.cache_miss_pages;
     out.io_retry_count = io_retry_count - rhs.io_retry_count;
     out.io_giveup_count = io_giveup_count - rhs.io_giveup_count;
+    out.submit_batches = submit_batches - rhs.submit_batches;
+    out.sqe_coalesced_ops = sqe_coalesced_ops - rhs.sqe_coalesced_ops;
+    // Gauge: the high-water mark as of this snapshot, not a differenceable
+    // quantity.
+    out.max_inflight_depth = max_inflight_depth;
     return out;
   }
 };
@@ -130,6 +144,18 @@ class IoStats {
   void record_io_giveup() {
     io_giveup_count_.fetch_add(1, std::memory_order_relaxed);
   }
+  void record_submit_batch() {
+    submit_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_sqe_coalesced(std::uint64_t ops) {
+    sqe_coalesced_ops_.fetch_add(ops, std::memory_order_relaxed);
+  }
+  void record_inflight_depth(std::uint64_t depth) {
+    std::uint64_t cur = max_inflight_depth_.load(std::memory_order_relaxed);
+    while (depth > cur && !max_inflight_depth_.compare_exchange_weak(
+                              cur, depth, std::memory_order_relaxed)) {
+    }
+  }
 
   IoStatsSnapshot snapshot() const {
     IoStatsSnapshot out;
@@ -147,6 +173,11 @@ class IoStats {
     out.cache_miss_pages = cache_miss_pages_.load(std::memory_order_relaxed);
     out.io_retry_count = io_retry_count_.load(std::memory_order_relaxed);
     out.io_giveup_count = io_giveup_count_.load(std::memory_order_relaxed);
+    out.submit_batches = submit_batches_.load(std::memory_order_relaxed);
+    out.sqe_coalesced_ops =
+        sqe_coalesced_ops_.load(std::memory_order_relaxed);
+    out.max_inflight_depth =
+        max_inflight_depth_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -161,6 +192,9 @@ class IoStats {
     cache_miss_pages_.store(0, std::memory_order_relaxed);
     io_retry_count_.store(0, std::memory_order_relaxed);
     io_giveup_count_.store(0, std::memory_order_relaxed);
+    submit_batches_.store(0, std::memory_order_relaxed);
+    sqe_coalesced_ops_.store(0, std::memory_order_relaxed);
+    max_inflight_depth_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -175,6 +209,9 @@ class IoStats {
   std::atomic<std::uint64_t> cache_miss_pages_{0};
   std::atomic<std::uint64_t> io_retry_count_{0};
   std::atomic<std::uint64_t> io_giveup_count_{0};
+  std::atomic<std::uint64_t> submit_batches_{0};
+  std::atomic<std::uint64_t> sqe_coalesced_ops_{0};
+  std::atomic<std::uint64_t> max_inflight_depth_{0};
 };
 
 }  // namespace mlvc::ssd

@@ -14,17 +14,41 @@
 #include <thread>
 
 #include "ssd/fault_injector.hpp"
+#include "ssd/uring_io.hpp"
 
 namespace mlvc::ssd {
 
-namespace {
-void backoff_sleep(const RetryPolicy& policy, unsigned fails) {
+void retry_backoff_sleep(const RetryPolicy& policy, unsigned fails) {
   const unsigned shift = std::min(fails > 0 ? fails - 1 : 0u, 20u);
   std::uint64_t delay = static_cast<std::uint64_t>(policy.base_delay_us)
                         << shift;
   delay = std::min<std::uint64_t>(delay, policy.max_delay_us);
   if (delay > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+}
+
+namespace {
+// Walk maximal runs of file-contiguous ops: fn(first, past_last, run_bytes).
+// Shared by the preadv path and the io_uring path so both backends coalesce
+// identically (zero-length ops skipped, runs capped at IOV_MAX spans).
+template <typename Fn>
+void for_each_contiguous_run(std::span<const ReadOp> ops, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (ops[i].len == 0) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    std::size_t run_len = ops[i].len;
+    while (j < ops.size() && ops[j].len > 0 && (j - i) < IOV_MAX &&
+           ops[j].offset == ops[j - 1].offset + ops[j - 1].len) {
+      run_len += ops[j].len;
+      ++j;
+    }
+    fn(i, j, run_len);
+    i = j;
   }
 }
 }  // namespace
@@ -109,7 +133,7 @@ void Blob::run_io(FaultSite site, const char* op, std::uint64_t offset,
           throw IoError(op, path_.string(), d.err);
         }
         storage_->stats_.record_io_retry();
-        backoff_sleep(policy, fails);
+        retry_backoff_sleep(policy, fails);
         continue;
       }
       if (d.kind == FaultDecision::Kind::kShortIo) {
@@ -125,7 +149,7 @@ void Blob::run_io(FaultSite site, const char* op, std::uint64_t offset,
       }
       if ((err == EAGAIN || err == EIO) && ++fails < policy.max_attempts) {
         storage_->stats_.record_io_retry();
-        backoff_sleep(policy, fails);
+        retry_backoff_sleep(policy, fails);
         continue;
       }
       storage_->stats_.record_io_giveup();
@@ -147,11 +171,30 @@ void Blob::read(std::uint64_t offset, void* buf, std::size_t len) const {
                                              << " size=" << size_);
   }
   account(offset, len, /*is_write=*/false);
+  if (auto uring = storage_->uring_backend()) {
+    UringOp op;
+    op.offset = offset;
+    op.len = len;
+    op.buf = buf;
+    run_uring(*uring, std::span<UringOp>(&op, 1));
+    return;
+  }
   char* dst = static_cast<char*>(buf);
   run_io(FaultSite::kRead, "pread", offset, len,
          [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
            return ::pread(fd_, dst + done, n, static_cast<off_t>(pos));
          });
+}
+
+void Blob::run_uring(UringIo& io, std::span<UringOp> ops) const {
+  const std::shared_ptr<FaultInjector> fault = storage_->fault_injector();
+  UringBatchContext ctx;
+  ctx.fd = fd_;
+  ctx.fault = fault.get();
+  ctx.retry = storage_->retry_policy();
+  ctx.stats = &storage_->stats_;
+  ctx.path = path_.string();
+  io.run_batch(ctx, ops);
 }
 
 void Blob::read_multi(std::span<const ReadOp> ops) const {
@@ -171,22 +214,38 @@ void Blob::read_multi(std::span<const ReadOp> ops) const {
   // workload is charged.
   for (const ReadOp& op : ops) account(op.offset, op.len, /*is_write=*/false);
 
+  if (auto uring = storage_->uring_backend()) {
+    // One READV SQE per contiguous run, the whole scattered batch in flight
+    // together: queue depth comes from the batch, not from thread count.
+    std::vector<struct iovec> iov;
+    iov.reserve(ops.size());  // no reallocation: UringOps point into it
+    std::vector<UringOp> uops;
+    for_each_contiguous_run(
+        ops, [&](std::size_t i, std::size_t j, std::size_t run_len) {
+          UringOp u;
+          u.offset = ops[i].offset;
+          u.len = run_len;
+          if (j - i == 1) {
+            u.buf = ops[i].buf;
+          } else {
+            u.iov = iov.data() + iov.size();
+            u.iov_count = static_cast<unsigned>(j - i);
+            for (std::size_t k = i; k < j; ++k) {
+              iov.push_back({ops[k].buf, ops[k].len});
+            }
+            storage_->stats_.record_sqe_coalesced(j - i - 1);
+          }
+          uops.push_back(u);
+        });
+    run_uring(*uring, uops);
+    return;
+  }
+
   // Issue maximal runs of file-contiguous ops as one scattered read.
-  std::size_t i = 0;
   std::vector<struct iovec> iov;
   std::vector<struct iovec> clip;
-  while (i < ops.size()) {
-    if (ops[i].len == 0) {
-      ++i;
-      continue;
-    }
-    std::size_t j = i + 1;
-    std::size_t run_len = ops[i].len;
-    while (j < ops.size() && ops[j].len > 0 && (j - i) < IOV_MAX &&
-           ops[j].offset == ops[j - 1].offset + ops[j - 1].len) {
-      run_len += ops[j].len;
-      ++j;
-    }
+  for_each_contiguous_run(ops, [&](std::size_t i, std::size_t j,
+                                   std::size_t run_len) {
     iov.clear();
     for (std::size_t k = i; k < j; ++k) {
       iov.push_back({ops[k].buf, ops[k].len});
@@ -225,18 +284,26 @@ void Blob::read_multi(std::span<const ReadOp> ops) const {
              }
              return n;
            });
-    i = j;
-  }
+  });
 }
 
 void Blob::write(std::uint64_t offset, const void* buf, std::size_t len) {
   if (len == 0) return;
   account(offset, len, /*is_write=*/true);
-  const char* src = static_cast<const char*>(buf);
-  run_io(FaultSite::kWrite, "pwrite", offset, len,
-         [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
-           return ::pwrite(fd_, src + done, n, static_cast<off_t>(pos));
-         });
+  if (auto uring = storage_->uring_backend()) {
+    UringOp op;
+    op.offset = offset;
+    op.len = len;
+    op.buf = const_cast<void*>(buf);  // WRITE SQEs never modify the buffer
+    op.is_write = true;
+    run_uring(*uring, std::span<UringOp>(&op, 1));
+  } else {
+    const char* src = static_cast<const char*>(buf);
+    run_io(FaultSite::kWrite, "pwrite", offset, len,
+           [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
+             return ::pwrite(fd_, src + done, n, static_cast<off_t>(pos));
+           });
+  }
   std::lock_guard<std::mutex> lock(size_mutex_);
   size_ = std::max(size_, offset + len);
 }
@@ -251,6 +318,15 @@ std::uint64_t Blob::append(const void* buf, std::size_t len) {
   }
   if (len == 0) return offset;
   account(offset, len, /*is_write=*/true);
+  if (auto uring = storage_->uring_backend()) {
+    UringOp op;
+    op.offset = offset;
+    op.len = len;
+    op.buf = const_cast<void*>(buf);
+    op.is_write = true;
+    run_uring(*uring, std::span<UringOp>(&op, 1));
+    return offset;
+  }
   const char* src = static_cast<const char*>(buf);
   run_io(FaultSite::kWrite, "pwrite", offset, len,
          [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
@@ -332,6 +408,18 @@ Storage::Storage(std::filesystem::path dir, DeviceConfig config)
     retry_policy_.base_delay_us =
         static_cast<unsigned>(std::strtoul(env, nullptr, 10));
   }
+  if (const char* env = std::getenv("MLVC_URING_DEPTH")) {
+    const unsigned d = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (d > 0) uring_depth_ = d;
+  }
+  if (const char* env = std::getenv("MLVC_IO_BACKEND")) {
+    const auto kind = parse_io_backend(env);
+    if (!kind) {
+      throw InvalidArgument(std::string("MLVC_IO_BACKEND: unknown backend '") +
+                            env + "' (want threadpool|uring)");
+    }
+    set_io_backend(*kind);
+  }
 }
 
 Storage::~Storage() = default;
@@ -408,6 +496,49 @@ void Storage::set_retry_policy(const RetryPolicy& policy) {
 RetryPolicy Storage::retry_policy() const {
   std::lock_guard<std::mutex> lock(fault_mutex_);
   return retry_policy_;
+}
+
+IoBackendKind Storage::set_io_backend(IoBackendKind requested,
+                                      unsigned queue_depth) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  if (queue_depth > 0) uring_depth_ = queue_depth;
+  uring_fallback_.clear();
+  if (requested == IoBackendKind::kUring) {
+    const UringIo::ProbeResult& p = UringIo::probe();
+    if (p.available) {
+      if (!uring_ || uring_->queue_depth() != uring_depth_) {
+        uring_ = std::make_shared<UringIo>(uring_depth_);
+      }
+      io_backend_kind_ = IoBackendKind::kUring;
+      return io_backend_kind_;
+    }
+    uring_fallback_ = p.reason.empty() ? "io_uring unavailable" : p.reason;
+    if (const char* strict = std::getenv("MLVC_IO_STRICT");
+        strict && std::strtoul(strict, nullptr, 10) != 0) {
+      throw Error(
+          "io_uring backend requested with MLVC_IO_STRICT set but the probe "
+          "failed: " +
+          uring_fallback_);
+    }
+  }
+  uring_.reset();
+  io_backend_kind_ = IoBackendKind::kThreadPool;
+  return io_backend_kind_;
+}
+
+IoBackendKind Storage::io_backend() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return io_backend_kind_;
+}
+
+std::string Storage::io_backend_fallback() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return uring_fallback_;
+}
+
+std::shared_ptr<UringIo> Storage::uring_backend() const {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  return uring_;
 }
 
 void Storage::remove_blob(const std::string& name) {

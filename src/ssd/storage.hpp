@@ -1,11 +1,13 @@
 // File-backed, page-accounted storage.
 //
 // A Storage is a directory of named blobs (CSR vectors, message logs, edge
-// logs, shards, sort runs...). All reads and writes go through real POSIX
-// pread/pwrite — the code paths are honest — while every call also charges
-// the pages it touches to the DeviceModel and IoStats. Reading 100 bytes
-// that straddle two 16 KiB pages costs two page reads, exactly the read
-// amplification the paper reasons about (§IV.C).
+// logs, shards, sort runs...). All reads and writes go through real kernel
+// I/O — blocking pread/pwrite by default, or a batched io_uring ring when
+// set_io_backend(IoBackendKind::kUring) is selected — while every call also
+// charges the pages it touches to the DeviceModel and IoStats, identically
+// under both backends. Reading 100 bytes that straddle two 16 KiB pages
+// costs two page reads, exactly the read amplification the paper reasons
+// about (§IV.C).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +21,7 @@
 
 #include "common/error.hpp"
 #include "ssd/device_model.hpp"
+#include "ssd/io_backend.hpp"
 #include "ssd/io_stats.hpp"
 
 namespace mlvc::ssd {
@@ -26,6 +29,8 @@ namespace mlvc::ssd {
 class Storage;
 class FaultInjector;
 enum class FaultSite : unsigned;
+class UringIo;
+struct UringOp;
 
 /// Retry budget for transient I/O failures. EINTR is always retried for
 /// free; EAGAIN/EIO consume one attempt each and sleep an exponentially
@@ -37,6 +42,11 @@ struct RetryPolicy {
   unsigned base_delay_us = 50;  // first backoff sleep
   unsigned max_delay_us = 5000; // backoff cap
 };
+
+/// Sleep the exponential backoff for the `fails`-th consecutive failed
+/// attempt under `policy`. Shared by the blocking pread/pwrite loop and the
+/// io_uring completion handler so both backends back off identically.
+void retry_backoff_sleep(const RetryPolicy& policy, unsigned fails);
 
 /// One scattered read request for Blob::read_multi: fill `buf` with the
 /// `len` bytes at `offset`.
@@ -129,6 +139,10 @@ class Blob {
   void run_io(FaultSite site, const char* op, std::uint64_t offset,
               std::size_t len, Raw&& raw) const;
 
+  /// Issue a prepared op batch through the storage's io_uring backend with
+  /// this blob's fault/retry/stats context.
+  void run_uring(UringIo& io, std::span<UringOp> ops) const;
+
   Storage* storage_;
   std::uint64_t id_;
   std::string name_;
@@ -183,8 +197,27 @@ class Storage {
   void set_retry_policy(const RetryPolicy& policy);
   RetryPolicy retry_policy() const;
 
+  /// Select the hot-path I/O substrate (see io_backend.hpp). Requesting
+  /// kUring probes the kernel once per process and transparently falls back
+  /// to the thread-pool path when io_uring is refused, recording the reason
+  /// (io_backend_fallback()) — unless MLVC_IO_STRICT is set to a nonzero
+  /// value, which turns the fallback into an Error so CI can hard-fail when
+  /// a uring-capable runner regresses to the fallback. `queue_depth` > 0
+  /// resizes the ring (default 64; the constructor honors MLVC_URING_DEPTH).
+  /// Returns the backend actually selected. The constructor applies
+  /// MLVC_IO_BACKEND so every entry point switches with no code changes.
+  IoBackendKind set_io_backend(IoBackendKind requested,
+                               unsigned queue_depth = 0);
+  IoBackendKind io_backend() const;
+  /// Why the last kUring request fell back to kThreadPool ("" = it didn't).
+  std::string io_backend_fallback() const;
+
  private:
   friend class Blob;
+
+  /// Backend handle for Blob I/O dispatch (null = thread-pool path). Shared
+  /// ownership so a concurrent set_io_backend can't free a ring mid-batch.
+  std::shared_ptr<UringIo> uring_backend() const;
 
   std::filesystem::path dir_;
   DeviceModel device_;
@@ -195,6 +228,10 @@ class Storage {
   mutable std::mutex fault_mutex_;
   std::shared_ptr<FaultInjector> fault_;
   RetryPolicy retry_policy_;
+  IoBackendKind io_backend_kind_ = IoBackendKind::kThreadPool;
+  std::shared_ptr<UringIo> uring_;
+  unsigned uring_depth_ = 64;
+  std::string uring_fallback_;
 };
 
 /// RAII temporary directory (unique under the system temp dir) for tests,

@@ -1,0 +1,441 @@
+#include "ssd/uring_io.hpp"
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "ssd/fault_injector.hpp"
+
+namespace mlvc::ssd {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, struct io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+// The kernel updates head/tail from its side of the shared mapping; all
+// ring-index traffic goes through acquire/release pairs.
+unsigned ring_load_acquire(const unsigned* p) {
+  return std::atomic_ref<const unsigned>(*p).load(std::memory_order_acquire);
+}
+
+void ring_store_release(unsigned* p, unsigned v) {
+  std::atomic_ref<unsigned>(*p).store(v, std::memory_order_release);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ring: one mmap'd SQ/CQ pair. Leased to exactly one run_batch at a time.
+// ---------------------------------------------------------------------------
+
+struct UringIo::Ring {
+  int fd = -1;
+  unsigned sq_entries = 0;
+  void* sq_ptr = nullptr;
+  std::size_t sq_map_len = 0;
+  void* cq_ptr = nullptr;  // == sq_ptr under IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_map_len = 0;
+  void* sqe_ptr = nullptr;
+  std::size_t sqe_map_len = 0;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  struct io_uring_sqe* sqes = nullptr;
+  struct io_uring_cqe* cqes = nullptr;
+
+  ~Ring() {
+    if (sqe_ptr) ::munmap(sqe_ptr, sqe_map_len);
+    if (cq_ptr && cq_ptr != sq_ptr) ::munmap(cq_ptr, cq_map_len);
+    if (sq_ptr) ::munmap(sq_ptr, sq_map_len);
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+std::unique_ptr<UringIo::Ring> UringIo::make_ring() const {
+  struct io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  auto ring = std::make_unique<Ring>();
+  ring->fd = sys_io_uring_setup(depth_, &params);
+  if (ring->fd < 0) throw IoError("io_uring_setup", "io_uring", errno);
+  ring->sq_entries = params.sq_entries;
+
+  ring->sq_map_len =
+      params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  ring->cq_map_len =
+      params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+  if (params.features & IORING_FEAT_SINGLE_MMAP) {
+    ring->sq_map_len = ring->cq_map_len =
+        std::max(ring->sq_map_len, ring->cq_map_len);
+  }
+  void* sq = ::mmap(nullptr, ring->sq_map_len, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring->fd, IORING_OFF_SQ_RING);
+  if (sq == MAP_FAILED) throw IoError("mmap", "io_uring sq ring", errno);
+  ring->sq_ptr = sq;
+  if (params.features & IORING_FEAT_SINGLE_MMAP) {
+    ring->cq_ptr = sq;
+  } else {
+    void* cq = ::mmap(nullptr, ring->cq_map_len, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring->fd, IORING_OFF_CQ_RING);
+    if (cq == MAP_FAILED) throw IoError("mmap", "io_uring cq ring", errno);
+    ring->cq_ptr = cq;
+  }
+  ring->sqe_map_len = params.sq_entries * sizeof(struct io_uring_sqe);
+  void* sqe = ::mmap(nullptr, ring->sqe_map_len, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring->fd, IORING_OFF_SQES);
+  if (sqe == MAP_FAILED) throw IoError("mmap", "io_uring sqes", errno);
+  ring->sqe_ptr = sqe;
+
+  char* sq_base = static_cast<char*>(ring->sq_ptr);
+  ring->sq_head = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
+  ring->sq_tail = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+  ring->sq_mask =
+      *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+  ring->sq_array = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+  char* cq_base = static_cast<char*>(ring->cq_ptr);
+  ring->cq_head = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+  ring->cq_tail = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+  ring->cq_mask =
+      *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+  ring->sqes = reinterpret_cast<struct io_uring_sqe*>(ring->sqe_ptr);
+  ring->cqes = reinterpret_cast<struct io_uring_cqe*>(cq_base +
+                                                      params.cq_off.cqes);
+  return ring;
+}
+
+UringIo::UringIo(unsigned queue_depth)
+    : depth_(std::clamp(queue_depth, 1u, 4096u)) {}
+
+UringIo::~UringIo() = default;
+
+UringIo::Ring* UringIo::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      Ring* r = free_.back();
+      free_.pop_back();
+      return r;
+    }
+  }
+  // Create outside the lock: ring setup is several syscalls and concurrent
+  // first-use batches should not serialize on each other.
+  auto ring = make_ring();
+  Ring* r = ring.get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  rings_.push_back(std::move(ring));
+  return r;
+}
+
+void UringIo::release(Ring* ring) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(ring);
+}
+
+// ---------------------------------------------------------------------------
+// run_batch
+// ---------------------------------------------------------------------------
+
+void UringIo::run_batch(const UringBatchContext& ctx, std::span<UringOp> ops) {
+  if (ops.empty()) return;
+
+  struct OpState {
+    std::size_t done = 0;     // bytes completed so far
+    unsigned fails = 0;       // consecutive no-progress failures
+    unsigned vec_begin = 0;   // first not-yet-retired iovec
+    std::size_t want = 0;     // bytes requested by the in-flight attempt
+  };
+  std::vector<OpState> st(ops.size());
+
+  // Ops to (re)submit, drained LIFO — completion order is up to the kernel
+  // anyway, and resubmissions should go out promptly.
+  std::vector<std::uint32_t> pending;
+  pending.reserve(ops.size());
+  for (std::uint32_t i = static_cast<std::uint32_t>(ops.size()); i > 0; --i) {
+    if (ops[i - 1].len > 0) pending.push_back(i - 1);
+  }
+
+  Ring* ring = acquire();
+  struct Lease {
+    UringIo* owner;
+    Ring* ring;
+    ~Lease() { owner->release(ring); }
+  } lease{this, ring};
+
+  std::exception_ptr first_error;
+  unsigned inflight = 0;
+
+  const auto prep_sqe = [&](std::uint32_t idx, unsigned slot) {
+    UringOp& op = ops[idx];
+    OpState& s = st[idx];
+    struct io_uring_sqe& sqe = ring->sqes[slot];
+    std::memset(&sqe, 0, sizeof(sqe));
+    sqe.fd = ctx.fd;
+    sqe.off = op.offset + s.done;
+    sqe.user_data = idx;
+    if (op.iov != nullptr) {
+      sqe.opcode = op.is_write ? IORING_OP_WRITEV : IORING_OP_READV;
+      sqe.addr = reinterpret_cast<std::uint64_t>(op.iov + s.vec_begin);
+      sqe.len = op.iov_count - s.vec_begin;
+    } else {
+      sqe.opcode = op.is_write ? IORING_OP_WRITE : IORING_OP_READ;
+      sqe.addr = reinterpret_cast<std::uint64_t>(static_cast<char*>(op.buf) +
+                                                 s.done);
+      sqe.len = static_cast<unsigned>(op.len - s.done);
+    }
+    s.want = op.len - s.done;
+  };
+
+  // One reaped completion. Consults the fault injector first — reap time is
+  // this backend's injection point — then applies run_io's retry semantics
+  // to the (possibly vetoed or shortened) result.
+  const auto handle = [&](std::uint32_t idx, int res) {
+    UringOp& op = ops[idx];
+    OpState& s = st[idx];
+    const char* op_name = op.is_write ? "io_uring_write" : "io_uring_read";
+    if (ctx.fault) {
+      const FaultDecision d = ctx.fault->decide(
+          op.is_write ? FaultSite::kWrite : FaultSite::kRead, s.want);
+      if (d.kind == FaultDecision::Kind::kCrash) {
+        if (d.torn && op.is_write && s.want > 1) {
+          // The attempt's data already reached the file (injection is at
+          // reap time); emulate the torn trailing page a mid-write power
+          // loss leaves by clipping the file back to half the attempt.
+          // Only when the attempt extends the physical end (the append
+          // case) — truncating an in-place overwrite would destroy
+          // unrelated trailing data a real tear leaves intact.
+          const off_t end = ::lseek(ctx.fd, 0, SEEK_END);
+          if (end >= 0 && static_cast<std::uint64_t>(end) <=
+                              op.offset + s.done + s.want) {
+            (void)::ftruncate(ctx.fd, static_cast<off_t>(op.offset + s.done +
+                                                         s.want / 2));
+          }
+        }
+        std::_Exit(kCrashExitCode);
+      }
+      if (d.kind == FaultDecision::Kind::kTransient) {
+        if (d.err == EINTR) {
+          if (ctx.stats) ctx.stats->record_io_retry();
+          pending.push_back(idx);
+          return;
+        }
+        if (++s.fails >= ctx.retry.max_attempts) {
+          if (ctx.stats) ctx.stats->record_io_giveup();
+          if (!first_error) {
+            first_error = std::make_exception_ptr(
+                IoError(op_name, ctx.path, d.err));
+          }
+          return;
+        }
+        if (ctx.stats) ctx.stats->record_io_retry();
+        retry_backoff_sleep(ctx.retry, s.fails);
+        pending.push_back(idx);
+        return;
+      }
+      if (d.kind == FaultDecision::Kind::kShortIo && res > 0) {
+        res = static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(res), d.max_len));
+      }
+    }
+    if (res < 0) {
+      const int err = -res;
+      if (err == EINTR) {
+        if (ctx.stats) ctx.stats->record_io_retry();
+        pending.push_back(idx);
+        return;
+      }
+      if ((err == EAGAIN || err == EIO) &&
+          ++s.fails < ctx.retry.max_attempts) {
+        if (ctx.stats) ctx.stats->record_io_retry();
+        retry_backoff_sleep(ctx.retry, s.fails);
+        pending.push_back(idx);
+        return;
+      }
+      if (ctx.stats) ctx.stats->record_io_giveup();
+      if (!first_error) {
+        first_error = std::make_exception_ptr(IoError(op_name, ctx.path, err));
+      }
+      return;
+    }
+    if (res == 0) {
+      if (!first_error) {
+        first_error = std::make_exception_ptr(
+            Error("unexpected EOF on '" + ctx.path + "'"));
+      }
+      return;
+    }
+    std::size_t adv = static_cast<std::size_t>(res);
+    s.done += adv;
+    s.fails = 0;  // forward progress resets the retry budget
+    if (op.iov != nullptr) {
+      // Retire fully-transferred iovecs; trim a partially-transferred one.
+      while (adv > 0 && s.vec_begin < op.iov_count) {
+        struct iovec& v = op.iov[s.vec_begin];
+        if (adv >= v.iov_len) {
+          adv -= v.iov_len;
+          ++s.vec_begin;
+        } else {
+          v.iov_base = static_cast<char*>(v.iov_base) + adv;
+          v.iov_len -= adv;
+          adv = 0;
+        }
+      }
+    }
+    if (s.done < op.len) pending.push_back(idx);
+  };
+
+  const auto reap_ready = [&]() {
+    unsigned head = *ring->cq_head;  // sole consumer: plain read is ours
+    while (head != ring_load_acquire(ring->cq_tail)) {
+      const struct io_uring_cqe cqe = ring->cqes[head & ring->cq_mask];
+      ++head;
+      // Publish consumption before handling: handle() may sleep in backoff
+      // and the kernel should be free to reuse the slot meanwhile.
+      ring_store_release(ring->cq_head, head);
+      --inflight;
+      handle(static_cast<std::uint32_t>(cqe.user_data), cqe.res);
+    }
+  };
+
+  // enter() wrapper that tolerates EINTR and treats CQ backpressure
+  // (EAGAIN/EBUSY with completions owed) by reaping and retrying.
+  const auto enter = [&](unsigned to_submit, unsigned min_complete) -> int {
+    while (true) {
+      const int r = sys_io_uring_enter(ring->fd, to_submit, min_complete,
+                                       IORING_ENTER_GETEVENTS);
+      if (r >= 0) return r;
+      const int err = errno;
+      if (err == EINTR) continue;
+      if ((err == EAGAIN || err == EBUSY) && inflight > 0) {
+        reap_ready();
+        continue;
+      }
+      throw IoError("io_uring_enter", ctx.path, err);
+    }
+  };
+
+  while ((!pending.empty() && !first_error) || inflight > 0) {
+    // Stage as many pending ops as the ring (and the configured depth)
+    // allows. After a failure, stop feeding new work and just drain.
+    unsigned staged = 0;
+    if (!first_error) {
+      const unsigned sq_head = ring_load_acquire(ring->sq_head);
+      unsigned sq_tail = *ring->sq_tail;  // sole producer
+      while (!pending.empty() && (sq_tail - sq_head) < ring->sq_entries &&
+             inflight + staged < ring->sq_entries) {
+        const std::uint32_t idx = pending.back();
+        pending.pop_back();
+        const unsigned slot = sq_tail & ring->sq_mask;
+        prep_sqe(idx, slot);
+        ring->sq_array[slot] = slot;
+        ++sq_tail;
+        ++staged;
+      }
+      if (staged > 0) ring_store_release(ring->sq_tail, sq_tail);
+    }
+    try {
+      if (staged > 0) {
+        if (ctx.stats) {
+          ctx.stats->record_submit_batch();
+          ctx.stats->record_inflight_depth(inflight + staged);
+        }
+        unsigned remaining = staged;
+        while (remaining > 0) {
+          const int r = enter(remaining, 0);
+          remaining -= static_cast<unsigned>(r);
+          inflight += static_cast<unsigned>(r);
+        }
+      }
+      if (inflight > 0 && *ring->cq_head == ring_load_acquire(ring->cq_tail)) {
+        (void)enter(0, 1);
+      }
+    } catch (...) {
+      // io_uring_enter itself failed hard. Record it and keep looping to
+      // drain what the kernel already owns; if even draining can't make
+      // progress, give up rather than spin (a ring this broken won't be
+      // completing into caller buffers either).
+      if (!first_error) first_error = std::current_exception();
+      reap_ready();
+      if (inflight > 0 &&
+          *ring->cq_head == ring_load_acquire(ring->cq_tail)) {
+        break;
+      }
+      continue;
+    }
+    reap_ready();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// ---------------------------------------------------------------------------
+// probe
+// ---------------------------------------------------------------------------
+
+namespace {
+
+UringIo::ProbeResult probe_impl() {
+  const int mfd = static_cast<int>(
+      ::syscall(__NR_memfd_create, "mlvc-uring-probe", 0u));
+  if (mfd < 0) {
+    return {false, std::string("memfd_create: ") + std::strerror(errno)};
+  }
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { ::close(fd); }
+  } guard{mfd};
+  char expect[512];
+  for (std::size_t i = 0; i < sizeof(expect); ++i) {
+    expect[i] = static_cast<char>(i * 31 + 7);
+  }
+  if (::pwrite(mfd, expect, sizeof(expect), 0) !=
+      static_cast<ssize_t>(sizeof(expect))) {
+    return {false, std::string("probe pwrite: ") + std::strerror(errno)};
+  }
+  try {
+    UringIo io(4);
+    char got[512] = {};
+    UringOp op;
+    op.offset = 0;
+    op.len = sizeof(got);
+    op.buf = got;
+    UringBatchContext ctx;
+    ctx.fd = mfd;
+    ctx.path = "io_uring probe";
+    io.run_batch(ctx, std::span<UringOp>(&op, 1));
+    if (std::memcmp(expect, got, sizeof(got)) != 0) {
+      return {false, "probe read returned wrong data"};
+    }
+  } catch (const std::exception& e) {
+    return {false, e.what()};
+  }
+  return {true, ""};
+}
+
+}  // namespace
+
+const UringIo::ProbeResult& UringIo::probe() {
+  static const ProbeResult result = probe_impl();
+  return result;
+}
+
+}  // namespace mlvc::ssd

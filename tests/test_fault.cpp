@@ -18,7 +18,9 @@
 #include "multilog/record.hpp"
 #include "multilog/sort_group.hpp"
 #include "ssd/fault_injector.hpp"
+#include "ssd/io_backend.hpp"
 #include "ssd/storage.hpp"
+#include "ssd/uring_io.hpp"
 #include "tests/test_util.hpp"
 
 #if defined(__SANITIZE_THREAD__)
@@ -461,6 +463,142 @@ TEST(FaultEngine, CheckpointSurvivesStorageReopen) {
   EXPECT_EQ(engine.values(), expected);
 }
 
+// ---- fault profiles × I/O backend -----------------------------------------
+//
+// Every fault profile must behave identically whichever I/O substrate carries
+// the bytes: the thread-pool path injects at syscall time, the io_uring path
+// at completion-reap time, and both must absorb / escalate / tear the same
+// way. Uring arms skip cleanly when the kernel or sandbox refuses io_uring.
+
+class FaultBackend : public ::testing::TestWithParam<ssd::IoBackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == ssd::IoBackendKind::kUring &&
+        !ssd::UringIo::probe().available) {
+      GTEST_SKIP() << "io_uring unavailable: "
+                   << ssd::UringIo::probe().reason;
+    }
+  }
+  /// Route `storage` through the selected backend. SetUp skipped already
+  /// when the probe says a uring request would fall back, so any fallback
+  /// here is a real bug.
+  void select_backend(ssd::Storage& storage) {
+    ASSERT_EQ(storage.set_io_backend(GetParam(), 16), GetParam());
+  }
+};
+
+std::string backend_name(
+    const ::testing::TestParamInfo<ssd::IoBackendKind>& info) {
+  return info.param == ssd::IoBackendKind::kUring ? "Uring" : "ThreadPool";
+}
+
+TEST_P(FaultBackend, TransientProfileIsAbsorbed) {
+  ScopedFaultEnv env_guard;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  select_backend(storage);
+  storage.set_retry_policy(fast_retries());
+  storage.set_fault_injector(std::make_shared<FaultInjector>(
+      FaultInjector::named_profile("transient", 0.5), 5));
+
+  ssd::Blob& blob = storage.create_blob("t", ssd::IoCategory::kMisc);
+  std::vector<char> data(64 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 31 + 7);
+  }
+  blob.write(0, data.data(), data.size());
+  std::vector<char> back(data.size());
+  blob.read(0, back.data(), back.size());
+  EXPECT_EQ(back, data);
+
+  const auto io = storage.stats().snapshot();
+  EXPECT_GT(io.io_retry_count, 0u);   // faults actually fired
+  EXPECT_EQ(io.io_giveup_count, 0u);  // and every one was absorbed
+}
+
+TEST_P(FaultBackend, ShortIoProfileIsAbsorbed) {
+  ScopedFaultEnv env_guard;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  select_backend(storage);
+  storage.set_retry_policy(fast_retries());
+  storage.set_fault_injector(std::make_shared<FaultInjector>(
+      FaultInjector::named_profile("short-io", 1.0), 9));
+
+  ssd::Blob& blob = storage.create_blob("t", ssd::IoCategory::kMisc);
+  std::vector<std::uint32_t> data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  }
+  blob.append(data.data(), data.size() * 4);
+
+  // read_multi under universal clipping: adjacent ops (coalesced into one
+  // vectored request on both backends) and a scattered op all round-trip.
+  std::vector<std::uint32_t> a(1000), b(1000), c(1000);
+  const std::vector<ssd::ReadOp> ops = {
+      {0, a.data(), a.size() * 4},
+      {a.size() * 4, b.data(), b.size() * 4},
+      {10000 * 4, c.data(), c.size() * 4},
+  };
+  blob.read_multi(ops);
+  EXPECT_TRUE(std::memcmp(a.data(), data.data(), a.size() * 4) == 0);
+  EXPECT_TRUE(std::memcmp(b.data(), data.data() + 1000, b.size() * 4) == 0);
+  EXPECT_TRUE(std::memcmp(c.data(), data.data() + 10000, c.size() * 4) == 0);
+  EXPECT_EQ(storage.stats().snapshot().io_giveup_count, 0u);
+}
+
+TEST_P(FaultBackend, GiveupProfileEscalatesAsTypedIoError) {
+  ScopedFaultEnv env_guard;
+  ssd::TempDir dir;
+  ssd::Storage storage(dir.path());
+  select_backend(storage);
+  storage.set_retry_policy(fast_retries());
+  ssd::Blob& blob = storage.create_blob("t", ssd::IoCategory::kMisc);
+  const char byte = 'x';
+  blob.write(0, &byte, 1);
+
+  storage.set_fault_injector(std::make_shared<FaultInjector>(
+      FaultInjector::named_profile("giveup", 1.0), 3));
+  char out = 0;
+  EXPECT_THROW(blob.read(0, &out, 1), IoError);
+  const auto io = storage.stats().snapshot();
+  EXPECT_GT(io.io_giveup_count, 0u);
+  EXPECT_GT(io.io_retry_count, 0u);
+}
+
+TEST_P(FaultBackend, EngineRunUnderMixedFaultsMatchesClean) {
+  ScopedFaultEnv env_guard;
+  const auto csr = fault_graph();
+  Rig<apps::Bfs> clean(csr, apps::Bfs{.source = 0});
+  clean.engine.run();
+  const auto clean_values = clean.engine.values();
+
+  ssd::TempDir dir;
+  ssd::DeviceConfig device;
+  device.page_size = 4_KiB;
+  ssd::Storage storage(dir.path(), device);
+  storage.set_fault_injector(std::make_shared<FaultInjector>(
+      FaultInjector::named_profile("mixed", 0.05), 31));
+  auto opts = testing_options();
+  opts.io_retry_base_delay_us = 0;
+  opts.io_backend = GetParam();
+  opts.io_queue_depth = 16;
+  graph::StoredCsrGraph stored(storage, "g", csr,
+                               core::partition_for_app<apps::Bfs>(csr, opts));
+  core::MultiLogVCEngine<apps::Bfs> engine(stored, apps::Bfs{.source = 0},
+                                           opts);
+  const auto stats = engine.run();
+  EXPECT_EQ(engine.values(), clean_values);
+  EXPECT_GT(stats.io_retries(), 0u);
+  EXPECT_EQ(stats.io_giveups(), 0u);
+  EXPECT_EQ(stats.torn_bytes_dropped(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FaultBackend,
+                         ::testing::Values(ssd::IoBackendKind::kThreadPool,
+                                           ssd::IoBackendKind::kUring),
+                         backend_name);
+
 #if !defined(MLVC_TSAN)
 using FaultDeathTest = ::testing::Test;
 
@@ -483,6 +621,39 @@ TEST(FaultDeathTest, CrashFailpointKillsWithDedicatedExitCode) {
       },
       ::testing::ExitedWithCode(ssd::kCrashExitCode), "");
 }
+
+// The torn-page crash failpoint must fire on both substrates: the thread
+// pool tears mid-pwrite, the uring backend tears at completion reap (the
+// data already landed, so the tear is emulated by truncating the extending
+// append back to a partial page before _Exit).
+class FaultBackendDeathTest : public FaultBackend {};
+
+TEST_P(FaultBackendDeathTest, TornPageCrashKillsWithDedicatedExitCode) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const auto backend = GetParam();
+  ASSERT_EXIT(
+      {
+        ssd::TempDir dir;
+        ssd::Storage storage(dir.path());
+        storage.set_io_backend(backend, 8);
+        FaultProfile profile;
+        profile.crash_after_writes = 3;
+        profile.tear_on_crash = true;
+        storage.set_fault_injector(
+            std::make_shared<FaultInjector>(profile, 1));
+        ssd::Blob& blob = storage.create_blob("t", ssd::IoCategory::kMisc);
+        std::vector<char> page(8192, 'a');
+        for (int i = 0; i < 10; ++i) {
+          blob.append(page.data(), page.size());
+        }
+      },
+      ::testing::ExitedWithCode(ssd::kCrashExitCode), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FaultBackendDeathTest,
+                         ::testing::Values(ssd::IoBackendKind::kThreadPool,
+                                           ssd::IoBackendKind::kUring),
+                         backend_name);
 #endif  // !MLVC_TSAN
 
 }  // namespace

@@ -326,7 +326,7 @@ TEST(AsyncIo, ParallelReadsComplete) {
   ssd::IoBatch batch;
   constexpr std::size_t kChunk = 512;
   for (std::size_t off = 0; off < data.size(); off += kChunk) {
-    batch.add(io.read(blob, off * 8, out.data() + off, kChunk * 8));
+    batch.add(io.read(&blob, off * 8, out.data() + off, kChunk * 8));
   }
   batch.wait();
   EXPECT_EQ(out, data);
@@ -426,7 +426,7 @@ TEST(AsyncIo, ErrorsSurfaceOnWait) {
   ssd::AsyncIo io(2);
   ssd::IoBatch batch;
   char buf[64];
-  batch.add(io.read(blob, 1000, buf, 64));  // past EOF
+  batch.add(io.read(&blob, 1000, buf, 64));  // past EOF
   EXPECT_THROW(batch.wait(), Error);
 }
 
@@ -440,8 +440,8 @@ TEST(AsyncIo, WaitDrainsEveryOpBeforeThrowing) {
   ssd::IoBatch batch;
   char bad[64];
   std::vector<char> good(data.size(), '\0');
-  batch.add(io.read(blob, 100000, bad, 64));               // fails
-  batch.add(io.read(blob, 0, good.data(), good.size()));   // queued after
+  batch.add(io.read(&blob, 100000, bad, 64));               // fails
+  batch.add(io.read(&blob, 0, good.data(), good.size()));   // queued after
   EXPECT_THROW(batch.wait(), Error);
   // wait() joins the ops submitted after the failing one before rethrowing,
   // so their buffers are safe to release as soon as it returns.

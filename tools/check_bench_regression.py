@@ -1,28 +1,39 @@
 #!/usr/bin/env python3
-"""Bench regression guard for the produce-path scatter sweep.
+"""Bench regression guard for the substrate sweeps.
 
-Compares a fresh BENCH_scatter.json against a committed baseline
-(bench/baselines/scatter.json). Raw items/second is machine-dependent, so
-the guarded quantity is the *staged-vs-locked throughput ratio* per
-(threads, intervals) configuration: for each BM_ScatterAppendStaged run we
-divide its items_per_second by the BM_ScatterAppendLocked run with the same
-thread/interval arguments. That ratio is what the lock-free staging commit
-bought, and it is stable across hosts in a way absolute numbers are not.
+Raw items/second is machine-dependent, so the guarded quantity is always a
+*throughput ratio* between two implementations measured in the same run;
+that ratio is what the optimization bought, and it is stable across hosts
+in a way absolute numbers are not. Two suites:
+
+  --suite scatter (default)
+    BM_ScatterAppendStaged vs BM_ScatterAppendLocked per (threads,
+    intervals) configuration — what the lock-free staging commit bought.
+    Configurations with fewer than --min-threads producer threads are
+    reported but not enforced: the staging win is a contention effect.
+
+  --suite io
+    BM_IoRandReadUring vs BM_IoRandReadThreadPool per (read size, queue
+    depth) configuration — what batched io_uring submission bought over
+    the AsyncIo thread pool. Configurations below --min-depth are reported
+    but not enforced: batching needs a queue to batch. --min-ratio
+    additionally enforces an absolute floor on the current geomean
+    (ISSUE acceptance: >= 1.5x at depth >= 32). When the current run has
+    no uring results at all (probe unavailable, benchmarks skipped with
+    an error) the guard is skipped with exit 0 so kernels without
+    io_uring stay green.
 
 Individual configurations are noisy at CI bench durations (a single 0.02 s
 run can swing ±30%), so the gate is the *geometric mean* of the ratios over
-all enforced configurations: a genuine staged-path regression shifts every
+all enforced configurations: a genuine regression shifts every
 configuration and moves the mean, while one noisy cell does not. Fails
 (exit 1) when the geometric-mean ratio drops more than --max-regression
-(default 0.30, i.e. 30%) below the baseline's.
+(default 0.30, i.e. 30%) below the baseline's, or below --min-ratio.
 
 Usage:
     tools/check_bench_regression.py CURRENT.json BASELINE.json \
-        [--max-regression 0.30] [--min-threads 2]
-
-Configurations with fewer than --min-threads producer threads are reported
-but not enforced: single-threaded staged-vs-locked differences are noise,
-the staging win is a contention effect.
+        [--suite scatter|io] [--max-regression 0.30] \
+        [--min-threads 2] [--min-depth 32] [--min-ratio 1.5]
 """
 
 import argparse
@@ -31,24 +42,29 @@ import math
 import sys
 
 
-def load_ratios(path, min_threads):
-    """Map 'threads/intervals[/depth]' -> staged/locked items_per_second."""
+def load_runs(path):
     with open(path) as f:
         data = json.load(f)
-    locked = {}
-    staged = {}
     for b in data.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
         name = b.get("name", "")
         parts = name.split("/")
+        args = [p for p in parts[1:] if p.isdigit()]
+        yield parts[0], args, b
+
+
+def load_scatter_ratios(path, min_threads):
+    """Map 'threads/intervals[/depth]' -> staged/locked items_per_second."""
+    locked = {}
+    staged = {}
+    for bench, args, b in load_runs(path):
         ips = b.get("items_per_second")
         if ips is None:
             continue
-        args = [p for p in parts[1:] if p.isdigit()]
-        if parts[0] == "BM_ScatterAppendLocked" and len(args) >= 2:
+        if bench == "BM_ScatterAppendLocked" and len(args) >= 2:
             locked[(args[0], args[1])] = ips
-        elif parts[0] == "BM_ScatterAppendStaged" and len(args) >= 3:
+        elif bench == "BM_ScatterAppendStaged" and len(args) >= 3:
             staged[(args[0], args[1], args[2])] = ips
     ratios = {}
     enforced = {}
@@ -63,24 +79,70 @@ def load_ratios(path, min_threads):
     return ratios, enforced
 
 
+def load_io_ratios(path, min_depth):
+    """Map 'KiB/depth' -> uring/threadpool bytes_per_second."""
+    pool = {}
+    uring = {}
+    for bench, args, b in load_runs(path):
+        bps = b.get("bytes_per_second")
+        if bps is None or len(args) < 2:
+            continue
+        if bench == "BM_IoRandReadThreadPool":
+            pool[(args[0], args[1])] = bps
+        elif bench == "BM_IoRandReadUring":
+            uring[(args[0], args[1])] = bps
+    ratios = {}
+    enforced = {}
+    for (kib, depth), u_bps in sorted(uring.items()):
+        p_bps = pool.get((kib, depth))
+        if not p_bps:
+            continue
+        key = f"{kib}K/qd{depth}"
+        ratios[key] = u_bps / p_bps
+        if int(depth) >= min_depth:
+            enforced[key] = ratios[key]
+    return ratios, enforced
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
     ap.add_argument("baseline")
+    ap.add_argument("--suite", choices=("scatter", "io"), default="scatter")
     ap.add_argument("--max-regression", type=float, default=0.30,
                     help="fail when ratio drops by more than this fraction")
     ap.add_argument("--min-threads", type=int, default=2,
-                    help="only enforce configs with at least this many threads")
+                    help="scatter: only enforce configs with at least this "
+                         "many threads")
+    ap.add_argument("--min-depth", type=int, default=32,
+                    help="io: only enforce configs at or above this queue "
+                         "depth")
+    ap.add_argument("--min-ratio", type=float, default=None,
+                    help="absolute floor on the current geomean ratio")
     args = ap.parse_args()
 
-    cur_all, cur = load_ratios(args.current, args.min_threads)
-    base_all, base = load_ratios(args.baseline, args.min_threads)
+    if args.suite == "scatter":
+        cur_all, cur = load_scatter_ratios(args.current, args.min_threads)
+        base_all, base = load_scatter_ratios(args.baseline, args.min_threads)
+        label = "staged/locked"
+    else:
+        cur_all, cur = load_io_ratios(args.current, args.min_depth)
+        base_all, base = load_io_ratios(args.baseline, args.min_depth)
+        label = "uring/threadpool"
+        if not cur_all:
+            print(f"no uring results in {args.current} (io_uring probe "
+                  f"unavailable?); skipping io bench guard")
+            return 0
     if not base:
-        print(f"error: no enforceable scatter ratios in {args.baseline}",
+        print(f"error: no enforceable {label} ratios in {args.baseline}",
               file=sys.stderr)
         return 2
     if not cur:
-        print(f"error: no enforceable scatter ratios in {args.current}",
+        print(f"error: no enforceable {label} ratios in {args.current}",
               file=sys.stderr)
         return 2
 
@@ -96,9 +158,6 @@ def main():
         marker = "" if enforced else "  (not enforced)"
         print(f"{key:<20} {b:>8.2f}x {c:>8.2f}x {delta:>+7.1%}{marker}")
 
-    def geomean(values):
-        return math.exp(sum(math.log(v) for v in values) / len(values))
-
     shared = sorted(set(base) & set(cur))
     if not shared:
         print("error: no overlapping enforced configs", file=sys.stderr)
@@ -106,14 +165,23 @@ def main():
     base_gm = geomean([base[k] for k in shared])
     cur_gm = geomean([cur[k] for k in shared])
     delta = (cur_gm - base_gm) / base_gm
-    print(f"\ngeomean staged/locked ratio over {len(shared)} enforced "
+    print(f"\ngeomean {label} ratio over {len(shared)} enforced "
           f"configs: baseline {base_gm:.2f}x, current {cur_gm:.2f}x "
           f"({delta:+.1%})")
+    ok = True
     if cur_gm < base_gm * floor:
         print(f"FAIL: geomean ratio regressed more than "
               f"{args.max_regression:.0%} vs baseline", file=sys.stderr)
+        ok = False
+    if args.min_ratio is not None and cur_gm < args.min_ratio:
+        print(f"FAIL: geomean ratio {cur_gm:.2f}x below the "
+              f"{args.min_ratio:.2f}x floor", file=sys.stderr)
+        ok = False
+    if not ok:
         return 1
-    print(f"OK: within {args.max_regression:.0%} of baseline")
+    print(f"OK: within {args.max_regression:.0%} of baseline"
+          + (f" and above the {args.min_ratio:.2f}x floor"
+             if args.min_ratio is not None else ""))
     return 0
 
 

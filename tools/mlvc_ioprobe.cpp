@@ -1,0 +1,21 @@
+// mlvc_ioprobe — report whether the io_uring backend is usable here.
+//
+// Runs the same one-shot probe Storage::set_io_backend consults (ring setup
+// + a real IORING_OP_READ round-trip against a memfd) and prints the result.
+// Exit status 0 means io_uring is available; nonzero means a kUring request
+// would fall back to the thread pool, with the reason on stdout. CI uses
+// this to decide whether the uring re-run of the tier-1 suite must pass
+// strictly or be skipped.
+#include <iostream>
+
+#include "ssd/uring_io.hpp"
+
+int main() {
+  const auto& probe = mlvc::ssd::UringIo::probe();
+  if (probe.available) {
+    std::cout << "io_uring: available\n";
+    return 0;
+  }
+  std::cout << "io_uring: unavailable (" << probe.reason << ")\n";
+  return 1;
+}

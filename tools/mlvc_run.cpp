@@ -22,6 +22,7 @@
 #include "graphchi/engine.hpp"
 #include "metrics/json_export.hpp"
 #include "metrics/report.hpp"
+#include "ssd/io_backend.hpp"
 
 namespace {
 
@@ -37,6 +38,8 @@ struct RunConfig {
   std::string json_path;  // empty = no JSON dump
   unsigned staging;       // produce-path staging depth (mlvc engine)
   std::size_t adj_cache;  // adjacency page-cache bytes (mlvc engine)
+  ssd::IoBackendKind io_backend;  // hot-path I/O substrate (mlvc engine)
+  unsigned io_depth;              // io_uring ring size
 };
 
 template <core::VertexApp App>
@@ -55,6 +58,8 @@ int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
     opts.seed = cfg.seed;
     opts.scatter_staging_records = cfg.staging;
     opts.adjacency_cache_bytes = cfg.adj_cache;
+    opts.io_backend = cfg.io_backend;
+    opts.io_queue_depth = cfg.io_depth;
     graph::StoredCsrGraph stored(storage, "g", csr,
                                  core::partition_for_app<App>(csr, opts),
                                  {.with_weights = App::kNeedsWeights});
@@ -115,6 +120,9 @@ int main(int argc, char** argv) {
       .option("staging", "produce-path staging depth in records, 0 = locked",
               "64")
       .option("adj-cache", "adjacency page-cache bytes, 0 = off", "0")
+      .option("io-backend", "threadpool | uring (falls back if unsupported)",
+              "threadpool")
+      .option("io-depth", "io_uring submission queue depth", "64")
       .option("json", "write run statistics to this JSON file", "-");
   try {
     args.parse(argc, argv);
@@ -124,6 +132,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const std::string backend_arg =
+        args.get_string("io-backend", "threadpool");
+    const auto backend = ssd::parse_io_backend(backend_arg);
+    if (!backend) {
+      std::cerr << "unknown --io-backend '" << backend_arg
+                << "' (threadpool | uring)\n";
+      return 2;
+    }
     const auto csr = graph::load_csr(args.get_string("graph"));
     const RunConfig cfg{
         args.get_string("engine", "mlvc"),
@@ -136,6 +152,8 @@ int main(int argc, char** argv) {
                                             : args.get_string("json", "-"),
         static_cast<unsigned>(args.get_int("staging", 64)),
         static_cast<std::size_t>(args.get_bytes("adj-cache", 0)),
+        *backend,
+        static_cast<unsigned>(args.get_int("io-depth", 64)),
     };
     const auto source = static_cast<VertexId>(args.get_int("source", 0));
     const std::string app = args.get_string("app");

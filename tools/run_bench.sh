@@ -1,22 +1,29 @@
 #!/usr/bin/env sh
-# Run the produce-path scatter contention sweep and emit BENCH_scatter.json.
+# Run the substrate sweeps and emit BENCH_scatter.json + BENCH_io.json.
 #
-#   tools/run_bench.sh [build-dir] [output.json]
+#   tools/run_bench.sh [build-dir] [scatter-out.json] [io-out.json]
 #
 # Environment:
 #   MLVC_BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.05;
 #                         raise for stable numbers, e.g. MLVC_BENCH_MIN_TIME=0.5)
-#   MLVC_BENCH_FILTER     benchmark_filter regex (default: the scatter sweep)
-#   MLVC_BENCH_BASELINE   baseline JSON for the regression guard
+#   MLVC_BENCH_FILTER     benchmark_filter regex for the scatter sweep
+#                         (default: BM_ScatterAppend)
+#   MLVC_BENCH_BASELINE   baseline JSON for the scatter regression guard
 #                         (default: bench/baselines/scatter.json next to this
 #                         script; guard is skipped when the file is absent)
-#   MLVC_BENCH_CHECK      set to 0 to skip the regression guard entirely
-#   MLVC_BENCH_MAX_REGRESSION  allowed fractional drop in the staged/locked
+#   MLVC_BENCH_IO_BASELINE  baseline JSON for the io-substrate guard
+#                         (default: bench/baselines/io.json; skipped if absent)
+#   MLVC_BENCH_CHECK      set to 0 to skip the regression guards entirely
+#   MLVC_BENCH_MAX_REGRESSION  allowed fractional drop in a guarded
 #                         throughput ratio before failing (default 0.30)
+#   MLVC_BENCH_IO_MIN_RATIO  absolute floor on the uring/threadpool geomean
+#                         at enforced queue depths (default 1.5; set empty
+#                         to disable the floor)
 set -eu
 
 build_dir="${1:-build}"
 out="${2:-BENCH_scatter.json}"
+io_out="${3:-BENCH_io.json}"
 min_time="${MLVC_BENCH_MIN_TIME:-0.05}"
 filter="${MLVC_BENCH_FILTER:-BM_ScatterAppend}"
 
@@ -35,15 +42,38 @@ fi
 
 echo "wrote $out"
 
-# Regression guard: compare staged/locked throughput ratios against the
-# committed baseline. Skipped when no baseline exists or MLVC_BENCH_CHECK=0.
+"$bench" \
+  --benchmark_filter="BM_IoRandRead" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$io_out" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo "wrote $io_out"
+
+# Regression guards: compare guarded throughput ratios against the committed
+# baselines. Skipped when no baseline exists or MLVC_BENCH_CHECK=0.
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 baseline="${MLVC_BENCH_BASELINE:-$repo_root/bench/baselines/scatter.json}"
+io_baseline="${MLVC_BENCH_IO_BASELINE:-$repo_root/bench/baselines/io.json}"
 check="${MLVC_BENCH_CHECK:-1}"
 max_regression="${MLVC_BENCH_MAX_REGRESSION:-0.30}"
+io_min_ratio="${MLVC_BENCH_IO_MIN_RATIO-1.5}"
 if [ "$check" != "0" ] && [ -f "$baseline" ]; then
   python3 "$repo_root/tools/check_bench_regression.py" "$out" "$baseline" \
     --max-regression "$max_regression"
 elif [ "$check" != "0" ]; then
-  echo "no baseline at $baseline, skipping regression guard"
+  echo "no baseline at $baseline, skipping scatter regression guard"
+fi
+if [ "$check" != "0" ] && [ -f "$io_baseline" ]; then
+  if [ -n "$io_min_ratio" ]; then
+    python3 "$repo_root/tools/check_bench_regression.py" "$io_out" \
+      "$io_baseline" --suite io --max-regression "$max_regression" \
+      --min-ratio "$io_min_ratio"
+  else
+    python3 "$repo_root/tools/check_bench_regression.py" "$io_out" \
+      "$io_baseline" --suite io --max-regression "$max_regression"
+  fi
+elif [ "$check" != "0" ]; then
+  echo "no baseline at $io_baseline, skipping io regression guard"
 fi
