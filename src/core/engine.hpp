@@ -43,6 +43,7 @@
 #include "core/graph_loader.hpp"
 #include "core/message_range.hpp"
 #include "core/options.hpp"
+#include "core/runtime_context.hpp"
 #include "core/stats.hpp"
 #include "core/vertex_program.hpp"
 #include "core/vertex_value_store.hpp"
@@ -74,63 +75,35 @@ class MultiLogVCEngine {
   using Message = typename App::Message;
   using Rec = multilog::Record<Message>;
 
+  /// One-shot constructor: the engine owns its whole substrate — it sizes a
+  /// private adjacency cache, sets the storage retry policy, and selects the
+  /// io backend itself. Blob names live under the fixed "mlvc" prefix.
   MultiLogVCEngine(graph::StoredCsrGraph& graph, App app,
                    EngineOptions options)
-      : graph_(graph),
-        app_(std::move(app)),
-        options_(apply_env_overrides(options)),
-        async_io_(options_.enable_pipeline && options_.io_threads > 0
-                      ? std::make_unique<ssd::AsyncIo>(options_.io_threads)
-                      : nullptr),
-        store_(graph.storage(), "mlvc", graph.intervals(),
-               multilog::MultiLogConfig{
-                   .record_size = sizeof(Rec),
-                   .buffer_budget_bytes = options_.log_buffer_budget(),
-                   .staging_records = options_.scatter_staging_records,
-                   .async_io = async_io_.get()}),
-        edge_log_(graph.storage(), "mlvc",
-                  multilog::EdgeLogConfig{App::kNeedsWeights,
-                                          options_.edge_log_budget()}),
-        predictor_(graph.num_vertices(), options_.predictor_history),
-        util_tracker_(graph.storage().page_size(),
-                      options_.page_util_threshold),
-        loader_(graph, &edge_log_, &util_tracker_,
-                GraphLoaderUnit::Config{App::kNeedsWeights,
-                                        options_.enable_edge_log}),
-        values_(graph.storage(), "mlvc/values", graph.num_vertices(),
-                [this](VertexId v) { return app_.initial_value(v); },
-                options_.values_on_storage),
-        sticky_active_(graph.num_vertices()) {
-    MLVC_CHECK_MSG(!App::kNeedsWeights || graph.has_weights(),
-                   "application '" << app_.name()
-                                   << "' needs edge weights but the stored "
-                                      "graph has none");
-    if (options_.adjacency_cache_bytes > 0) {
-      graph_.set_adjacency_cache(options_.adjacency_cache_bytes);
-    }
-    {
-      ssd::RetryPolicy retry;
-      retry.max_attempts = std::max(1u, options_.io_retry_attempts);
-      retry.base_delay_us = options_.io_retry_base_delay_us;
-      graph_.storage().set_retry_policy(retry);
-    }
-    // Select the I/O substrate for every Blob call the run makes — compute
-    // threads, AsyncIo stage workers, and prefetchers all dispatch through
-    // it. A kUring request that the probe refuses lands back on the thread
-    // pool; RunStats reports the backend actually in effect.
-    stats_.io_backend = std::string(ssd::to_string(
-        graph_.storage().set_io_backend(options_.io_backend,
-                                        options_.io_queue_depth)));
-    // One staging area + message counters per compute thread. Only
-    // parallel_for workers (and the main thread, index 0) call send();
-    // AsyncIo threads never do, so indexing by thread_index() is race-free.
-    thread_state_.resize(std::max(1u, hardware_threads()));
-    for (auto& ts : thread_state_) ts.staging = store_.make_staging();
-    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
-      if (app_.initially_active(v)) sticky_active_.set(v);
-    }
-    stats_.engine = "MultiLogVC";
-    stats_.app = app_.name();
+      : MultiLogVCEngine(nullptr, 0, graph, std::move(app), options) {}
+
+  /// Context-mode constructor: one per-QUERY engine over shared per-PROCESS
+  /// substrate. The engine
+  ///   * leases its memory_budget_bytes from the context's BudgetArbiter
+  ///     (blocking in the constructor until admitted — this is query
+  ///     admission control),
+  ///   * registers a QuerySlot in the shared adjacency cache with an
+  ///     admission quota of options.adjacency_cache_bytes (0 = compete for
+  ///     the whole cache),
+  ///   * namespaces every blob it creates under "q<id>" so concurrent
+  ///     engines on one Storage cannot collide,
+  ///   * inherits the context's io backend and retry policy instead of
+  ///     mutating shared Storage state, and
+  ///   * attributes its I/O to a private IoStats (step.io stays a per-query
+  ///     number even while other queries hammer the same Storage).
+  /// The graph must already be adopted (RuntimeContext::adopt_graph).
+  MultiLogVCEngine(RuntimeContext& ctx, graph::StoredCsrGraph& graph, App app,
+                   EngineOptions options)
+      : MultiLogVCEngine(&ctx, ctx.next_query_id(), graph, std::move(app),
+                         options) {
+    MLVC_CHECK_MSG(&graph.storage() == &ctx.storage(),
+                   "context-mode engine needs a graph stored in the "
+                   "context's storage");
   }
 
   /// Run to convergence or options.max_supersteps. An optional callback is
@@ -149,6 +122,13 @@ class MultiLogVCEngine {
       const bool keep_going = on_superstep(step);
       stats_.supersteps.push_back(std::move(step));
       if (!keep_going) break;
+    }
+    // Per-query cache split (context mode): cumulative QuerySlot counters —
+    // a resumed run reports the totals so far, which is what callers merge.
+    if (const auto* slot = cache_reg_.slot(); slot != nullptr) {
+      stats_.query_cache_hit_pages = slot->hits();
+      stats_.query_cache_miss_pages = slot->misses();
+      stats_.query_cache_bypass_pages = slot->bypasses();
     }
     return stats_;
   }
@@ -173,10 +153,15 @@ class MultiLogVCEngine {
   static constexpr std::uint32_t kCkptVersion = 2;
   static constexpr std::size_t kCkptHeaderBytes = 20;
 
-  /// Persist a checkpoint into the graph's storage under `name`.
+  /// Persist a checkpoint into the graph's storage under `name`. One-shot
+  /// engines publish directly under their prefix; context-mode engines
+  /// stage the image under their own "q<id>" prefix and hand it to the
+  /// context SnapshotTable, which owns generation-versioned atomic
+  /// publication (a concurrent reader's pinned snapshot never observes a
+  /// half-published or superseded image).
   void save_checkpoint(const std::string& name) {
     auto& storage = graph_.storage();
-    const std::string final_name = "mlvc/ckpt_" + name;
+    const std::string final_name = blob_prefix_ + "/ckpt_" + name;
     const std::string tmp_name = final_name + ".tmp";
     ssd::Blob& blob = storage.create_blob(tmp_name, ssd::IoCategory::kMisc);
     // Reserve the header; written last, once the payload size and CRC are
@@ -216,12 +201,23 @@ class MultiLogVCEngine {
     std::memcpy(header.data() + 16, &crc_value, 4);
     blob.write(0, header.data(), header.size());
     blob.sync();
-    storage.publish_blob(tmp_name, final_name);
+    if (ctx_ != nullptr) {
+      ctx_->snapshots().publish("ckpt/" + name, tmp_name);
+    } else {
+      storage.publish_blob(tmp_name, final_name);
+    }
   }
 
   /// Roll engine state back to a previously saved checkpoint.
   void load_checkpoint(const std::string& name) {
-    ssd::Blob& blob = graph_.storage().open_blob("mlvc/ckpt_" + name);
+    // Context mode: pin a read snapshot for the whole load — the pin keeps
+    // this generation's blob alive even if another query publishes (and so
+    // supersedes) the same checkpoint name mid-read.
+    SnapshotTable::Ref snapshot;
+    if (ctx_ != nullptr) snapshot = ctx_->snapshots().pin();
+    ssd::Blob& blob = graph_.storage().open_blob(
+        ctx_ != nullptr ? snapshot.resolve("ckpt/" + name)
+                        : blob_prefix_ + "/ckpt_" + name);
     MLVC_CHECK_MSG(blob.size() >= kCkptHeaderBytes,
                    "checkpoint blob too small for a header");
     std::array<std::byte, kCkptHeaderBytes> header{};
@@ -300,6 +296,12 @@ class MultiLogVCEngine {
   std::vector<Value> values() const { return values_.all(); }
   const RunStats& stats() const { return stats_; }
   graph::StoredCsrGraph& graph() { return graph_; }
+  /// Context-mode identity/views (query_id() is 0 for one-shot engines,
+  /// cache_slot() null).
+  std::uint64_t query_id() const noexcept { return query_id_; }
+  const ssd::PageCache::QuerySlot* cache_slot() const noexcept {
+    return cache_reg_.slot();
+  }
 
   // ---- the vertex context passed to App::process --------------------------
   class Context {
@@ -385,6 +387,97 @@ class MultiLogVCEngine {
 
  private:
   friend class Context;
+
+  /// Common constructor. ctx == nullptr is the one-shot path (prefix
+  /// "mlvc", engine mutates Storage-global knobs as before); ctx != nullptr
+  /// is a per-query engine over the context's shared substrate.
+  MultiLogVCEngine(RuntimeContext* ctx, std::uint64_t query_id,
+                   graph::StoredCsrGraph& graph, App app,
+                   EngineOptions options)
+      : graph_(graph),
+        app_(std::move(app)),
+        options_(apply_env_overrides(options)),
+        ctx_(ctx),
+        query_id_(query_id),
+        blob_prefix_(ctx != nullptr ? RuntimeContext::query_prefix(query_id)
+                                    : "mlvc"),
+        // Admission control: block here until the query's whole budget fits
+        // the context pool. Ordered before every heavy member so nothing is
+        // allocated while parked.
+        budget_lease_(ctx != nullptr
+                          ? ctx->arbiter().acquire(options_.memory_budget_bytes)
+                          : BudgetLease{}),
+        cache_reg_(ctx != nullptr
+                       ? ctx->shared_cache()->register_query(
+                             options_.adjacency_cache_bytes)
+                       : ssd::PageCache::QueryRegistration{}),
+        async_io_(options_.enable_pipeline && options_.io_threads > 0
+                      ? std::make_unique<ssd::AsyncIo>(options_.io_threads)
+                      : nullptr),
+        store_(graph.storage(), blob_prefix_, graph.intervals(),
+               multilog::MultiLogConfig{
+                   .record_size = sizeof(Rec),
+                   .buffer_budget_bytes = options_.log_buffer_budget(),
+                   .staging_records = options_.scatter_staging_records,
+                   .async_io = async_io_.get(),
+                   // Unique "q<id>" prefixes make an existing blob an id
+                   // reuse bug; fail loudly instead of truncating it.
+                   .expect_fresh_blobs = ctx != nullptr}),
+        edge_log_(graph.storage(), blob_prefix_,
+                  multilog::EdgeLogConfig{App::kNeedsWeights,
+                                          options_.edge_log_budget()}),
+        predictor_(graph.num_vertices(), options_.predictor_history),
+        util_tracker_(graph.storage().page_size(),
+                      options_.page_util_threshold),
+        loader_(graph, &edge_log_, &util_tracker_,
+                GraphLoaderUnit::Config{App::kNeedsWeights,
+                                        options_.enable_edge_log,
+                                        cache_reg_.slot()}),
+        values_(graph.storage(), blob_prefix_ + "/values",
+                graph.num_vertices(),
+                [this](VertexId v) { return app_.initial_value(v); },
+                options_.values_on_storage),
+        sticky_active_(graph.num_vertices()) {
+    MLVC_CHECK_MSG(!App::kNeedsWeights || graph.has_weights(),
+                   "application '" << app_.name()
+                                   << "' needs edge weights but the stored "
+                                      "graph has none");
+    if (ctx_ == nullptr) {
+      if (options_.adjacency_cache_bytes > 0) {
+        graph_.set_adjacency_cache(options_.adjacency_cache_bytes);
+      }
+      {
+        ssd::RetryPolicy retry;
+        retry.max_attempts = std::max(1u, options_.io_retry_attempts);
+        retry.base_delay_us = options_.io_retry_base_delay_us;
+        graph_.storage().set_retry_policy(retry);
+      }
+      // Select the I/O substrate for every Blob call the run makes —
+      // compute threads, AsyncIo stage workers, and prefetchers all
+      // dispatch through it. A kUring request that the probe refuses lands
+      // back on the thread pool; RunStats reports the backend actually in
+      // effect.
+      stats_.io_backend = std::string(ssd::to_string(
+          graph_.storage().set_io_backend(options_.io_backend,
+                                          options_.io_queue_depth)));
+    } else {
+      // Shared Storage state (backend, retry policy, adjacency cache) is
+      // the context's to set — a per-query engine must not flip it under
+      // the other queries.
+      stats_.io_backend = ctx_->io_backend_name();
+      stats_.query_id = query_id_;
+    }
+    // One staging area + message counters per compute thread. Only
+    // parallel_for workers (and the main thread, index 0) call send();
+    // AsyncIo threads never do, so indexing by thread_index() is race-free.
+    thread_state_.resize(std::max(1u, hardware_threads()));
+    for (auto& ts : thread_state_) ts.staging = store_.make_staging();
+    for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+      if (app_.initially_active(v)) sticky_active_.set(v);
+    }
+    stats_.engine = "MultiLogVC";
+    stats_.app = app_.name();
+  }
 
   struct ActiveVertex {
     VertexId v;
@@ -527,7 +620,17 @@ class MultiLogVCEngine {
     SuperstepStats step;
     step.superstep = s;
     auto& storage = graph_.storage();
-    const auto io_before = storage.stats().snapshot();
+    // Context mode: route this thread's storage records (and, via AsyncIo's
+    // submit-time sink capture, every pipeline worker's) into the engine's
+    // private IoStats, and diff THAT for step.io — the Storage-level
+    // aggregate is shared with every other concurrent query. Modeled device
+    // time still diffs the shared DeviceModel; under concurrency it reads
+    // as the device-time the whole box spent during this query's superstep
+    // (serving latencies are wall-clock anyway).
+    std::optional<ssd::IoStats::ScopedSink> query_sink;
+    if (ctx_ != nullptr) query_sink.emplace(&query_io_);
+    const auto io_before =
+        ctx_ != nullptr ? query_io_.snapshot() : storage.stats().snapshot();
     const auto dev_before = storage.device().snapshot();
     WallTimer wall;
 
@@ -656,7 +759,9 @@ class MultiLogVCEngine {
     step.groups_scatter = groups_scatter;
     step.groups_comparison = groups_comparison;
     step.torn_bytes_dropped = torn_bytes_dropped;
-    step.io = storage.stats().snapshot() - io_before;
+    step.io = (ctx_ != nullptr ? query_io_.snapshot()
+                               : storage.stats().snapshot()) -
+              io_before;
     step.modeled_storage_seconds = storage.device().modeled_seconds_between(
         dev_before, storage.device().snapshot());
     return step;
@@ -832,6 +937,11 @@ class MultiLogVCEngine {
     std::optional<ScopedAccumulator> compute_time;
     compute_time.emplace(step_compute_seconds_);
     parallel_for(std::size_t{0}, batch.size(), [&](std::size_t k) {
+      // parallel_for workers are OMP threads without the main thread's
+      // sink; reinstall it (two TLS writes) so in-loop storage traffic —
+      // edge-log appends, value spills — mirrors into the query view.
+      std::optional<ssd::IoStats::ScopedSink> sink;
+      if (ctx_ != nullptr) sink.emplace(&query_io_);
       const ActiveVertex& av = batch[k];
       Context ctx(*this, av.v, s, adj, k, vals[k]);
       const MessageRange<Message> msgs = MessageRange<Message>::from_records(
@@ -893,6 +1003,14 @@ class MultiLogVCEngine {
   graph::StoredCsrGraph& graph_;
   App app_;
   EngineOptions options_;
+  /// Context mode (multi-tenant serving): null for one-shot engines. The
+  /// lease and cache registration are declared before every heavy member so
+  /// admission happens first and releases last.
+  RuntimeContext* ctx_ = nullptr;
+  std::uint64_t query_id_ = 0;
+  std::string blob_prefix_ = "mlvc";
+  BudgetLease budget_lease_;
+  ssd::PageCache::QueryRegistration cache_reg_;
   /// Pipeline I/O threads; null = serial execution. Declared before store_
   /// (whose config borrows the pool and whose destructor waits on pending
   /// background evictions) so it outlives every user.
@@ -905,6 +1023,12 @@ class MultiLogVCEngine {
   VertexValueStore<Value> values_;
   DynamicBitset sticky_active_;
   RunStats stats_;
+  /// Context mode: this query's private I/O view. Every storage-level
+  /// record made while this engine's ScopedSink is installed (main thread,
+  /// parallel_for workers, and AsyncIo threads via submit-time capture)
+  /// mirrors here, so step.io diffs stay per-query while other queries
+  /// hammer the same Storage.
+  ssd::IoStats query_io_;
   Superstep next_superstep_ = 0;
 
   // Per-superstep critical-path attribution, main thread only: time blocked

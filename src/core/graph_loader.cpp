@@ -8,6 +8,9 @@ namespace mlvc::core {
 void GraphLoaderUnit::load(IntervalId interval,
                            std::span<const VertexId> actives,
                            AdjacencyBatch& out) {
+  // Attribute every cached CSR read below to the owning query (no-op guard
+  // when cache_slot is null — single-tenant runs).
+  ssd::PageCache::ScopedQuery query_scope(config_.cache_slot);
   out.clear();
   if (actives.empty()) return;
   MLVC_CHECK(std::is_sorted(actives.begin(), actives.end()));

@@ -58,6 +58,12 @@ class GraphLoaderUnit {
   struct Config {
     bool load_weights = false;
     bool use_edge_log = true;
+    /// Per-query slot in a shared adjacency PageCache (multi-tenant runs).
+    /// load() installs it as the calling thread's ScopedQuery for the
+    /// duration, so every cached CSR read — from the compute thread or a
+    /// prefetching AsyncIo thread — is attributed to (and admission-limited
+    /// by) the owning query. Null for single-tenant runs. Non-owning.
+    ssd::PageCache::QuerySlot* cache_slot = nullptr;
   };
 
   GraphLoaderUnit(graph::StoredCsrGraph& graph, multilog::EdgeLog* edge_log,

@@ -81,6 +81,17 @@ struct RunStats {
   std::vector<SuperstepStats> supersteps;
   double build_seconds = 0;  // graph/shard materialization, excluded from run
 
+  /// Context-mode identity: the RuntimeContext query id this run executed
+  /// as (blob prefix "q<id>"). 0 for one-shot runs outside a context.
+  std::uint64_t query_id = 0;
+  /// Per-query view of the SHARED adjacency cache (from this query's
+  /// PageCache::QuerySlot): pages this query hit, missed-and-filled, or read
+  /// around the cache because it was at its admission quota. All zero for
+  /// one-shot runs (their private cache is reported via the io snapshots).
+  std::uint64_t query_cache_hit_pages = 0;
+  std::uint64_t query_cache_miss_pages = 0;
+  std::uint64_t query_cache_bypass_pages = 0;
+
   std::uint64_t total_pages_read() const {
     std::uint64_t t = 0;
     for (const auto& s : supersteps) t += s.io.total_pages_read();

@@ -165,7 +165,14 @@ void StoredCsrGraph::set_adjacency_cache(std::size_t capacity_bytes) {
   adjacency_cache_ =
       capacity_bytes == 0
           ? nullptr
-          : std::make_unique<ssd::PageCache>(storage_, capacity_bytes);
+          : std::make_shared<ssd::PageCache>(storage_, capacity_bytes);
+}
+
+void StoredCsrGraph::set_adjacency_cache(std::shared_ptr<ssd::PageCache> cache) {
+  MLVC_CHECK_MSG(cache == nullptr || &cache->storage() == &storage_,
+                 "shared adjacency cache must be backed by this graph's "
+                 "storage");
+  adjacency_cache_ = std::move(cache);
 }
 
 void StoredCsrGraph::read_adjacency(IntervalId i, EdgeIndex lo, EdgeIndex hi,

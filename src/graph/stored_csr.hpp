@@ -123,8 +123,19 @@ class StoredCsrGraph {
   /// invalidated whenever an interval's CSR vectors are rewritten
   /// (structural-update merges), so readers always see current data.
   void set_adjacency_cache(std::size_t capacity_bytes);
+
+  /// Install an externally owned (shared) cache instead: the multi-tenant
+  /// path, where one RuntimeContext-level cache backs every query over this
+  /// graph and per-query attribution/admission runs through
+  /// ssd::PageCache::QuerySlot. Pass nullptr to disable caching.
+  void set_adjacency_cache(std::shared_ptr<ssd::PageCache> cache);
+
   bool adjacency_cache_enabled() const noexcept {
     return adjacency_cache_ != nullptr;
+  }
+  /// The installed adjacency cache (nullptr when disabled).
+  ssd::PageCache* adjacency_cache() const noexcept {
+    return adjacency_cache_.get();
   }
 
   const ssd::Blob& colidx_blob(IntervalId i) const;
@@ -165,8 +176,10 @@ class StoredCsrGraph {
   std::vector<ssd::Blob*> colidx_blobs_;
   std::vector<ssd::Blob*> val_blobs_;
   /// Optional adjacency page cache; mutable because reads are logically
-  /// const (the cache has its own internal lock).
-  mutable std::unique_ptr<ssd::PageCache> adjacency_cache_;
+  /// const (the cache has its own internal lock). shared_ptr so a
+  /// RuntimeContext-owned cache can be installed across many graphs/queries
+  /// while a privately sized cache keeps working for one-shot runs.
+  mutable std::shared_ptr<ssd::PageCache> adjacency_cache_;
 
   mutable std::mutex updates_mutex_;
   std::vector<std::vector<StructuralUpdate>> pending_;  // per interval

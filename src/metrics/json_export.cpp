@@ -32,6 +32,9 @@ void write_io(std::ostream& out, const ssd::IoStatsSnapshot& io) {
       << ",\"pages_written\":" << io.total_pages_written()
       << ",\"cache_hit_pages\":" << io.cache_hit_pages
       << ",\"cache_miss_pages\":" << io.cache_miss_pages
+      << ",\"cache_evictions\":" << io.cache_evictions
+      << ",\"cache_bypass_pages\":" << io.cache_bypass_pages
+      << ",\"cache_bytes_high_water\":" << io.cache_bytes_high_water
       << ",\"io_retries\":" << io.io_retry_count
       << ",\"io_giveups\":" << io.io_giveup_count
       << ",\"submit_batches\":" << io.submit_batches
@@ -63,6 +66,11 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
   write_escaped(out, stats.app);
   out << ",\"io_backend\":";
   write_escaped(out, stats.io_backend);
+  out << ",\"query\":{"
+      << "\"id\":" << stats.query_id
+      << ",\"cache_hit_pages\":" << stats.query_cache_hit_pages
+      << ",\"cache_miss_pages\":" << stats.query_cache_miss_pages
+      << ",\"cache_bypass_pages\":" << stats.query_cache_bypass_pages << '}';
   out << ",\"totals\":{"
       << "\"supersteps\":" << stats.supersteps.size()
       << ",\"pages_read\":" << stats.total_pages_read()

@@ -53,6 +53,13 @@ MultiLogStore::MultiLogStore(ssd::Storage& storage, std::string prefix,
   for (IntervalId i = 0; i < n; ++i) {
     interval_locks_.push_back(std::make_unique<std::mutex>());
   }
+  if (config_.expect_fresh_blobs) {
+    MLVC_CHECK_MSG(!storage_.has_blob(prefix_ + "/log_gen0") &&
+                       !storage_.has_blob(prefix_ + "/log_gen1"),
+                   "multi-log prefix '"
+                       << prefix_
+                       << "' already in use by a live or leaked store");
+  }
   reset_generation(generations_[0], prefix_ + "/log_gen0");
   reset_generation(generations_[1], prefix_ + "/log_gen1");
 }

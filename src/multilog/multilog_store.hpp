@@ -64,6 +64,15 @@ struct MultiLogConfig {
   /// numbers — are still assigned synchronously, so log layout and page
   /// accounting are byte-identical to the inline path. Non-owning.
   ssd::AsyncIo* async_io = nullptr;
+
+  /// Reject construction when this prefix's generation blobs already exist.
+  /// Two LIVE stores sharing a prefix silently truncate each other's logs
+  /// (create_blob truncates), so context-mode engines — whose "q<id>"
+  /// prefixes are unique by construction — set this to turn an id collision
+  /// into a loud error. One-shot runs leave it off: rebuilding an engine
+  /// over an existing storage directory is legal there (test_checkpoint
+  /// does exactly that).
+  bool expect_fresh_blobs = false;
 };
 
 class MultiLogStore {

@@ -33,7 +33,7 @@ class AsyncIo {
   std::future<void> read(const Blob* blob, std::uint64_t offset, void* buf,
                          std::size_t len) {
     MLVC_CHECK(blob != nullptr);
-    return pool_.submit([blob, offset, buf, len] {
+    return submit([blob, offset, buf, len] {
       blob->read(offset, buf, len);
     });
   }
@@ -43,16 +43,25 @@ class AsyncIo {
   std::future<void> write(Blob* blob, std::uint64_t offset, const void* buf,
                           std::size_t len) {
     MLVC_CHECK(blob != nullptr);
-    return pool_.submit([blob, offset, buf, len] {
+    return submit([blob, offset, buf, len] {
       blob->write(offset, buf, len);
     });
   }
 
   /// Queue an arbitrary task on the I/O threads. The engine's pipeline uses
   /// this to run whole stages (load + decode + sort) off the compute thread.
+  ///
+  /// The submitting thread's per-query IoStats sink (IoStats::ScopedSink) is
+  /// captured here and re-installed around the task on the pool thread, so
+  /// I/O issued on behalf of a query stays attributed to that query even
+  /// when it runs on shared I/O threads.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
-    return pool_.submit(std::forward<Fn>(fn));
+    IoStats* sink = IoStats::current_sink();
+    return pool_.submit([sink, fn = std::forward<Fn>(fn)]() mutable {
+      IoStats::ScopedSink scope(sink);
+      return fn();
+    });
   }
 
   /// Block until all queued operations complete.

@@ -58,6 +58,15 @@ struct IoStatsSnapshot {
   /// pages, misses show up both here and in the backing category's reads.
   std::uint64_t cache_hit_pages = 0;
   std::uint64_t cache_miss_pages = 0;
+  /// Shared-cache churn: valid frames overwritten by CLOCK to admit a new
+  /// page, and pages a query read *around* the cache because it was at its
+  /// admission quota (bypasses also cost device reads, like misses, but
+  /// never displace another query's resident pages).
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_bypass_pages = 0;
+  /// High-water mark of resident cache bytes (a gauge like
+  /// max_inflight_depth — snapshot diffs carry the current mark through).
+  std::uint64_t cache_bytes_high_water = 0;
   /// Robustness counters: I/O attempts re-issued after a transient failure
   /// (EINTR/EAGAIN/EIO), and operations that exhausted the retry budget (or
   /// hit a non-recoverable errno) and escalated as a typed IoError.
@@ -108,6 +117,9 @@ struct IoStatsSnapshot {
     }
     out.cache_hit_pages = cache_hit_pages - rhs.cache_hit_pages;
     out.cache_miss_pages = cache_miss_pages - rhs.cache_miss_pages;
+    out.cache_evictions = cache_evictions - rhs.cache_evictions;
+    out.cache_bypass_pages = cache_bypass_pages - rhs.cache_bypass_pages;
+    out.cache_bytes_high_water = cache_bytes_high_water;
     out.io_retry_count = io_retry_count - rhs.io_retry_count;
     out.io_giveup_count = io_giveup_count - rhs.io_giveup_count;
     out.submit_batches = submit_batches - rhs.submit_batches;
@@ -120,41 +132,98 @@ struct IoStatsSnapshot {
 };
 
 /// Thread-safe live counters.
+///
+/// Multi-tenant attribution: a Storage has ONE IoStats shared by every query
+/// running over it, so per-query views need a second sink. A thread inside a
+/// query's run installs one with IoStats::ScopedSink; every record_* call on
+/// any IoStats then mirrors into the installed sink as well. ssd::AsyncIo
+/// captures the submitting thread's sink and re-installs it on the pool
+/// thread, so background loads/evictions stay attributed to the query that
+/// issued them. The context-level IoStats keeps the cross-query aggregate.
 class IoStats {
  public:
+  /// Install `sink` as this thread's per-query mirror for the lifetime of
+  /// the guard (nullptr = mirror nothing). Nesting restores the previous
+  /// sink on destruction.
+  class ScopedSink {
+   public:
+    explicit ScopedSink(IoStats* sink) : prev_(tls_sink()) {
+      tls_sink() = sink;
+    }
+    ~ScopedSink() { tls_sink() = prev_; }
+    ScopedSink(const ScopedSink&) = delete;
+    ScopedSink& operator=(const ScopedSink&) = delete;
+
+   private:
+    IoStats* prev_;
+  };
+
+  /// The sink installed on the calling thread (nullptr when none).
+  static IoStats* current_sink() noexcept { return tls_sink(); }
+
   void record_read(IoCategory c, std::uint64_t pages, std::uint64_t bytes) {
-    auto& cat = categories_[static_cast<unsigned>(c)];
-    cat.pages_read.fetch_add(pages, std::memory_order_relaxed);
-    cat.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+    record_read_impl(c, pages, bytes);
+    if (IoStats* s = mirror()) s->record_read_impl(c, pages, bytes);
   }
   void record_write(IoCategory c, std::uint64_t pages, std::uint64_t bytes) {
-    auto& cat = categories_[static_cast<unsigned>(c)];
-    cat.pages_written.fetch_add(pages, std::memory_order_relaxed);
-    cat.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+    record_write_impl(c, pages, bytes);
+    if (IoStats* s = mirror()) s->record_write_impl(c, pages, bytes);
   }
   void record_cache_hit(std::uint64_t pages) {
     cache_hit_pages_.fetch_add(pages, std::memory_order_relaxed);
+    if (IoStats* s = mirror()) {
+      s->cache_hit_pages_.fetch_add(pages, std::memory_order_relaxed);
+    }
   }
   void record_cache_miss(std::uint64_t pages) {
     cache_miss_pages_.fetch_add(pages, std::memory_order_relaxed);
+    if (IoStats* s = mirror()) {
+      s->cache_miss_pages_.fetch_add(pages, std::memory_order_relaxed);
+    }
+  }
+  void record_cache_eviction(std::uint64_t pages) {
+    cache_evictions_.fetch_add(pages, std::memory_order_relaxed);
+    if (IoStats* s = mirror()) {
+      s->cache_evictions_.fetch_add(pages, std::memory_order_relaxed);
+    }
+  }
+  void record_cache_bypass(std::uint64_t pages) {
+    cache_bypass_pages_.fetch_add(pages, std::memory_order_relaxed);
+    if (IoStats* s = mirror()) {
+      s->cache_bypass_pages_.fetch_add(pages, std::memory_order_relaxed);
+    }
+  }
+  void record_cache_high_water(std::uint64_t bytes) {
+    record_max(cache_bytes_high_water_, bytes);
+    if (IoStats* s = mirror()) record_max(s->cache_bytes_high_water_, bytes);
   }
   void record_io_retry() {
     io_retry_count_.fetch_add(1, std::memory_order_relaxed);
+    if (IoStats* s = mirror()) {
+      s->io_retry_count_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   void record_io_giveup() {
     io_giveup_count_.fetch_add(1, std::memory_order_relaxed);
+    if (IoStats* s = mirror()) {
+      s->io_giveup_count_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   void record_submit_batch() {
     submit_batches_.fetch_add(1, std::memory_order_relaxed);
+    if (IoStats* s = mirror()) {
+      s->submit_batches_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   void record_sqe_coalesced(std::uint64_t ops) {
     sqe_coalesced_ops_.fetch_add(ops, std::memory_order_relaxed);
+    if (IoStats* s = mirror()) {
+      s->sqe_coalesced_ops_.fetch_add(ops, std::memory_order_relaxed);
+    }
   }
   void record_inflight_depth(std::uint64_t depth) {
-    std::uint64_t cur = max_inflight_depth_.load(std::memory_order_relaxed);
-    while (depth > cur && !max_inflight_depth_.compare_exchange_weak(
-                              cur, depth, std::memory_order_relaxed)) {
-    }
+    record_max(max_inflight_depth_, depth);
+    if (IoStats* s = mirror()) record_max(s->max_inflight_depth_, depth);
   }
 
   IoStatsSnapshot snapshot() const {
@@ -171,6 +240,11 @@ class IoStats {
     }
     out.cache_hit_pages = cache_hit_pages_.load(std::memory_order_relaxed);
     out.cache_miss_pages = cache_miss_pages_.load(std::memory_order_relaxed);
+    out.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
+    out.cache_bypass_pages =
+        cache_bypass_pages_.load(std::memory_order_relaxed);
+    out.cache_bytes_high_water =
+        cache_bytes_high_water_.load(std::memory_order_relaxed);
     out.io_retry_count = io_retry_count_.load(std::memory_order_relaxed);
     out.io_giveup_count = io_giveup_count_.load(std::memory_order_relaxed);
     out.submit_batches = submit_batches_.load(std::memory_order_relaxed);
@@ -190,6 +264,9 @@ class IoStats {
     }
     cache_hit_pages_.store(0, std::memory_order_relaxed);
     cache_miss_pages_.store(0, std::memory_order_relaxed);
+    cache_evictions_.store(0, std::memory_order_relaxed);
+    cache_bypass_pages_.store(0, std::memory_order_relaxed);
+    cache_bytes_high_water_.store(0, std::memory_order_relaxed);
     io_retry_count_.store(0, std::memory_order_relaxed);
     io_giveup_count_.store(0, std::memory_order_relaxed);
     submit_batches_.store(0, std::memory_order_relaxed);
@@ -204,9 +281,44 @@ class IoStats {
     std::atomic<std::uint64_t> bytes_read{0};
     std::atomic<std::uint64_t> bytes_written{0};
   };
+
+  static IoStats*& tls_sink() noexcept {
+    thread_local IoStats* sink = nullptr;
+    return sink;
+  }
+  /// The per-query sink to mirror into — skipped when recording directly
+  /// into the sink itself (the sink is an IoStats too; without the guard a
+  /// query's own counters would double).
+  IoStats* mirror() const noexcept {
+    IoStats* s = tls_sink();
+    return s == this ? nullptr : s;
+  }
+  static void record_max(std::atomic<std::uint64_t>& gauge,
+                         std::uint64_t value) {
+    std::uint64_t cur = gauge.load(std::memory_order_relaxed);
+    while (value > cur && !gauge.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+  void record_read_impl(IoCategory c, std::uint64_t pages,
+                        std::uint64_t bytes) {
+    auto& cat = categories_[static_cast<unsigned>(c)];
+    cat.pages_read.fetch_add(pages, std::memory_order_relaxed);
+    cat.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void record_write_impl(IoCategory c, std::uint64_t pages,
+                         std::uint64_t bytes) {
+    auto& cat = categories_[static_cast<unsigned>(c)];
+    cat.pages_written.fetch_add(pages, std::memory_order_relaxed);
+    cat.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
   std::array<Category, kNumIoCategories> categories_{};
   std::atomic<std::uint64_t> cache_hit_pages_{0};
   std::atomic<std::uint64_t> cache_miss_pages_{0};
+  std::atomic<std::uint64_t> cache_evictions_{0};
+  std::atomic<std::uint64_t> cache_bypass_pages_{0};
+  std::atomic<std::uint64_t> cache_bytes_high_water_{0};
   std::atomic<std::uint64_t> io_retry_count_{0};
   std::atomic<std::uint64_t> io_giveup_count_{0};
   std::atomic<std::uint64_t> submit_batches_{0};

@@ -4,10 +4,28 @@
 // in size to MultiLogVC's multi-log buffer; the graph loader also uses a
 // small cache for hot row-pointer pages. Cached hits cost no device time —
 // exactly the effect a host-side cache has on a real SSD.
+//
+// Multi-tenant sharing (FlashGraph's serving model): ONE PageCache can back
+// every query running over a graph. Each query registers a QuerySlot that
+// (a) splits hit/miss/bypass counts per query and (b) carries an admission
+// quota — the page budget the query may keep resident. A miss while the
+// query is at quota is served as a *bypass*: the bytes are read straight
+// from the blob without displacing any resident page, so one scan-heavy
+// query cannot flush the working set of everyone else. Threads name the
+// query they are working for with a ScopedQuery guard (installed by the
+// graph loader around its reads); unattributed reads behave exactly like
+// the single-tenant cache.
+//
+// Note copies out of a frame happen under the cache mutex: an earlier
+// version returned a frame pointer and copied after unlocking, which let a
+// concurrent miss recycle the frame mid-copy once multiple threads (batch
+// prefetchers, concurrent queries) shared one cache.
 #pragma once
 
+#include <atomic>
 #include <cstring>
-#include <list>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +37,96 @@ namespace mlvc::ssd {
 
 class PageCache {
  public:
+  /// Per-query view of a shared cache: private hit/miss/bypass counters and
+  /// the admission quota. Create with register_query(); threads attribute
+  /// reads to it with ScopedQuery.
+  class QuerySlot {
+   public:
+    std::uint64_t hits() const noexcept {
+      return hits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t misses() const noexcept {
+      return misses_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t bypasses() const noexcept {
+      return bypasses_.load(std::memory_order_relaxed);
+    }
+    /// Pages currently resident on this query's account (bounded by the
+    /// admission quota; eviction and invalidation decrement it).
+    std::uint64_t resident_pages() const noexcept {
+      return resident_pages_.load(std::memory_order_relaxed);
+    }
+    std::size_t quota_pages() const noexcept { return quota_pages_; }
+
+   private:
+    friend class PageCache;
+    explicit QuerySlot(std::size_t quota_pages) : quota_pages_(quota_pages) {}
+
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> bypasses_{0};
+    std::atomic<std::uint64_t> resident_pages_{0};
+    std::size_t quota_pages_;
+  };
+
+  /// Names the query the calling thread is reading for, for the lifetime of
+  /// the guard. Nestable (restores the previous slot).
+  class ScopedQuery {
+   public:
+    explicit ScopedQuery(QuerySlot* slot) : prev_(tls_slot()) {
+      tls_slot() = slot;
+    }
+    ~ScopedQuery() { tls_slot() = prev_; }
+    ScopedQuery(const ScopedQuery&) = delete;
+    ScopedQuery& operator=(const ScopedQuery&) = delete;
+
+   private:
+    QuerySlot* prev_;
+  };
+
+  /// RAII query registration: drops the slot's frame ownership on reset /
+  /// destruction (resident pages stay cached, but no longer count against
+  /// anyone and evict normally).
+  class QueryRegistration {
+   public:
+    QueryRegistration() = default;
+    ~QueryRegistration() { reset(); }
+    QueryRegistration(QueryRegistration&& other) noexcept
+        : cache_(other.cache_), slot_(std::move(other.slot_)) {
+      other.cache_ = nullptr;
+    }
+    QueryRegistration& operator=(QueryRegistration&& other) noexcept {
+      if (this != &other) {
+        reset();
+        cache_ = other.cache_;
+        slot_ = std::move(other.slot_);
+        other.cache_ = nullptr;
+      }
+      return *this;
+    }
+    QueryRegistration(const QueryRegistration&) = delete;
+    QueryRegistration& operator=(const QueryRegistration&) = delete;
+
+    QuerySlot* slot() const noexcept { return slot_.get(); }
+    explicit operator bool() const noexcept { return slot_ != nullptr; }
+
+    void reset() {
+      if (cache_ != nullptr && slot_ != nullptr) {
+        cache_->unregister_query(slot_.get());
+      }
+      cache_ = nullptr;
+      slot_.reset();
+    }
+
+   private:
+    friend class PageCache;
+    QueryRegistration(PageCache* cache, std::shared_ptr<QuerySlot> slot)
+        : cache_(cache), slot_(std::move(slot)) {}
+
+    PageCache* cache_ = nullptr;
+    std::shared_ptr<QuerySlot> slot_;
+  };
+
   /// `capacity_bytes` is rounded down to whole pages (at least one page).
   PageCache(Storage& storage, std::size_t capacity_bytes)
       : storage_(storage),
@@ -28,30 +136,83 @@ class PageCache {
     for (auto& f : frames_) f.data.resize(page_size_);
   }
 
-  /// Read an arbitrary byte range through the cache.
+  /// Register a query with an admission quota of `admission_bytes` (rounded
+  /// down to pages; 0 = unlimited — the query competes for the whole cache).
+  QueryRegistration register_query(std::size_t admission_bytes) {
+    const std::size_t quota =
+        admission_bytes == 0 ? std::numeric_limits<std::size_t>::max()
+                             : std::max<std::size_t>(
+                                   1, admission_bytes / page_size_);
+    auto slot = std::shared_ptr<QuerySlot>(new QuerySlot(quota));
+    return QueryRegistration(this, std::move(slot));
+  }
+
+  /// Read an arbitrary byte range through the cache, attributed to the
+  /// calling thread's ScopedQuery slot (if any).
   void read(const Blob& blob, std::uint64_t offset, void* buf,
             std::size_t len) {
+    QuerySlot* slot = tls_slot();
     char* dst = static_cast<char*>(buf);
     while (len > 0) {
       const std::uint64_t page_no = offset / page_size_;
       const std::size_t in_page = static_cast<std::size_t>(offset % page_size_);
       const std::size_t take = std::min(len, page_size_ - in_page);
-      const char* page = fetch_page(blob, page_no);
-      std::memcpy(dst, page + in_page, take);
+      if (!fetch_into(blob, page_no, in_page, take, dst, slot)) {
+        // Admission bypass: at quota — serve the bytes around the cache so
+        // no resident page (this query's or anyone else's) is displaced.
+        blob.read(offset, dst, take);
+        bypasses_.fetch_add(1, std::memory_order_relaxed);
+        storage_.stats().record_cache_bypass(1);
+        slot->bypasses_.fetch_add(1, std::memory_order_relaxed);
+      }
       dst += take;
       offset += take;
       len -= take;
     }
   }
 
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Valid frames recycled by CLOCK to admit another page.
+  std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Reads served around the cache by admission control.
+  std::uint64_t bypasses() const noexcept {
+    return bypasses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t resident_bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::uint64_t>(resident_pages_) * page_size_;
+  }
+  /// High-water mark of resident bytes — by construction never above
+  /// capacity_bytes(), the acceptance signal that a shared cache stays
+  /// within its configured budget.
+  std::uint64_t bytes_high_water() const noexcept {
+    return bytes_high_water_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity_bytes() const noexcept {
+    return capacity_pages_ * page_size_;
+  }
+  std::size_t page_size() const noexcept { return page_size_; }
+  Storage& storage() const noexcept { return storage_; }
 
   /// Drop all cached pages (used when a blob's content is rewritten).
   void invalidate() {
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
-    for (auto& f : frames_) f.valid = false;
+    for (auto& f : frames_) {
+      if (f.valid && f.owner != nullptr) {
+        f.owner->resident_pages_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      f.valid = false;
+      f.owner = nullptr;
+    }
+    resident_pages_ = 0;
   }
 
  private:
@@ -70,24 +231,70 @@ class PageCache {
     Key key{};
     bool valid = false;
     bool referenced = false;
+    /// The query whose quota this frame counts against (null = shared /
+    /// unattributed). Cleared when the query unregisters; the page itself
+    /// stays cached.
+    QuerySlot* owner = nullptr;
     std::vector<char> data;
   };
 
-  const char* fetch_page(const Blob& blob, std::uint64_t page_no) {
+  static QuerySlot*& tls_slot() noexcept {
+    thread_local QuerySlot* slot = nullptr;
+    return slot;
+  }
+
+  void unregister_query(QuerySlot* slot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& f : frames_) {
+      if (f.owner == slot) f.owner = nullptr;
+    }
+    slot->resident_pages_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Copy `take` bytes at `in_page` of the blob's page `page_no` into `dst`
+  /// through the cache. Returns false when admission control refuses to
+  /// cache the page (the caller reads around the cache). The copy happens
+  /// under the cache mutex so a concurrent miss can't recycle the frame
+  /// mid-copy. Device reads on the miss path also run under the mutex —
+  /// misses serialize, which is the price of one shared working set.
+  bool fetch_into(const Blob& blob, std::uint64_t page_no, std::size_t in_page,
+                  std::size_t take, char* dst, QuerySlot* slot) {
     std::lock_guard<std::mutex> lock(mutex_);
     const Key key{blob.id(), page_no};
     auto it = map_.find(key);
     if (it != map_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       storage_.stats().record_cache_hit(1);
-      frames_[it->second].referenced = true;
-      return frames_[it->second].data.data();
+      if (slot != nullptr) {
+        slot->hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      Frame& frame = frames_[it->second];
+      frame.referenced = true;
+      std::memcpy(dst, frame.data.data() + in_page, take);
+      return true;
     }
-    ++misses_;
+    if (slot != nullptr &&
+        slot->resident_pages_.load(std::memory_order_relaxed) >=
+            slot->quota_pages_) {
+      return false;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
     storage_.stats().record_cache_miss(1);
+    if (slot != nullptr) {
+      slot->misses_.fetch_add(1, std::memory_order_relaxed);
+    }
     const std::size_t frame_idx = evict_one();
     Frame& frame = frames_[frame_idx];
-    if (frame.valid) map_.erase(frame.key);
+    if (frame.valid) {
+      map_.erase(frame.key);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      storage_.stats().record_cache_eviction(1);
+      if (frame.owner != nullptr) {
+        frame.owner->resident_pages_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      --resident_pages_;
+    }
+    frame.owner = nullptr;
     // Partial trailing page: read only the valid prefix.
     const std::uint64_t page_start = page_no * page_size_;
     const std::uint64_t blob_size = blob.size();
@@ -103,8 +310,22 @@ class PageCache {
     frame.key = key;
     frame.valid = true;
     frame.referenced = true;
+    frame.owner = slot;
+    if (slot != nullptr) {
+      slot->resident_pages_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++resident_pages_;
+    const std::uint64_t resident_bytes =
+        static_cast<std::uint64_t>(resident_pages_) * page_size_;
+    std::uint64_t hw = bytes_high_water_.load(std::memory_order_relaxed);
+    while (resident_bytes > hw &&
+           !bytes_high_water_.compare_exchange_weak(
+               hw, resident_bytes, std::memory_order_relaxed)) {
+    }
+    storage_.stats().record_cache_high_water(resident_bytes);
     map_[key] = frame_idx;
-    return frame.data.data();
+    std::memcpy(dst, frame.data.data() + in_page, take);
+    return true;
   }
 
   /// CLOCK eviction: sweep the hand, clearing reference bits, until an
@@ -122,12 +343,16 @@ class PageCache {
   Storage& storage_;
   std::size_t page_size_;
   std::size_t capacity_pages_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<Frame> frames_;
   std::unordered_map<Key, std::size_t, KeyHash> map_;
   std::size_t hand_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::size_t resident_pages_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
+  std::atomic<std::uint64_t> bytes_high_water_{0};
 };
 
 }  // namespace mlvc::ssd

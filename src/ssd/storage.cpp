@@ -498,21 +498,38 @@ RetryPolicy Storage::retry_policy() const {
   return retry_policy_;
 }
 
+const IoBackendProbe& shared_io_backend_probe() {
+  // Magic-static once-per-process resolution: the first caller runs the
+  // kernel probe and freezes the strictness decision; every later caller —
+  // any Storage, any thread — sees the same answer.
+  static const IoBackendProbe probe = [] {
+    IoBackendProbe out;
+    const UringIo::ProbeResult& p = UringIo::probe();
+    out.uring_available = p.available;
+    if (!p.available) {
+      out.fallback_reason =
+          p.reason.empty() ? "io_uring unavailable" : p.reason;
+    }
+    return out;
+  }();
+  return probe;
+}
+
 IoBackendKind Storage::set_io_backend(IoBackendKind requested,
                                       unsigned queue_depth) {
   std::lock_guard<std::mutex> lock(fault_mutex_);
   if (queue_depth > 0) uring_depth_ = queue_depth;
   uring_fallback_.clear();
   if (requested == IoBackendKind::kUring) {
-    const UringIo::ProbeResult& p = UringIo::probe();
-    if (p.available) {
+    const IoBackendProbe& p = shared_io_backend_probe();
+    if (p.uring_available) {
       if (!uring_ || uring_->queue_depth() != uring_depth_) {
         uring_ = std::make_shared<UringIo>(uring_depth_);
       }
       io_backend_kind_ = IoBackendKind::kUring;
       return io_backend_kind_;
     }
-    uring_fallback_ = p.reason.empty() ? "io_uring unavailable" : p.reason;
+    uring_fallback_ = p.fallback_reason;
     if (const char* strict = std::getenv("MLVC_IO_STRICT");
         strict && std::strtoul(strict, nullptr, 10) != 0) {
       throw Error(

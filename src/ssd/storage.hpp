@@ -48,6 +48,22 @@ struct RetryPolicy {
 /// io_uring completion handler so both backends back off identically.
 void retry_backoff_sleep(const RetryPolicy& policy, unsigned fails);
 
+/// Process-wide io-backend probe resolution, shared by every Storage (and
+/// surfaced through core::RuntimeContext, which selects the backend once so
+/// per-query engines never call set_io_backend at all). Resolves exactly
+/// once per process: before this, every Storage::set_io_backend call
+/// re-normalized its own copy of the fallback reason, so two Storage
+/// instances racing the first kUring request could each run the probe path
+/// and the process-wide "why did uring fall back" answer lived on whichever
+/// instance you happened to ask. (MLVC_IO_STRICT stays a per-call decision —
+/// tests toggle it at runtime.)
+struct IoBackendProbe {
+  bool uring_available = false;
+  /// Why kUring requests fall back to the thread pool ("" when available).
+  std::string fallback_reason;
+};
+const IoBackendProbe& shared_io_backend_probe();
+
 /// One scattered read request for Blob::read_multi: fill `buf` with the
 /// `len` bytes at `offset`.
 struct ReadOp {

@@ -72,6 +72,62 @@ TEST(Tools, CrashtestSingleCycleRecoversBfs) {
             0);
 }
 
+TEST(Tools, ServeMixedWorkloadVerifies) {
+  // Daemon smoke test: many concurrent mixed queries over one shared graph,
+  // with the deterministic ones re-run serially and hash-compared.
+  ssd::TempDir dir;
+  const std::string graph = (dir.path() / "g.mlvc").string();
+  ASSERT_EQ(run_tool(std::string(MLVC_TOOL_GEN) +
+                     " --type rmat --scale 9 --edge-factor 6 --out " + graph),
+            0);
+  const std::string log = (dir.path() / "serve.log").string();
+  ASSERT_EQ(std::system((std::string(MLVC_TOOL_SERVE) + " --graph " + graph +
+                         " --random 40 --concurrency 8 --verify 1" +
+                         " --budget 4M --pool 64M --cache 256K" +
+                         " --page-size 4K > " + log + " 2>&1")
+                            .c_str()),
+            0);
+  std::ifstream in(log);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("(0 failed"), std::string::npos) << buf.str();
+  EXPECT_NE(buf.str().find("0 mismatches"), std::string::npos) << buf.str();
+}
+
+TEST(Tools, ServeScriptModeAndBadSpecs) {
+  ssd::TempDir dir;
+  const std::string graph = (dir.path() / "g.mlvc").string();
+  ASSERT_EQ(run_tool(std::string(MLVC_TOOL_GEN) +
+                     " --type chain --vertices 300 --out " + graph),
+            0);
+  const std::string script = (dir.path() / "queries.txt").string();
+  {
+    std::ofstream out(script);
+    out << "# mixed hand-written workload\n"
+        << "bfs 0\nbfs 123\nwcc\npagerank\nrw 7\n";
+  }
+  EXPECT_EQ(run_tool(std::string(MLVC_TOOL_SERVE) + " --graph " + graph +
+                     " --script " + script +
+                     " --concurrency 4 --verify 1 --budget 4M --page-size 4K"),
+            0);
+  // Unknown app name and out-of-range source must fail cleanly, not crash.
+  {
+    std::ofstream out(script);
+    out << "zork 1\n";
+  }
+  EXPECT_NE(run_tool(std::string(MLVC_TOOL_SERVE) + " --graph " + graph +
+                     " --script " + script),
+            0);
+  {
+    std::ofstream out(script);
+    out << "bfs 99999999\n";
+  }
+  EXPECT_NE(run_tool(std::string(MLVC_TOOL_SERVE) + " --graph " + graph +
+                     " --script " + script),
+            0);
+}
+
 TEST(Tools, EveryAppRunsOnEveryEngine) {
   ssd::TempDir dir;
   const std::string graph = (dir.path() / "g.mlvc").string();

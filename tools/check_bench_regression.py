@@ -23,6 +23,13 @@ in a way absolute numbers are not. Two suites:
     an error) the guard is skipped with exit 0 so kernels without
     io_uring stay green.
 
+  --suite serve
+    bench_serve's custom BENCH_serve.json (not google-benchmark format):
+    qps at concurrency C vs qps at concurrency 1 — what the shared
+    RuntimeContext serving path scales to. Levels below --min-concurrency
+    are reported but not enforced (scaling at c<=4 is dominated by core
+    count, not the serving path).
+
 Individual configurations are noisy at CI bench durations (a single 0.02 s
 run can swing ±30%), so the gate is the *geometric mean* of the ratios over
 all enforced configurations: a genuine regression shifts every
@@ -104,6 +111,27 @@ def load_io_ratios(path, min_depth):
     return ratios, enforced
 
 
+def load_serve_ratios(path, min_concurrency):
+    """Map 'cN' -> qps(N)/qps(1) from bench_serve's custom JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    runs = {r["concurrency"]: r for r in data.get("runs", [])}
+    base = runs.get(1)
+    ratios = {}
+    enforced = {}
+    if not base or base.get("qps", 0) <= 0:
+        return ratios, enforced
+    for concurrency in sorted(runs):
+        if concurrency == 1:
+            continue
+        qps = runs[concurrency].get("qps", 0)
+        key = f"c{concurrency}"
+        ratios[key] = qps / base["qps"]
+        if concurrency >= min_concurrency:
+            enforced[key] = ratios[key]
+    return ratios, enforced
+
+
 def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
@@ -112,7 +140,8 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
     ap.add_argument("baseline")
-    ap.add_argument("--suite", choices=("scatter", "io"), default="scatter")
+    ap.add_argument("--suite", choices=("scatter", "io", "serve"),
+                    default="scatter")
     ap.add_argument("--max-regression", type=float, default=0.30,
                     help="fail when ratio drops by more than this fraction")
     ap.add_argument("--min-threads", type=int, default=2,
@@ -121,6 +150,9 @@ def main():
     ap.add_argument("--min-depth", type=int, default=32,
                     help="io: only enforce configs at or above this queue "
                          "depth")
+    ap.add_argument("--min-concurrency", type=int, default=8,
+                    help="serve: only enforce levels at or above this "
+                         "concurrency")
     ap.add_argument("--min-ratio", type=float, default=None,
                     help="absolute floor on the current geomean ratio")
     args = ap.parse_args()
@@ -129,6 +161,11 @@ def main():
         cur_all, cur = load_scatter_ratios(args.current, args.min_threads)
         base_all, base = load_scatter_ratios(args.baseline, args.min_threads)
         label = "staged/locked"
+    elif args.suite == "serve":
+        cur_all, cur = load_serve_ratios(args.current, args.min_concurrency)
+        base_all, base = load_serve_ratios(args.baseline,
+                                           args.min_concurrency)
+        label = "qps-vs-c1 scaling"
     else:
         cur_all, cur = load_io_ratios(args.current, args.min_depth)
         base_all, base = load_io_ratios(args.baseline, args.min_depth)

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Run the substrate sweeps and emit BENCH_scatter.json + BENCH_io.json.
+# Run the substrate sweeps and emit BENCH_scatter.json + BENCH_io.json +
+# BENCH_serve.json.
 #
-#   tools/run_bench.sh [build-dir] [scatter-out.json] [io-out.json]
+#   tools/run_bench.sh [build-dir] [scatter-out.json] [io-out.json] [serve-out.json]
 #
 # Environment:
 #   MLVC_BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.05;
@@ -13,6 +14,12 @@
 #                         script; guard is skipped when the file is absent)
 #   MLVC_BENCH_IO_BASELINE  baseline JSON for the io-substrate guard
 #                         (default: bench/baselines/io.json; skipped if absent)
+#   MLVC_BENCH_SERVE_BASELINE  baseline JSON for the serving-scaling guard
+#                         (default: bench/baselines/serve.json; skipped if
+#                         absent)
+#   MLVC_BENCH_SERVE_QUERIES / MLVC_BENCH_SERVE_CONCURRENCY
+#                         forwarded to bench_serve (queries per level /
+#                         comma list of concurrency levels)
 #   MLVC_BENCH_CHECK      set to 0 to skip the regression guards entirely
 #   MLVC_BENCH_MAX_REGRESSION  allowed fractional drop in a guarded
 #                         throughput ratio before failing (default 0.30)
@@ -24,6 +31,7 @@ set -eu
 build_dir="${1:-build}"
 out="${2:-BENCH_scatter.json}"
 io_out="${3:-BENCH_io.json}"
+serve_out="${4:-BENCH_serve.json}"
 min_time="${MLVC_BENCH_MIN_TIME:-0.05}"
 filter="${MLVC_BENCH_FILTER:-BM_ScatterAppend}"
 
@@ -51,6 +59,13 @@ echo "wrote $out"
 
 echo "wrote $io_out"
 
+serve_bench="$build_dir/bench/bench_serve"
+if [ ! -x "$serve_bench" ]; then
+  echo "error: $serve_bench not built (cmake --build $build_dir --target bench_serve)" >&2
+  exit 1
+fi
+"$serve_bench" "$serve_out"
+
 # Regression guards: compare guarded throughput ratios against the committed
 # baselines. Skipped when no baseline exists or MLVC_BENCH_CHECK=0.
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -76,4 +91,11 @@ if [ "$check" != "0" ] && [ -f "$io_baseline" ]; then
   fi
 elif [ "$check" != "0" ]; then
   echo "no baseline at $io_baseline, skipping io regression guard"
+fi
+serve_baseline="${MLVC_BENCH_SERVE_BASELINE:-$repo_root/bench/baselines/serve.json}"
+if [ "$check" != "0" ] && [ -f "$serve_baseline" ]; then
+  python3 "$repo_root/tools/check_bench_regression.py" "$serve_out" \
+    "$serve_baseline" --suite serve --max-regression "$max_regression"
+elif [ "$check" != "0" ]; then
+  echo "no baseline at $serve_baseline, skipping serve regression guard"
 fi
