@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace mlvc {
 
@@ -56,6 +57,40 @@ inline constexpr const char* to_string(SortGroupPath p) {
     case SortGroupPath::kComparisonSort: return "comparison_sort";
   }
   return "?";
+}
+
+/// On-disk layout generation for the stored CSR and the multi-log record
+/// stream. kV1 = fixed-width records / raw u32 adjacency (the original
+/// layout, still readable). kV2 = delta+zigzag+varint-compressed adjacency
+/// blocks with a skip index, and varint-compressed chunked log records
+/// decoded inside the sort-and-group scatter pass.
+enum class OnDiskFormat : std::uint8_t {
+  kV1 = 1,
+  kV2 = 2,
+};
+
+inline constexpr const char* to_string(OnDiskFormat f) {
+  switch (f) {
+    case OnDiskFormat::kV1: return "v1";
+    case OnDiskFormat::kV2: return "v2";
+  }
+  return "?";
+}
+
+/// Parse "v1"/"1"/"v2"/"2". Returns false (leaving *out untouched) on
+/// anything else so callers can decide between ignoring and rejecting.
+inline bool parse_on_disk_format(const char* s, OnDiskFormat* out) {
+  if (s == nullptr) return false;
+  const std::string_view v(s);
+  if (v == "v1" || v == "1") {
+    *out = OnDiskFormat::kV1;
+    return true;
+  }
+  if (v == "v2" || v == "2") {
+    *out = OnDiskFormat::kV2;
+    return true;
+  }
+  return false;
 }
 
 /// Byte-size helpers.

@@ -1,0 +1,151 @@
+// LEB128 varint + zigzag codec for the v2 on-disk formats.
+//
+// Both compressed layouts (CSR adjacency blocks in graph/stored_csr and the
+// chunked multi-log record stream in multilog/) store sorted-or-clustered
+// vertex ids, so the common shape is "first value absolute, then zigzag'd
+// deltas". The primitives here are deliberately tiny and header-only: the
+// encoder appends to a byte vector, the decoder is a bounds-checked cursor
+// that funnels truncation/overflow into the typed mlvc::Error hierarchy so
+// torn or corrupt input surfaces exactly like every other storage fault.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mlvc {
+
+/// Largest encoded size of a u64 varint (10 * 7 bits >= 64 bits).
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Append `v` to `out` as an LEB128 varint (7 value bits per byte, high bit
+/// = continuation). Returns the number of bytes appended.
+inline std::size_t put_uvarint(std::vector<std::uint8_t>& out,
+                               std::uint64_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+    ++n;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+  return n + 1;
+}
+
+/// Encode a varint into a raw buffer with at least kMaxVarintBytes of room.
+/// Returns the encoded length.
+inline std::size_t put_uvarint(std::uint8_t* out, std::uint64_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80) {
+    out[n++] = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(v);
+  return n;
+}
+
+/// Decode one varint from [*cursor, end). Advances *cursor past the encoded
+/// bytes. Throws mlvc::Error on truncation (ran off `end` mid-value) or
+/// overflow (more than 10 bytes / bits above 2^64).
+inline std::uint64_t get_uvarint(const std::uint8_t** cursor,
+                                 const std::uint8_t* end) {
+  const std::uint8_t* p = *cursor;
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (p == end) {
+      throw Error("varint: truncated value");
+    }
+    const std::uint8_t byte = *p++;
+    if (shift == 63 && byte > 1) {
+      throw Error("varint: value overflows u64");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) {
+      throw Error("varint: value overflows u64");
+    }
+  }
+  *cursor = p;
+  return v;
+}
+
+/// Non-throwing variant for hot decode loops that already validated the
+/// stream (e.g. the fused scatter pass re-walking chunk bodies the torn-page
+/// funnel checked). Returns false instead of throwing.
+inline bool try_get_uvarint(const std::uint8_t** cursor,
+                            const std::uint8_t* end,
+                            std::uint64_t* out) {
+  const std::uint8_t* p = *cursor;
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (p == end) return false;
+    const std::uint8_t byte = *p++;
+    if (shift == 63 && byte > 1) return false;
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) return false;
+  }
+  *cursor = p;
+  *out = v;
+  return true;
+}
+
+/// Zigzag: map signed deltas onto small unsigned values so varint stays
+/// short for negative steps (adjacency lists restart per vertex, so deltas
+/// go negative at every row boundary).
+inline constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Delta+zigzag+varint encode `values[0..n)` relative to `prev` (the last
+/// value of the preceding block, or the first value itself when starting a
+/// stream with `absolute_first = true`). Appends to `out`.
+inline void put_delta_block(std::vector<std::uint8_t>& out,
+                            const std::uint32_t* values, std::size_t n,
+                            std::int64_t prev, bool absolute_first) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t cur = static_cast<std::int64_t>(values[i]);
+    if (i == 0 && absolute_first) {
+      put_uvarint(out, static_cast<std::uint64_t>(cur));
+    } else {
+      put_uvarint(out, zigzag_encode(cur - prev));
+    }
+    prev = cur;
+  }
+}
+
+/// Inverse of put_delta_block: decode exactly `n` values into `out`.
+/// Advances *cursor. Throws mlvc::Error on truncation/overflow or when a
+/// decoded value does not fit u32.
+inline void get_delta_block(const std::uint8_t** cursor,
+                            const std::uint8_t* end, std::uint32_t* out,
+                            std::size_t n, std::int64_t prev,
+                            bool absolute_first) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t cur;
+    if (i == 0 && absolute_first) {
+      cur = static_cast<std::int64_t>(get_uvarint(cursor, end));
+    } else {
+      cur = prev + zigzag_decode(get_uvarint(cursor, end));
+    }
+    if (cur < 0 || cur > static_cast<std::int64_t>(UINT32_MAX)) {
+      throw Error("varint: delta-decoded value out of u32 range");
+    }
+    out[i] = static_cast<std::uint32_t>(cur);
+    prev = cur;
+  }
+}
+
+}  // namespace mlvc

@@ -142,15 +142,21 @@ class MultiLogVCEngine {
   // structural updates already merged into the stored CSR are not rolled
   // back — checkpoint before mutating the graph.
   //
-  // On-disk format (v2): a 20-byte header [u32 magic, u32 version,
+  // On-disk layout: a 20-byte header [u32 magic, u32 version,
   // u64 payload_bytes, u32 crc32-of-payload] followed by the payload. The
   // image is written to a ".tmp" blob, fsynced, then atomically renamed over
   // the final name (Storage::publish_blob), so a crash mid-save leaves the
   // previous checkpoint intact; the CRC catches torn or bit-flipped images
   // at load time before any engine state is touched.
+  //
+  // Version 3 payloads start with one byte naming the OnDiskFormat of the
+  // embedded log images; version 2 images (pre-format-v2 checkpoints) are
+  // still accepted and treated as v1-format logs. A mismatch between the
+  // image's log format and the running store's is transcoded through the
+  // log codec on load, so checkpoints round-trip across --format changes.
 
   static constexpr std::uint32_t kCkptMagic = 0x4B435643u;  // "CVCK"
-  static constexpr std::uint32_t kCkptVersion = 2;
+  static constexpr std::uint32_t kCkptVersion = 3;
   static constexpr std::size_t kCkptHeaderBytes = 20;
 
   /// Persist a checkpoint into the graph's storage under `name`. One-shot
@@ -176,6 +182,8 @@ class MultiLogVCEngine {
       payload_bytes += len;
     };
     put(&next_superstep_, 4);
+    const std::uint8_t log_format = static_cast<std::uint8_t>(store_.format());
+    put(&log_format, 1);
     const auto words = sticky_active_.words();
     const std::uint64_t n_words = words.size();
     put(&n_words, 8);
@@ -183,15 +191,24 @@ class MultiLogVCEngine {
     const IntervalId n_int = graph_.intervals().count();
     put(&n_int, 4);
     std::vector<std::byte> bytes;
+    std::uint64_t stored_log_bytes = 0;
+    std::uint64_t decoded_log_bytes = 0;
     for (IntervalId i = 0; i < n_int; ++i) {
       bytes.clear();
       store_.load_interval(i, bytes);
+      stored_log_bytes += bytes.size();
+      decoded_log_bytes += store_.current_bytes(i);
       const std::uint64_t n_bytes = bytes.size();
       put(&n_bytes, 8);
       put(bytes.data(), bytes.size());
     }
     const auto values = values_.all();
     put(values.data(), values.size() * sizeof(Value));
+    // Logical (decoded-content) checkpoint size vs the physical payload the
+    // blob sees — under v2 the embedded log images are compressed.
+    storage.stats().record_logical_write(
+        ssd::IoCategory::kMisc,
+        payload_bytes - stored_log_bytes + decoded_log_bytes);
 
     std::array<std::byte, kCkptHeaderBytes> header{};
     const std::uint32_t crc_value = crc32_final(crc);
@@ -229,7 +246,8 @@ class MultiLogVCEngine {
     std::memcpy(&payload_bytes, header.data() + 8, 8);
     std::memcpy(&stored_crc, header.data() + 16, 4);
     MLVC_CHECK_MSG(magic == kCkptMagic, "not a checkpoint blob");
-    MLVC_CHECK_MSG(version == kCkptVersion,
+    // Version 2 = pre-format-v2 images (no log-format byte, logs are v1).
+    MLVC_CHECK_MSG(version == kCkptVersion || version == 2,
                    "unsupported checkpoint version " << version);
     MLVC_CHECK_MSG(kCkptHeaderBytes + payload_bytes <= blob.size(),
                    "checkpoint payload truncated");
@@ -258,6 +276,15 @@ class MultiLogVCEngine {
       off += len;
     };
     read(&next_superstep_, 4);
+    auto image_format = OnDiskFormat::kV1;
+    if (version >= 3) {
+      std::uint8_t fmt = 0;
+      read(&fmt, 1);
+      MLVC_CHECK_MSG(fmt == static_cast<std::uint8_t>(OnDiskFormat::kV1) ||
+                         fmt == static_cast<std::uint8_t>(OnDiskFormat::kV2),
+                     "unknown checkpoint log format " << unsigned(fmt));
+      image_format = static_cast<OnDiskFormat>(fmt);
+    }
     std::uint64_t n_words = 0;
     read(&n_words, 8);
     std::vector<std::uint64_t> words(n_words);
@@ -271,13 +298,35 @@ class MultiLogVCEngine {
     for (auto& ts : thread_state_) ts.staging.discard();
     store_.reset_all();
     std::vector<std::byte> bytes;
+    std::uint64_t stored_log_bytes = 0;
+    std::uint64_t decoded_log_bytes = 0;
     for (IntervalId i = 0; i < n_int; ++i) {
       std::uint64_t n_bytes = 0;
       read(&n_bytes, 8);
       bytes.resize(n_bytes);
       read(bytes.data(), n_bytes);
-      store_.restore_current_interval(i, bytes);
+      stored_log_bytes += n_bytes;
+      if (image_format == store_.format()) {
+        store_.restore_current_interval(i, bytes);
+      } else if (store_.format() == OnDiskFormat::kV2) {
+        // v1 image into a v2 store: compress on the way in.
+        std::vector<std::uint8_t> enc;
+        multilog::encode_records_to_chunks(
+            bytes, sizeof(Rec), multilog::kPayloadVarint<Message>, enc);
+        store_.restore_current_interval(
+            i, std::as_bytes(std::span<const std::uint8_t>(enc)));
+      } else {
+        // v2 image into a v1 store: expand back to fixed-width records.
+        std::vector<std::byte> raw;
+        multilog::decode_chunks_to_records(
+            bytes, sizeof(Rec), multilog::kPayloadVarint<Message>, raw);
+        store_.restore_current_interval(i, raw);
+      }
+      decoded_log_bytes += store_.current_bytes(i);
     }
+    graph_.storage().stats().record_logical_read(
+        ssd::IoCategory::kMisc,
+        payload_bytes - stored_log_bytes + decoded_log_bytes);
     std::vector<Value> values(graph_.num_vertices());
     read(values.data(), values.size() * sizeof(Value));
     values_.store_range(0, values);
@@ -417,6 +466,12 @@ class MultiLogVCEngine {
         store_(graph.storage(), blob_prefix_, graph.intervals(),
                multilog::MultiLogConfig{
                    .record_size = sizeof(Rec),
+                   // On-disk log layout (EngineOptions::on_disk_format /
+                   // MLVC_FORMAT): v2 = delta+varint chunks, with payloads
+                   // varint-packed only for small padding-free integral
+                   // messages (floats keep fixed width).
+                   .format = options_.on_disk_format,
+                   .payload_varint = multilog::kPayloadVarint<Message>,
                    .buffer_budget_bytes = options_.log_buffer_budget(),
                    .staging_records = options_.scatter_staging_records,
                    .async_io = async_io_.get(),
@@ -568,13 +623,22 @@ class MultiLogVCEngine {
         const std::size_t before = bytes.size();
         store_.load_interval(i, bytes);
         if (options_.torn_page_recovery) {
-          // A crash mid-append can leave a partial trailing record in an
-          // interval's log. Drop the torn tail (per interval — the tear must
-          // not shift the next interval's records) and keep going; the count
-          // is surfaced per superstep as torn_bytes_dropped.
+          // A crash mid-append can leave a partial trailing record (v1) or
+          // chunk (v2) in an interval's log. Drop the torn tail (per
+          // interval — the tear must not shift the next interval's records)
+          // and keep going; the count is surfaced per superstep as
+          // torn_bytes_dropped.
           const std::size_t loaded = bytes.size() - before;
-          const std::size_t keep =
-              multilog::truncate_torn_tail(loaded, sizeof(Rec));
+          std::size_t keep = loaded;
+          if (options_.on_disk_format == OnDiskFormat::kV2) {
+            keep = multilog::index_log_chunks(
+                       std::span<const std::byte>(bytes.data() + before,
+                                                  loaded),
+                       multilog::TornPagePolicy::kTruncate)
+                       .valid_bytes;
+          } else {
+            keep = multilog::truncate_torn_tail(loaded, sizeof(Rec));
+          }
           if (keep != loaded) {
             g.torn_bytes_dropped += loaded - keep;
             bytes.resize(before + keep);
@@ -594,19 +658,24 @@ class MultiLogVCEngine {
     const VertexId ve = graph_.intervals().end(g_end - 1);
     multilog::GroupedLog<Message> grouped;
     bool combined = false;
+    const bool v2 = options_.on_disk_format == OnDiskFormat::kV2;
     if constexpr (App::kHasCombine) {
       if (options_.enable_combine) {
-        grouped = multilog::sort_and_group<Message>(
-            bytes, vb, ve, options_.sort_group_path,
-            [this](const Message& a, const Message& b) {
-              return app_.combine(a, b);
-            });
+        const auto combine = [this](const Message& a, const Message& b) {
+          return app_.combine(a, b);
+        };
+        grouped = v2 ? multilog::sort_and_group_v2<Message>(
+                           bytes, vb, ve, options_.sort_group_path, combine)
+                     : multilog::sort_and_group<Message>(
+                           bytes, vb, ve, options_.sort_group_path, combine);
         combined = true;
       }
     }
     if (!combined) {
-      grouped = multilog::sort_and_group<Message>(bytes, vb, ve,
-                                                  options_.sort_group_path);
+      grouped = v2 ? multilog::sort_and_group_v2<Message>(
+                         bytes, vb, ve, options_.sort_group_path)
+                   : multilog::sort_and_group<Message>(
+                         bytes, vb, ve, options_.sort_group_path);
     }
     g.records = std::move(grouped.records);
     g.offsets = std::move(grouped.offsets);

@@ -100,6 +100,15 @@ struct EngineOptions {
   /// default, and what the paper's page-access counts assume).
   std::size_t adjacency_cache_bytes = 0;
 
+  /// On-disk layout for the data this run *writes*: the multi-log message
+  /// stream (and the stored CSR when a tool builds one with the same knob).
+  /// kV2 delta+varint-compresses destination ids (and integral payloads)
+  /// inside self-delimiting chunks, decoded inside the sort-and-group
+  /// scatter pass; kV1 is the original fixed-width record layout. Reading
+  /// is always format-aware (versioned headers), so a v2 engine still
+  /// loads v1 graphs and v1 checkpoints. MLVC_FORMAT overrides this.
+  OnDiskFormat on_disk_format = OnDiskFormat::kV2;
+
   /// Seed for all app-level randomness (MIS priorities, random walks).
   std::uint64_t seed = 1;
 
@@ -168,6 +177,11 @@ inline EngineOptions apply_env_overrides(EngineOptions options) {
     if (const auto kind = ssd::parse_io_backend(env)) {
       options.io_backend = *kind;
     }
+  }
+  if (const char* env = std::getenv("MLVC_FORMAT")) {
+    // Same convention as MLVC_IO_BACKEND: an unparsable value leaves the
+    // configured format alone rather than aborting every entry point.
+    parse_on_disk_format(env, &options.on_disk_format);
   }
   if (const char* env = std::getenv("MLVC_URING_DEPTH")) {
     const unsigned d = static_cast<unsigned>(std::strtoul(env, nullptr, 10));

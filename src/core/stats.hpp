@@ -185,6 +185,45 @@ struct RunStats {
     for (const auto& s : supersteps) t += s.io.sqe_coalesced_ops;
     return t;
   }
+  /// Physical vs logical traffic split (DESIGN.md format v2): physical is
+  /// what the blob layer moved (compressed lengths under v2), logical is the
+  /// post-decode byte volume the consumers saw. logical/physical is the
+  /// run-level compression ratio; restrict to one category for a per-layer
+  /// view (adjacency vs message log vs checkpoint).
+  std::uint64_t physical_bytes_read() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.total_bytes_read();
+    return t;
+  }
+  std::uint64_t physical_bytes_written() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.total_bytes_written();
+    return t;
+  }
+  std::uint64_t logical_bytes_read() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.total_logical_bytes_read();
+    return t;
+  }
+  std::uint64_t logical_bytes_written() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.io.total_logical_bytes_written();
+    return t;
+  }
+  /// Per-layer split of the same numbers (categories sum to the totals).
+  ssd::IoStatsSnapshot::Category category_bytes(ssd::IoCategory c) const {
+    ssd::IoStatsSnapshot::Category out;
+    for (const auto& s : supersteps) {
+      const auto& cat = s.io[c];
+      out.pages_read += cat.pages_read;
+      out.pages_written += cat.pages_written;
+      out.bytes_read += cat.bytes_read;
+      out.bytes_written += cat.bytes_written;
+      out.logical_bytes_read += cat.logical_bytes_read;
+      out.logical_bytes_written += cat.logical_bytes_written;
+    }
+    return out;
+  }
   /// Gauge: the deepest any superstep drove the submission ring.
   std::uint64_t max_inflight_depth() const {
     std::uint64_t m = 0;

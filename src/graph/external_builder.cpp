@@ -162,6 +162,7 @@ std::unique_ptr<StoredCsrGraph> ExternalCsrBuilder::finish(
   StoredCsrGraph::Options csr_options;
   csr_options.with_weights = options_.with_weights;
   csr_options.merge_threshold = merge_threshold;
+  csr_options.format = options_.format;
   auto graph = std::make_unique<StoredCsrGraph>(
       storage_, prefix_, std::move(intervals), next_edge, csr_options);
 

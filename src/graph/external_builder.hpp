@@ -26,6 +26,10 @@ struct ExternalCsrBuilderOptions {
   /// Mirror each (u,v) to (v,u) on ingest (paper's graphs are undirected).
   bool make_undirected = false;
   bool with_weights = false;
+  /// On-disk adjacency layout of the materialized graph (see
+  /// StoredCsrOptions::format); the build-time encode happens in the
+  /// streaming StoredCsrGraph constructor finish() drives.
+  OnDiskFormat format = OnDiskFormat::kV2;
 };
 
 class ExternalCsrBuilder {

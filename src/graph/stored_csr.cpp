@@ -1,8 +1,64 @@
 #include "graph/stored_csr.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/varint.hpp"
 
 namespace mlvc::graph {
+namespace {
+
+// csr/meta versioned header: magic, meta-schema version, then the fields
+// needed to re-open the graph (format, weights, boundaries, edge counts).
+// All u64 words so the blob is trivially (re)readable.
+constexpr std::uint64_t kCsrMetaMagic = 0x4D564353;  // "SCVM"
+constexpr std::uint64_t kCsrMetaVersion = 1;
+
+/// Delta+zigzag+varint encode `colidx` as blocks of kCsrBlockEdges,
+/// appending encoded bytes to `out` and each block's start offset (relative
+/// to the interval stream, whose first `stream_base` bytes were already
+/// flushed) to `skips`. Callers must only split an interval's colidx across
+/// calls at block boundaries.
+void encode_blocks(std::span<const VertexId> colidx,
+                   std::vector<std::uint8_t>& out,
+                   std::vector<std::uint64_t>& skips,
+                   std::uint64_t stream_base) {
+  for (std::size_t off = 0; off < colidx.size(); off += kCsrBlockEdges) {
+    const std::size_t n =
+        std::min<std::size_t>(kCsrBlockEdges, colidx.size() - off);
+    skips.push_back(stream_base + out.size());
+    put_delta_block(out, colidx.data() + off, n, 0, /*absolute_first=*/true);
+  }
+}
+
+/// Decode colidx entries [lo, hi) out of the compressed bytes `comp`, which
+/// hold the blocks overlapping that span starting at interval-stream offset
+/// `comp_base` (== skips[lo / kCsrBlockEdges]).
+void decode_span(const std::vector<std::uint64_t>& skips, EdgeIndex n_edges,
+                 EdgeIndex lo, EdgeIndex hi, const std::uint8_t* comp,
+                 std::uint64_t comp_base, VertexId* out) {
+  const std::size_t b0 = static_cast<std::size_t>(lo / kCsrBlockEdges);
+  const std::size_t b1 = static_cast<std::size_t>((hi - 1) / kCsrBlockEdges);
+  std::array<VertexId, kCsrBlockEdges> scratch;
+  for (std::size_t b = b0; b <= b1; ++b) {
+    const EdgeIndex blk_lo = static_cast<EdgeIndex>(b) * kCsrBlockEdges;
+    const EdgeIndex blk_n = std::min<EdgeIndex>(kCsrBlockEdges,
+                                                n_edges - blk_lo);
+    const std::uint8_t* p = comp + (skips[b] - comp_base);
+    const std::uint8_t* end = comp + (skips[b + 1] - comp_base);
+    // Decode only the block prefix the span needs; entries before `lo`
+    // still have to be walked for the delta chain.
+    const EdgeIndex want_hi = std::min<EdgeIndex>(hi, blk_lo + blk_n);
+    get_delta_block(&p, end, scratch.data(), want_hi - blk_lo, 0,
+                    /*absolute_first=*/true);
+    const EdgeIndex copy_lo = std::max<EdgeIndex>(lo, blk_lo);
+    std::memcpy(out + (copy_lo - lo), scratch.data() + (copy_lo - blk_lo),
+                (want_hi - copy_lo) * sizeof(VertexId));
+  }
+}
+
+}  // namespace
 
 StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
                                const CsrGraph& csr, VertexIntervals intervals,
@@ -23,6 +79,8 @@ StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
   rowptr_blobs_.resize(n_int);
   colidx_blobs_.resize(n_int);
   val_blobs_.resize(n_int, nullptr);
+  skip_index_.resize(n_int);
+  skip_blobs_.resize(n_int, nullptr);
   pending_.resize(n_int);
 
   const auto row_ptr = csr.row_ptr();
@@ -50,8 +108,13 @@ StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
       val_blobs_[i] =
           &storage_.create_blob(blob_name(i, "val"), ssd::IoCategory::kCsrVal);
     }
+    if (options_.format == OnDiskFormat::kV2) {
+      skip_blobs_[i] = &storage_.create_blob(blob_name(i, "colidx.skip"),
+                                             ssd::IoCategory::kCsrColIdx);
+    }
     write_interval(i, local_rowptr, colidx, val);
   }
+  write_meta();
 }
 
 StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
@@ -68,11 +131,15 @@ StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
   rowptr_blobs_.resize(n_int);
   colidx_blobs_.resize(n_int);
   val_blobs_.resize(n_int, nullptr);
+  skip_index_.resize(n_int);
+  skip_blobs_.resize(n_int, nullptr);
   pending_.resize(n_int);
 
   // Chunked append: bound memory to ~256 KiB per stream regardless of
-  // interval size.
+  // interval size. Must stay a multiple of kCsrBlockEdges so v2 block
+  // encoding never splits a block across flushes.
   constexpr std::size_t kChunkEdges = 64 * 1024;
+  static_assert(kChunkEdges % kCsrBlockEdges == 0);
   std::vector<VertexId> colidx_chunk;
   std::vector<float> val_chunk;
   colidx_chunk.reserve(kChunkEdges);
@@ -91,11 +158,27 @@ StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
       val_blobs_[i] =
           &storage_.create_blob(blob_name(i, "val"), ssd::IoCategory::kCsrVal);
     }
+    if (options_.format == OnDiskFormat::kV2) {
+      skip_blobs_[i] = &storage_.create_blob(blob_name(i, "colidx.skip"),
+                                             ssd::IoCategory::kCsrColIdx);
+    }
     std::vector<EdgeIndex> local_rowptr(ve - vb + 1);
     EdgeIndex edge_count = 0;
+    std::vector<std::uint8_t> enc;          // v2: encoded bytes this flush
+    std::vector<std::uint64_t> skips;       // v2: block starts this interval
+    std::uint64_t enc_base = 0;             // v2: encoded bytes flushed
     const auto flush = [&] {
-      colidx_blobs_[i]->append(colidx_chunk.data(),
-                               colidx_chunk.size() * sizeof(VertexId));
+      if (options_.format == OnDiskFormat::kV2) {
+        encode_blocks(colidx_chunk, enc, skips, enc_base);
+        colidx_blobs_[i]->append(enc.data(), enc.size());
+        enc_base += enc.size();
+        enc.clear();
+      } else {
+        colidx_blobs_[i]->append(colidx_chunk.data(),
+                                 colidx_chunk.size() * sizeof(VertexId));
+      }
+      storage_.stats().record_logical_write(
+          ssd::IoCategory::kCsrColIdx, colidx_chunk.size() * sizeof(VertexId));
       colidx_chunk.clear();
       if (options_.with_weights) {
         val_blobs_[i]->append(val_chunk.data(),
@@ -122,12 +205,19 @@ StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
     }
     local_rowptr.back() = edge_count;
     flush();
+    if (options_.format == OnDiskFormat::kV2) {
+      skips.push_back(enc_base);
+      skip_blobs_[i]->append(skips.data(),
+                             skips.size() * sizeof(std::uint64_t));
+      skip_index_[i] = std::move(skips);
+    }
     interval_edges_[i] = edge_count;
     num_edges_ += edge_count;
     rowptr_blobs_[i]->append(local_rowptr.data(),
                              local_rowptr.size() * sizeof(EdgeIndex));
   }
   MLVC_CHECK_MSG(!have_edge, "edge stream has sources past num_vertices");
+  write_meta();
 }
 
 std::string StoredCsrGraph::blob_name(IntervalId i, const char* what) const {
@@ -141,7 +231,20 @@ void StoredCsrGraph::write_interval(IntervalId i,
   rowptr_blobs_[i]->truncate(0);
   rowptr_blobs_[i]->append(local_rowptr.data(), local_rowptr.size_bytes());
   colidx_blobs_[i]->truncate(0);
-  colidx_blobs_[i]->append(colidx.data(), colidx.size_bytes());
+  if (options_.format == OnDiskFormat::kV2) {
+    std::vector<std::uint8_t> enc;
+    std::vector<std::uint64_t> skips;
+    encode_blocks(colidx, enc, skips, 0);
+    skips.push_back(enc.size());
+    colidx_blobs_[i]->append(enc.data(), enc.size());
+    skip_blobs_[i]->truncate(0);
+    skip_blobs_[i]->append(skips.data(), skips.size() * sizeof(std::uint64_t));
+    skip_index_[i] = std::move(skips);
+  } else {
+    colidx_blobs_[i]->append(colidx.data(), colidx.size_bytes());
+  }
+  storage_.stats().record_logical_write(ssd::IoCategory::kCsrColIdx,
+                                        colidx.size_bytes());
   if (options_.with_weights) {
     val_blobs_[i]->truncate(0);
     val_blobs_[i]->append(val.data(), val.size_bytes());
@@ -175,10 +278,36 @@ void StoredCsrGraph::set_adjacency_cache(std::shared_ptr<ssd::PageCache> cache) 
   adjacency_cache_ = std::move(cache);
 }
 
+void StoredCsrGraph::read_adjacency_v2(IntervalId i, EdgeIndex lo,
+                                       EdgeIndex hi, VertexId* out) const {
+  if (lo == hi) return;
+  const auto& skips = skip_index_[i];
+  const EdgeIndex n_edges = interval_edges_[i];
+  MLVC_CHECK(hi <= n_edges);
+  const std::size_t b0 = static_cast<std::size_t>(lo / kCsrBlockEdges);
+  const std::size_t b1 = static_cast<std::size_t>((hi - 1) / kCsrBlockEdges);
+  const std::uint64_t byte_lo = skips[b0];
+  const std::uint64_t byte_hi = skips[b1 + 1];
+  std::vector<std::uint8_t> comp(byte_hi - byte_lo);
+  if (adjacency_cache_) {
+    adjacency_cache_->read(*colidx_blobs_[i], byte_lo, comp.data(),
+                           comp.size());
+  } else {
+    colidx_blobs_[i]->read(byte_lo, comp.data(), comp.size());
+  }
+  decode_span(skips, n_edges, lo, hi, comp.data(), byte_lo, out);
+}
+
 void StoredCsrGraph::read_adjacency(IntervalId i, EdgeIndex lo, EdgeIndex hi,
                                     std::span<VertexId> out) const {
   MLVC_CHECK(i < intervals_.count() && lo <= hi);
   MLVC_CHECK(out.size() >= hi - lo);
+  storage_.stats().record_logical_read(ssd::IoCategory::kCsrColIdx,
+                                       (hi - lo) * sizeof(VertexId));
+  if (options_.format == OnDiskFormat::kV2) {
+    read_adjacency_v2(i, lo, hi, out.data());
+    return;
+  }
   if (adjacency_cache_) {
     adjacency_cache_->read(*colidx_blobs_[i], lo * sizeof(VertexId),
                            out.data(), (hi - lo) * sizeof(VertexId));
@@ -221,11 +350,60 @@ void StoredCsrGraph::read_local_row_ptrs_multi(
 void StoredCsrGraph::read_adjacency_multi(
     IntervalId i, std::span<const ElemRange> ranges) const {
   MLVC_CHECK(i < intervals_.count());
+  for (const auto& r : ranges) {
+    MLVC_CHECK(r.lo <= r.hi);
+    storage_.stats().record_logical_read(ssd::IoCategory::kCsrColIdx,
+                                         (r.hi - r.lo) * sizeof(VertexId));
+  }
+  if (options_.format == OnDiskFormat::kV2) {
+    if (adjacency_cache_) {
+      for (const auto& r : ranges) {
+        read_adjacency_v2(i, r.lo, r.hi, static_cast<VertexId*>(r.out));
+      }
+      return;
+    }
+    // One vectored read over every range's compressed span, then decode
+    // each span out of the shared arena — the v2 analogue of the preadv
+    // coalescing below.
+    const auto& skips = skip_index_[i];
+    struct CompSpan {
+      std::uint64_t byte_lo = 0, byte_hi = 0;
+      std::size_t arena_off = 0;
+    };
+    std::vector<CompSpan> spans(ranges.size());
+    std::vector<ssd::ReadOp> ops;
+    ops.reserve(ranges.size());
+    std::size_t arena_bytes = 0;
+    for (std::size_t k = 0; k < ranges.size(); ++k) {
+      const auto& r = ranges[k];
+      if (r.lo == r.hi) continue;
+      const std::size_t b0 = static_cast<std::size_t>(r.lo / kCsrBlockEdges);
+      const std::size_t b1 =
+          static_cast<std::size_t>((r.hi - 1) / kCsrBlockEdges);
+      spans[k] = {skips[b0], skips[b1 + 1], arena_bytes};
+      arena_bytes += spans[k].byte_hi - spans[k].byte_lo;
+    }
+    std::vector<std::uint8_t> arena(arena_bytes);
+    for (std::size_t k = 0; k < ranges.size(); ++k) {
+      if (ranges[k].lo == ranges[k].hi) continue;
+      ops.push_back({spans[k].byte_lo, arena.data() + spans[k].arena_off,
+                     static_cast<std::size_t>(spans[k].byte_hi -
+                                              spans[k].byte_lo)});
+    }
+    colidx_blobs_[i]->read_multi(ops);
+    for (std::size_t k = 0; k < ranges.size(); ++k) {
+      const auto& r = ranges[k];
+      if (r.lo == r.hi) continue;
+      decode_span(skips, interval_edges_[i], r.lo, r.hi,
+                  arena.data() + spans[k].arena_off, spans[k].byte_lo,
+                  static_cast<VertexId*>(r.out));
+    }
+    return;
+  }
   if (adjacency_cache_) {
     // Cached path serves each range from host pages (no preadv coalescing —
     // hits never reach the kernel at all).
     for (const auto& r : ranges) {
-      MLVC_CHECK(r.lo <= r.hi);
       adjacency_cache_->read(*colidx_blobs_[i],
                              static_cast<std::uint64_t>(r.lo) *
                                  sizeof(VertexId),
@@ -246,6 +424,108 @@ void StoredCsrGraph::read_values_multi(
 const ssd::Blob& StoredCsrGraph::colidx_blob(IntervalId i) const {
   MLVC_CHECK(i < intervals_.count());
   return *colidx_blobs_[i];
+}
+
+std::uint64_t StoredCsrGraph::adjacency_stored_bytes(IntervalId i) const {
+  MLVC_CHECK(i < intervals_.count());
+  return colidx_blobs_[i]->size();
+}
+
+StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix)
+    : storage_(storage), prefix_(std::move(name_prefix)) {}
+
+std::unique_ptr<StoredCsrGraph> StoredCsrGraph::open(ssd::Storage& storage,
+                                                     std::string name_prefix) {
+  auto g = std::unique_ptr<StoredCsrGraph>(
+      new StoredCsrGraph(storage, std::move(name_prefix)));
+  g->load_meta();
+  return g;
+}
+
+void StoredCsrGraph::write_meta() {
+  std::vector<std::uint64_t> meta;
+  const IntervalId n_int = intervals_.count();
+  meta.reserve(7 + n_int + 1 + n_int);
+  meta.push_back(kCsrMetaMagic);
+  meta.push_back(kCsrMetaVersion);
+  meta.push_back(static_cast<std::uint64_t>(options_.format));
+  meta.push_back(options_.with_weights ? 1 : 0);
+  meta.push_back(n_int);
+  meta.push_back(intervals_.num_vertices());
+  meta.push_back(num_edges_);
+  for (const VertexId b : intervals_.boundaries()) meta.push_back(b);
+  for (IntervalId i = 0; i < n_int; ++i) meta.push_back(interval_edges_[i]);
+  const std::string name = prefix_ + "/csr/meta";
+  ssd::Blob& blob = storage_.has_blob(name)
+                        ? storage_.open_blob(name)
+                        : storage_.create_blob(name, ssd::IoCategory::kMisc);
+  blob.truncate(0);
+  blob.append_span<std::uint64_t>(meta);
+}
+
+void StoredCsrGraph::load_meta() {
+  ssd::Blob& blob = storage_.open_blob(prefix_ + "/csr/meta");
+  const std::uint64_t n_words = blob.element_count<std::uint64_t>();
+  MLVC_CHECK_MSG(n_words >= 7, "csr meta: header truncated");
+  const auto head = blob.read_vector<std::uint64_t>(0, 7);
+  MLVC_CHECK_MSG(head[0] == kCsrMetaMagic,
+                 "csr meta: bad magic (not a stored graph?)");
+  MLVC_CHECK_MSG(head[1] == kCsrMetaVersion,
+                 "csr meta: unsupported meta version " << head[1]);
+  MLVC_CHECK_MSG(head[2] == 1 || head[2] == 2,
+                 "csr meta: unknown on-disk format " << head[2]);
+  options_.format = static_cast<OnDiskFormat>(head[2]);
+  options_.with_weights = head[3] != 0;
+  const IntervalId n_int = static_cast<IntervalId>(head[4]);
+  num_edges_ = head[6];
+  MLVC_CHECK_MSG(n_words == 7 + n_int + 1 + n_int,
+                 "csr meta: truncated interval table");
+  const auto rest =
+      blob.read_vector<std::uint64_t>(7, n_int + 1 + static_cast<std::size_t>(n_int));
+  std::vector<VertexId> boundaries;
+  boundaries.reserve(n_int + 1);
+  for (IntervalId i = 0; i <= n_int; ++i) {
+    boundaries.push_back(static_cast<VertexId>(rest[i]));
+  }
+  intervals_ = VertexIntervals::from_boundaries(std::move(boundaries));
+  MLVC_CHECK_MSG(intervals_.num_vertices() == head[5],
+                 "csr meta: boundary/vertex-count mismatch");
+  interval_edges_.assign(rest.begin() + n_int + 1, rest.end());
+
+  rowptr_blobs_.resize(n_int);
+  colidx_blobs_.resize(n_int);
+  val_blobs_.assign(n_int, nullptr);
+  skip_index_.resize(n_int);
+  skip_blobs_.resize(n_int, nullptr);
+  pending_.clear();
+  pending_.resize(n_int);
+  degrees_.assign(intervals_.num_vertices(), 0);
+  for (IntervalId i = 0; i < n_int; ++i) {
+    rowptr_blobs_[i] = &storage_.open_blob(blob_name(i, "rowptr"));
+    colidx_blobs_[i] = &storage_.open_blob(blob_name(i, "colidx"));
+    if (options_.with_weights) {
+      val_blobs_[i] = &storage_.open_blob(blob_name(i, "val"));
+    }
+    if (options_.format == OnDiskFormat::kV2) {
+      skip_blobs_[i] = &storage_.open_blob(blob_name(i, "colidx.skip"));
+      skip_index_[i] = skip_blobs_[i]->read_vector<std::uint64_t>(
+          0, skip_blobs_[i]->element_count<std::uint64_t>());
+      MLVC_CHECK_MSG(!skip_index_[i].empty() &&
+                         skip_index_[i].back() == colidx_blobs_[i]->size(),
+                     "csr v2: skip index inconsistent with colidx blob");
+    }
+    // Degrees are derivable from the local row pointers; rebuilding them
+    // here keeps the meta blob small.
+    const VertexId vb = intervals_.begin(i);
+    const VertexId width = intervals_.width(i);
+    const auto rp = rowptr_blobs_[i]->read_vector<EdgeIndex>(
+        0, static_cast<std::size_t>(width) + 1);
+    MLVC_CHECK_MSG(rp.back() == interval_edges_[i],
+                   "csr meta: rowptr disagrees with interval edge count");
+    for (VertexId lv = 0; lv < width; ++lv) {
+      degrees_[vb + lv] = rp[lv + 1] - rp[lv];
+    }
+  }
 }
 
 const ssd::Blob& StoredCsrGraph::rowptr_blob(IntervalId i) const {
@@ -344,6 +624,7 @@ void StoredCsrGraph::merge_interval(IntervalId i) {
   write_interval(i, new_rowptr, new_colidx,
                  options_.with_weights ? std::span<const float>(new_val)
                                        : std::span<const float>{});
+  write_meta();  // num_edges_ / interval_edges_ changed
 }
 
 void StoredCsrGraph::overlay_pending(VertexId v,

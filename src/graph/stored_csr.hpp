@@ -42,7 +42,19 @@ struct StoredCsrOptions {
   /// Buffered structural updates per interval before an automatic merge
   /// into the interval's CSR vectors.
   std::size_t merge_threshold = 4096;
+  /// On-disk adjacency layout. kV1 = raw u32 colidx (element-addressable).
+  /// kV2 = delta+zigzag+varint blocks of kCsrBlockEdges edges with a
+  /// resident skip index (colidx.skip blob); reads decode transparently.
+  /// rowptr and val stay fixed-width in both formats.
+  OnDiskFormat format = OnDiskFormat::kV2;
 };
+
+/// Edges per compressed adjacency block (v2). Each block is independently
+/// decodable (first id absolute, rest zigzag'd deltas), so a random
+/// adjacency-batch read touches only the blocks its span overlaps; the
+/// resident skip index costs 8 bytes per block (~1 MiB per GiB of v1
+/// colidx).
+inline constexpr EdgeIndex kCsrBlockEdges = 2048;
 
 class StoredCsrGraph {
  public:
@@ -63,10 +75,20 @@ class StoredCsrGraph {
                  const std::function<bool(Edge&)>& next_edge,
                  Options options = Options());
 
+  /// Re-open a graph previously materialized under `name_prefix` on
+  /// `storage` (same process or a fresh one over the same directory). The
+  /// format, weights flag, interval boundaries, and per-interval edge
+  /// counts come from the versioned csr/meta blob, so a v2 binary opens v1
+  /// graphs (and vice versa) transparently. Throws mlvc::Error on a
+  /// missing/corrupt header.
+  static std::unique_ptr<StoredCsrGraph> open(ssd::Storage& storage,
+                                              std::string name_prefix);
+
   VertexId num_vertices() const noexcept { return intervals_.num_vertices(); }
   EdgeIndex num_edges() const noexcept { return num_edges_; }
   const VertexIntervals& intervals() const noexcept { return intervals_; }
   bool has_weights() const noexcept { return options_.with_weights; }
+  OnDiskFormat format() const noexcept { return options_.format; }
   ssd::Storage& storage() noexcept { return storage_; }
 
   /// Out-degree of every vertex, kept in host memory. 8 bytes per vertex —
@@ -141,6 +163,10 @@ class StoredCsrGraph {
   const ssd::Blob& colidx_blob(IntervalId i) const;
   const ssd::Blob& rowptr_blob(IntervalId i) const;
 
+  /// On-disk bytes of interval i's adjacency stream (compressed bytes under
+  /// v2, raw element bytes under v1). For compression-ratio reporting.
+  std::uint64_t adjacency_stored_bytes(IntervalId i) const;
+
   // ---- structural updates (§V.E) -----------------------------------------
 
   /// Buffer a mutation; merged into the stored CSR automatically once the
@@ -160,10 +186,22 @@ class StoredCsrGraph {
                        std::vector<float>* weights) const;
 
  private:
+  /// Tag ctor for open(): binds storage/prefix, everything else loaded from
+  /// the meta blob by load_meta().
+  StoredCsrGraph(ssd::Storage& storage, std::string name_prefix);
+
   std::string blob_name(IntervalId i, const char* what) const;
   void write_interval(IntervalId i, std::span<const EdgeIndex> local_rowptr,
                       std::span<const VertexId> colidx,
                       std::span<const float> val);
+  /// Persist the versioned header (format, weights, boundaries, edge
+  /// counts) to the csr/meta blob. Called at the end of construction and
+  /// after every structural merge.
+  void write_meta();
+  void load_meta();
+  /// Read + decode colidx entries [lo, hi) of a v2 interval into out.
+  void read_adjacency_v2(IntervalId i, EdgeIndex lo, EdgeIndex hi,
+                         VertexId* out) const;
 
   ssd::Storage& storage_;
   std::string prefix_;
@@ -175,6 +213,12 @@ class StoredCsrGraph {
   std::vector<ssd::Blob*> rowptr_blobs_;
   std::vector<ssd::Blob*> colidx_blobs_;
   std::vector<ssd::Blob*> val_blobs_;
+  /// v2 only: per-interval block skip index — byte offset of each
+  /// compressed block in the colidx blob, plus one closing total. Kept
+  /// resident (8 B per kCsrBlockEdges edges) and mirrored in the
+  /// colidx.skip blob for open().
+  std::vector<std::vector<std::uint64_t>> skip_index_;
+  std::vector<ssd::Blob*> skip_blobs_;
   /// Optional adjacency page cache; mutable because reads are logically
   /// const (the cache has its own internal lock). shared_ptr so a
   /// RuntimeContext-owned cache can be installed across many graphs/queries

@@ -51,7 +51,9 @@ void write_io(std::ostream& out, const ssd::IoStatsSnapshot& io) {
         << "\":{\"pages_read\":" << cat.pages_read
         << ",\"pages_written\":" << cat.pages_written
         << ",\"bytes_read\":" << cat.bytes_read
-        << ",\"bytes_written\":" << cat.bytes_written << '}';
+        << ",\"bytes_written\":" << cat.bytes_written
+        << ",\"logical_bytes_read\":" << cat.logical_bytes_read
+        << ",\"logical_bytes_written\":" << cat.logical_bytes_written << '}';
   }
   out << "}}";
 }
@@ -75,6 +77,10 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
       << "\"supersteps\":" << stats.supersteps.size()
       << ",\"pages_read\":" << stats.total_pages_read()
       << ",\"pages_written\":" << stats.total_pages_written()
+      << ",\"physical_bytes_read\":" << stats.physical_bytes_read()
+      << ",\"physical_bytes_written\":" << stats.physical_bytes_written()
+      << ",\"logical_bytes_read\":" << stats.logical_bytes_read()
+      << ",\"logical_bytes_written\":" << stats.logical_bytes_written()
       << ",\"messages\":" << stats.total_messages()
       << ",\"modeled_storage_seconds\":" << stats.modeled_storage_seconds()
       << ",\"compute_seconds\":" << stats.compute_seconds()

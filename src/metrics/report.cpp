@@ -84,6 +84,18 @@ std::string summarize(const core::RunStats& stats) {
     }
     os << "]";
   }
+  const std::uint64_t physical =
+      stats.physical_bytes_read() + stats.physical_bytes_written();
+  const std::uint64_t logical =
+      stats.logical_bytes_read() + stats.logical_bytes_written();
+  if (physical > 0 && logical > 0) {
+    os << " [bytes: " << format_count(physical) << " on-disk / "
+       << format_count(logical) << " logical, "
+       << format_fixed(static_cast<double>(logical) /
+                           static_cast<double>(physical),
+                       2)
+       << "x]";
+  }
   return os.str();
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "multilog/log_codec.hpp"
 
 namespace mlvc::multilog {
 
@@ -35,7 +36,22 @@ MultiLogStore::MultiLogStore(ssd::Storage& storage, std::string prefix,
                        << " B) smaller than one page (" << page_size_
                        << " B)");
   }
-  usable_page_bytes_ = (page_size_ / config_.record_size) * config_.record_size;
+  if (config_.format == OnDiskFormat::kV2) {
+    // v2 chunk streams are self-delimiting, so pages fill completely and
+    // chunks straddle page boundaries — no per-page record alignment.
+    usable_page_bytes_ = page_size_;
+    MLVC_CHECK_MSG(!config_.payload_varint ||
+                       config_.record_size - sizeof(VertexId) <= 8,
+                   "varint payloads must fit a u64");
+    MLVC_CHECK_MSG(kLogChunkHeaderBytes +
+                           worst_chunk_record_bytes(config_.record_size,
+                                                    config_.payload_varint) <=
+                       0xFFFF,
+                   "record too large for the v2 chunk format");
+  } else {
+    usable_page_bytes_ =
+        (page_size_ / config_.record_size) * config_.record_size;
+  }
   if (config_.staging_records > 0) {
     staging_slot_bytes_ = config_.staging_records * config_.record_size;
     if (config_.buffer_budget_bytes > 0) {
@@ -107,14 +123,34 @@ void MultiLogStore::append_bytes_locked(Generation& gen, IntervalId i,
     }
   }
   gen.counts[i] += n_records;
+  // Logical (decoded) produce bytes, regardless of on-disk format — the
+  // physical side is whatever the eviction batches hand the blob.
+  storage_.stats().record_logical_write(ssd::IoCategory::kMessageLog,
+                                        n_records * config_.record_size);
 }
 
-void MultiLogStore::append(VertexId dst, const void* record) {
-  const IntervalId i = intervals_->interval_of(dst);
+void MultiLogStore::append_single(IntervalId i, const void* record) {
   Generation& gen = generations_[produce_index_];
+  if (config_.format == OnDiskFormat::kV2) {
+    // One-record chunk (the locked slow path trades compression for
+    // simplicity; the staged path encodes whole slots).
+    thread_local std::vector<std::uint8_t> enc;
+    enc.clear();
+    encode_log_records(static_cast<const std::byte*>(record), 1,
+                       config_.record_size, config_.payload_varint, enc);
+    std::lock_guard<std::mutex> lock(*interval_locks_[i]);
+    append_bytes_locked(gen, i,
+                        reinterpret_cast<const std::byte*>(enc.data()),
+                        enc.size(), 1);
+    return;
+  }
   std::lock_guard<std::mutex> lock(*interval_locks_[i]);
   append_bytes_locked(gen, i, static_cast<const std::byte*>(record),
                       config_.record_size, 1);
+}
+
+void MultiLogStore::append(VertexId dst, const void* record) {
+  append_single(intervals_->interval_of(dst), record);
 }
 
 MultiLogStore::Staging MultiLogStore::make_staging() const {
@@ -140,10 +176,7 @@ void MultiLogStore::stage_slow(Staging& staging, VertexId dst,
   if (staging_slot_bytes_ == 0) {
     // Staging disabled: the old locked per-record path (still benefits from
     // the cached interval lookup).
-    Generation& gen = generations_[produce_index_];
-    std::lock_guard<std::mutex> lock(*interval_locks_[i]);
-    append_bytes_locked(gen, i, static_cast<const std::byte*>(record),
-                        config_.record_size, 1);
+    append_single(i, record);
     return;
   }
   Staging::Slot& slot = staging.slots_[i];
@@ -166,12 +199,26 @@ void MultiLogStore::flush_slot(Staging& staging, IntervalId i) {
   MLVC_CHECK_MSG(staging.swap_tag_ == swap_count_,
                  "staging flushed across a generation swap — flush_staging() "
                  "before swap_generations()");
+  const std::uint64_t n_records = slot.fill / config_.record_size;
+  const std::byte* data = slot.buf.data();
+  std::size_t len = slot.fill;
+  // v2: delta+varint encode the staged slot on the producing thread, outside
+  // the interval lock — this is where the compression work happens on the
+  // lock-free produce path. Destinations within a slot cluster (sends walk
+  // sorted adjacency lists), so the delta stream stays short.
+  thread_local std::vector<std::uint8_t> enc;
+  if (config_.format == OnDiskFormat::kV2) {
+    enc.clear();
+    encode_log_records(data, n_records, config_.record_size,
+                       config_.payload_varint, enc);
+    data = reinterpret_cast<const std::byte*>(enc.data());
+    len = enc.size();
+  }
   WallTimer timer;
   {
     Generation& gen = generations_[produce_index_];
     std::lock_guard<std::mutex> lock(*interval_locks_[i]);
-    append_bytes_locked(gen, i, slot.buf.data(), slot.fill,
-                        slot.fill / config_.record_size);
+    append_bytes_locked(gen, i, data, len, n_records);
   }
   staging.stall_seconds_ += timer.elapsed_seconds();
   ++staging.flush_count_;
@@ -281,9 +328,15 @@ void MultiLogStore::load_interval(IntervalId i,
                                   std::vector<std::byte>& out) const {
   MLVC_CHECK(i < intervals_->count());
   const Generation& gen = generations_[1 - produce_index_];
-  const std::uint64_t bytes =
-      gen.counts[i] * config_.record_size;
+  // v1 invariant: the physical stream is exactly the logical records. v2
+  // streams are the encoded chunk bytes; the decoded size is what the
+  // logical counter reports.
+  const std::uint64_t logical = gen.counts[i] * config_.record_size;
+  const std::uint64_t bytes = config_.format == OnDiskFormat::kV2
+                                  ? stream_bytes(gen, i)
+                                  : logical;
   if (bytes == 0) return;
+  storage_.stats().record_logical_read(ssd::IoCategory::kMessageLog, logical);
   const std::size_t base = out.size();
   out.resize(base + bytes);
   std::byte* dst = out.data() + base;
@@ -345,8 +398,18 @@ void MultiLogStore::reset_all() {
 void MultiLogStore::restore_current_interval(
     IntervalId i, std::span<const std::byte> bytes) {
   MLVC_CHECK(i < intervals_->count());
-  MLVC_CHECK_MSG(bytes.size() % config_.record_size == 0,
-                 "restore image not a whole number of records");
+  std::uint64_t n_records = 0;
+  if (config_.format == OnDiskFormat::kV2) {
+    // The image must be a whole chunk stream (checkpoint CRCs catch tears
+    // before this; a torn crash-recovery stream is truncated by the engine's
+    // load funnel, not here).
+    const auto checked = index_log_chunks(bytes, TornPagePolicy::kThrow);
+    n_records = checked.n_records();
+  } else {
+    MLVC_CHECK_MSG(bytes.size() % config_.record_size == 0,
+                   "restore image not a whole number of records");
+    n_records = bytes.size() / config_.record_size;
+  }
   Generation& gen = generations_[1 - produce_index_];
   std::lock_guard<std::mutex> lock(*interval_locks_[i]);
   MLVC_CHECK_MSG(gen.counts[i] == 0,
@@ -368,7 +431,7 @@ void MultiLogStore::restore_current_interval(
     std::memcpy(gen.top[i].data(), bytes.data() + off, tail);
     gen.top_fill[i] = tail;
   }
-  gen.counts[i] = bytes.size() / config_.record_size;
+  gen.counts[i] = n_records;
 }
 
 std::uint64_t MultiLogStore::drain_produce_interval(
@@ -386,8 +449,12 @@ std::uint64_t MultiLogStore::drain_produce_interval(
   flush_evictions(gen);
   wait_background_evictions();
   const std::uint64_t count = gen.counts[i];
-  const std::uint64_t bytes = count * config_.record_size;
+  const std::uint64_t bytes = config_.format == OnDiskFormat::kV2
+                                  ? stream_bytes(gen, i)
+                                  : count * config_.record_size;
   if (bytes == 0) return 0;
+  storage_.stats().record_logical_read(ssd::IoCategory::kMessageLog,
+                                       count * config_.record_size);
   const std::size_t base = out.size();
   out.resize(base + bytes);
   std::byte* dst = out.data() + base;

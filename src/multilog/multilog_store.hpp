@@ -38,6 +38,19 @@ namespace mlvc::multilog {
 struct MultiLogConfig {
   /// Bytes per logged record, including the 4-byte destination header.
   std::size_t record_size = 8;
+
+  /// On-disk layout of the flushed logs. kV1 stores fixed-width records,
+  /// page-aligned (records never straddle a page). kV2 stores the
+  /// delta+varint chunk stream of multilog/log_codec.hpp: pages fill
+  /// completely, chunks may straddle page boundaries, and load_interval
+  /// returns the encoded stream (record counts stay logical either way).
+  /// The engine picks this from EngineOptions::on_disk_format; the default
+  /// here stays v1 so byte-oriented unit tests keep raw-record semantics.
+  OnDiskFormat format = OnDiskFormat::kV1;
+  /// v2 only: varint-encode the post-destination payload bytes (small
+  /// integral messages); false keeps payloads fixed-width (floats, padded
+  /// records). Must match multilog::kPayloadVarint<Message> for typed use.
+  bool payload_varint = false;
   /// Host memory available for top pages (A% of the budget, §V.A.3). The
   /// paper notes at least one page per interval must be resident; we enforce
   /// exactly one top page per interval and check the budget covers it.
@@ -85,6 +98,8 @@ class MultiLogStore {
   ~MultiLogStore();
 
   std::size_t record_size() const noexcept { return config_.record_size; }
+  OnDiskFormat format() const noexcept { return config_.format; }
+  bool payload_varint() const noexcept { return config_.payload_varint; }
   IntervalId interval_count() const noexcept {
     return static_cast<IntervalId>(intervals_->count());
   }
@@ -195,13 +210,18 @@ class MultiLogStore {
   std::uint64_t current_count(IntervalId i) const;
   std::uint64_t total_current_count() const;
 
-  /// Byte size of interval i's current log (for fusion planning).
+  /// Logical (decoded) byte size of interval i's current log — records x
+  /// record_size regardless of on-disk format, which is what fusion planning
+  /// sizes its sort budget against.
   std::uint64_t current_bytes(IntervalId i) const {
     return current_count(i) * config_.record_size;
   }
 
   /// Load interval i's full current log (spilled pages + resident tail) into
-  /// `out`, appended. Page reads are charged to IoCategory::kMessageLog.
+  /// `out`, appended. Page reads are charged to IoCategory::kMessageLog
+  /// (physical bytes); the decoded size is recorded as logical bytes. Under
+  /// v1 the bytes are raw records; under v2 they are the encoded chunk
+  /// stream (current_bytes(i) is the decoded size).
   void load_interval(IntervalId i, std::vector<std::byte>& out) const;
 
   /// Number of pages interval i's current log occupies on storage.
@@ -238,12 +258,22 @@ class MultiLogStore {
   };
 
   void reset_generation(Generation& gen, const std::string& blob_name);
-  /// Copy `n_records` records (`len` bytes) into interval i's top page,
-  /// evicting each page as it fills. Caller holds interval i's lock. Records
-  /// never straddle a page boundary: pages fill to usable_page_bytes_ only.
+  /// Copy `len` stream bytes carrying `n_records` records into interval i's
+  /// top page, evicting each page as it fills (to usable_page_bytes_, which
+  /// is the whole page under v2 — encoded chunks straddle pages). Caller
+  /// holds interval i's lock. Under v1, len is n_records whole records and
+  /// records never straddle a page boundary.
   void append_bytes_locked(Generation& gen, IntervalId i,
                            const std::byte* data, std::size_t len,
                            std::uint64_t n_records);
+  /// Locked-path single-record append (append() and the staging-off slow
+  /// path): encodes under v2, raw copy under v1.
+  void append_single(IntervalId i, const void* record);
+  /// Physical stream bytes of interval i in `gen`: spilled pages plus the
+  /// resident tail. Equals counts[i] * record_size under v1.
+  std::uint64_t stream_bytes(const Generation& gen, IntervalId i) const {
+    return gen.pages[i].size() * usable_page_bytes_ + gen.top_fill[i];
+  }
   /// Flush one staging slot's buffered records under the interval lock.
   void flush_slot(Staging& staging, IntervalId i);
   /// append_staged cold path: interval-cache refresh, first touch of a slot

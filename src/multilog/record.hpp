@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "multilog/log_codec.hpp"
 #include "multilog/multilog_store.hpp"
 
 namespace mlvc::multilog {
@@ -43,12 +44,18 @@ void append_record_staged(MultiLogStore& store, MultiLogStore::Staging& staging,
   store.append_staged_fixed<sizeof(rec)>(staging, dst, &rec);
 }
 
-/// What to do when a raw log buffer is not a whole number of records (a
-/// torn or truncated trailing page left by a crash mid-append).
-enum class TornPagePolicy {
-  kThrow,     // strict: surface as a typed mlvc::Error
-  kTruncate,  // recovery: drop the partial tail record and continue
-};
+// TornPagePolicy lives in multilog/log_codec.hpp (shared by the v1 record
+// funnel below and the v2 chunk-stream funnel).
+
+/// v2 on-disk format: varint-encode the payload bytes after the destination
+/// header when the message is a small integral with no struct padding
+/// (BFS/WCC/k-core style); floats and padded records keep the fixed-width
+/// fallback. Must be a pure function of the Message type — the checkpoint
+/// transcoder and every store over the same app must agree.
+template <typename Message>
+inline constexpr bool kPayloadVarint =
+    std::is_integral_v<Message> && sizeof(Message) <= 8 &&
+    sizeof(Record<Message>) == sizeof(VertexId) + sizeof(Message);
 
 /// Bytes to keep from `bytes` so the buffer is a whole number of
 /// `record_size`-byte records — i.e. the length with the torn tail dropped.

@@ -28,6 +28,7 @@
 
 #include "common/parallel.hpp"
 #include "common/types.hpp"
+#include "multilog/log_codec.hpp"
 #include "multilog/record.hpp"
 
 namespace mlvc::multilog {
@@ -318,6 +319,227 @@ inline bool choose_scatter(SortGroupPath policy, std::size_t n_records,
   return counting_scatter_fits(n_records, width);
 }
 
+// ---- v2 (chunked delta+varint) decode fused into the scatter ---------------
+
+/// Group consecutive encoded chunks into parallel work units of about
+/// kScatterChunkRecords records each. A pure function of the chunk index, so
+/// the v2 scatter is as deterministic as the v1 one.
+inline std::vector<std::size_t> chunk_units(const LogChunkIndex& idx) {
+  const std::size_t n_enc = idx.chunk_offsets.size();
+  std::vector<std::size_t> ub;
+  ub.push_back(0);
+  std::size_t unit_start_rec = 0;
+  for (std::size_t c = 0; c < n_enc; ++c) {
+    if (idx.rec_offsets[c + 1] - unit_start_rec >= kScatterChunkRecords) {
+      ub.push_back(c + 1);
+      unit_start_rec = idx.rec_offsets[c + 1];
+    }
+  }
+  if (ub.back() != n_enc) ub.push_back(n_enc);
+  return ub;
+}
+
+/// Fill record bytes [4, record_size) — everything after the destination —
+/// from a chunk's payload cursor. The uvarint branch writes the message's
+/// exact bit pattern (encode zero-extends it into a u64); the fixed branch
+/// copies the raw record tail, padding bytes included, so the decoded
+/// record is byte-identical to what the producer staged.
+template <typename Message>
+void read_chunk_payload(const std::uint8_t** cur, const std::uint8_t* end,
+                        Record<Message>* r) {
+  constexpr std::size_t kArea = sizeof(Record<Message>) - sizeof(VertexId);
+  auto* out = reinterpret_cast<std::byte*>(r) + sizeof(VertexId);
+  if constexpr (kPayloadVarint<Message>) {
+    static_assert(kArea <= 8);
+    const std::uint64_t v = get_uvarint(cur, end);
+    std::memcpy(out, &v, kArea);
+  } else {
+    MLVC_CHECK_MSG(static_cast<std::size_t>(end - *cur) >= kArea,
+                   "log chunk payload area truncated");
+    std::memcpy(out, *cur, kArea);
+    *cur += kArea;
+  }
+}
+
+/// Decode every record of encoded chunks [c_begin, c_end) in append order,
+/// calling fn(const Record&). One dst-array scratch per call (bounded by
+/// kLogChunkMaxRecords), reused across chunks.
+template <typename Message, typename Fn>
+void for_each_unit_record(const std::uint8_t* data, const LogChunkIndex& idx,
+                          std::size_t c_begin, std::size_t c_end, Fn&& fn) {
+  using Rec = Record<Message>;
+  std::vector<VertexId> dsts;
+  for (std::size_t c = c_begin; c < c_end; ++c) {
+    const std::uint8_t* chunk = data + idx.chunk_offsets[c];
+    const LogChunkHeader h = read_chunk_header(chunk);
+    dsts.resize(h.n_records);
+    std::size_t k = 0;
+    for_each_chunk_dst(chunk, h, [&](VertexId dst) { dsts[k++] = dst; });
+    const std::uint8_t* cur = chunk + kLogChunkHeaderBytes + h.dst_bytes;
+    const std::uint8_t* end = chunk + kLogChunkHeaderBytes + h.body_bytes;
+    for (k = 0; k < h.n_records; ++k) {
+      Rec r;
+      r.dst = dsts[k];
+      read_chunk_payload<Message>(&cur, end, &r);
+      fn(static_cast<const Rec&>(r));
+    }
+    MLVC_CHECK_MSG(cur == end, "log chunk payload area length mismatch");
+  }
+}
+
+/// v2 counting scatter, no combine: the histogram pass decodes only the
+/// destination streams (skipping payload areas via the header's dst_bytes),
+/// the scatter pass decodes records straight into their final grouped
+/// positions — decompression is fused into the same two passes the v1 path
+/// makes over raw bytes; no intermediate expanded copy of the log exists.
+template <typename Message>
+GroupedLog<Message> scatter_group_v2(std::span<const std::byte> bytes,
+                                     const LogChunkIndex& idx,
+                                     VertexId range_begin, VertexId range_end) {
+  using Rec = Record<Message>;
+  GroupedLog<Message> out;
+  out.path = SortGroupPath::kCountingScatter;
+  const std::size_t n = idx.n_records();
+  out.decoded = n;
+  if (n == 0) return out;
+  MLVC_CHECK(n <= std::numeric_limits<std::uint32_t>::max());
+  const std::size_t width = static_cast<std::size_t>(range_end - range_begin);
+  const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  const std::vector<std::size_t> ub = chunk_units(idx);
+  const std::size_t n_units = ub.size() - 1;
+
+  // Pass 1: per-unit histograms from the dst streams alone.
+  std::vector<std::uint32_t> hist(n_units * width, 0);
+  parallel_for(std::size_t{0}, n_units, [&](std::size_t u) {
+    std::uint32_t* h = hist.data() + u * width;
+    for (std::size_t c = ub[u]; c < ub[u + 1]; ++c) {
+      const std::uint8_t* chunk = data + idx.chunk_offsets[c];
+      for_each_chunk_dst(chunk, read_chunk_header(chunk), [&](VertexId dst) {
+        check_dst_in_range(dst, range_begin, range_end);
+        ++h[dst - range_begin];
+      });
+    }
+  });
+
+  // Prefix sum + group offsets + per-unit cursors: identical to the v1 path.
+  std::vector<std::size_t> starts(width);
+  const auto wb = chunk_bounds(width, std::size_t{4096}, hardware_threads());
+  parallel_for(std::size_t{0}, wb.size() - 1, [&](std::size_t wc) {
+    for (std::size_t d = wb[wc]; d < wb[wc + 1]; ++d) {
+      std::size_t total = 0;
+      for (std::size_t u = 0; u < n_units; ++u) total += hist[u * width + d];
+      starts[d] = total;
+    }
+  });
+  const std::size_t total =
+      parallel_exclusive_scan(std::span<std::size_t>(starts));
+  MLVC_CHECK(total == n);
+  out.offsets.clear();
+  for (std::size_t d = 0; d < width; ++d) {
+    const std::size_t next = d + 1 < width ? starts[d + 1] : n;
+    if (next != starts[d]) out.offsets.push_back(starts[d]);
+  }
+  out.offsets.push_back(n);
+  parallel_for(std::size_t{0}, wb.size() - 1, [&](std::size_t wc) {
+    for (std::size_t d = wb[wc]; d < wb[wc + 1]; ++d) {
+      std::size_t pos = starts[d];
+      for (std::size_t u = 0; u < n_units; ++u) {
+        const std::uint32_t cnt = hist[u * width + d];
+        hist[u * width + d] = static_cast<std::uint32_t>(pos);
+        pos += cnt;
+      }
+    }
+  });
+
+  // Pass 2: full decode, scattered straight to final grouped positions.
+  out.records.resize(n);
+  Rec* recs = out.records.data();
+  parallel_for(std::size_t{0}, n_units, [&](std::size_t u) {
+    std::uint32_t* cursors = hist.data() + u * width;
+    for_each_unit_record<Message>(data, idx, ub[u], ub[u + 1],
+                                  [&](const Rec& r) {
+                                    recs[cursors[r.dst - range_begin]++] = r;
+                                  });
+  });
+  return out;
+}
+
+/// v2 scatter-with-combine: decode fused into the single accumulate pass
+/// (mirrors scatter_group_combine over chunk units).
+template <typename Message, typename Combine>
+GroupedLog<Message> scatter_group_combine_v2(std::span<const std::byte> bytes,
+                                             const LogChunkIndex& idx,
+                                             VertexId range_begin,
+                                             VertexId range_end,
+                                             Combine&& combine) {
+  using Rec = Record<Message>;
+  GroupedLog<Message> out;
+  out.path = SortGroupPath::kCountingScatter;
+  const std::size_t n = idx.n_records();
+  out.decoded = n;
+  if (n == 0) return out;
+  MLVC_CHECK(n <= std::numeric_limits<std::uint32_t>::max());
+  const std::size_t width = static_cast<std::size_t>(range_end - range_begin);
+  const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  const std::vector<std::size_t> ub = chunk_units(idx);
+  const std::size_t n_units = ub.size() - 1;
+
+  std::vector<std::uint32_t> hist(n_units * width, 0);
+  std::vector<Message> accs(n_units * width);
+  parallel_for(std::size_t{0}, n_units, [&](std::size_t u) {
+    std::uint32_t* h = hist.data() + u * width;
+    Message* a = accs.data() + u * width;
+    for_each_unit_record<Message>(
+        data, idx, ub[u], ub[u + 1], [&](const Rec& r) {
+          check_dst_in_range(r.dst, range_begin, range_end);
+          const std::size_t d = r.dst - range_begin;
+          a[d] = h[d] ? combine(a[d], r.payload) : r.payload;
+          ++h[d];
+        });
+  });
+
+  const auto wb = chunk_bounds(width, std::size_t{4096}, hardware_threads());
+  const std::size_t n_wc = wb.size() - 1;
+  std::vector<std::size_t> slot_base(n_wc, 0);
+  parallel_for(std::size_t{0}, n_wc, [&](std::size_t wc) {
+    std::size_t live = 0;
+    for (std::size_t d = wb[wc]; d < wb[wc + 1]; ++d) {
+      for (std::size_t u = 0; u < n_units; ++u) {
+        if (hist[u * width + d] != 0) {
+          ++live;
+          break;
+        }
+      }
+    }
+    slot_base[wc] = live;
+  });
+  const std::size_t n_groups =
+      parallel_exclusive_scan(std::span<std::size_t>(slot_base));
+
+  out.records.resize(n_groups);
+  Rec* recs = out.records.data();
+  parallel_for(std::size_t{0}, n_wc, [&](std::size_t wc) {
+    std::size_t slot = slot_base[wc];
+    for (std::size_t d = wb[wc]; d < wb[wc + 1]; ++d) {
+      Message acc{};
+      bool live = false;
+      for (std::size_t u = 0; u < n_units; ++u) {
+        if (hist[u * width + d] == 0) continue;
+        const Message& m = accs[u * width + d];
+        acc = live ? combine(acc, m) : m;
+        live = true;
+      }
+      if (live) {
+        recs[slot] = Rec{static_cast<VertexId>(range_begin + d), acc};
+        ++slot;
+      }
+    }
+  });
+  out.offsets.resize(n_groups + 1);
+  for (std::size_t i = 0; i <= n_groups; ++i) out.offsets[i] = i;
+  return out;
+}
+
 }  // namespace detail
 
 /// Decode + group one fused interval group's raw log (destinations all in
@@ -357,6 +579,68 @@ GroupedLog<Message> sort_and_group(std::span<const std::byte> bytes,
   GroupedLog<Message> out;
   out.path = SortGroupPath::kComparisonSort;
   out.records = decode_records<Message>(bytes);
+  out.decoded = out.records.size();
+  sort_records(out.records);
+  combine_sorted(out.records, std::forward<Combine>(combine));
+  out.offsets = group_offsets(
+      std::span<const Record<Message>>(out.records.data(), out.records.size()));
+  return out;
+}
+
+// ---- v2 (chunked delta+varint) entry points --------------------------------
+//
+// Same contracts as sort_and_group, over a v2 chunk stream (the shape
+// MultiLogStore::load_interval returns under OnDiskFormat::kV2). The stream
+// must be whole chunks — the engine's torn-page funnel
+// (index_log_chunks under TornPagePolicy::kTruncate) runs at load time,
+// so a tear never reaches the scatter. Record order within the stream is
+// append order, exactly the order the v1 byte stream carries, so both
+// formats produce identical grouped output.
+
+/// Expand a v2 chunk stream into typed records (the comparison-sort
+/// fallback's decode; also used by checkpoint transcoding tests).
+template <typename Message>
+std::vector<Record<Message>> decode_records_v2(std::span<const std::byte> bytes) {
+  std::vector<std::byte> raw;
+  decode_chunks_to_records(bytes, sizeof(Record<Message>),
+                           kPayloadVarint<Message>, raw);
+  return decode_records<Message>(raw);
+}
+
+template <typename Message>
+GroupedLog<Message> sort_and_group_v2(std::span<const std::byte> bytes,
+                                      VertexId range_begin, VertexId range_end,
+                                      SortGroupPath policy) {
+  const LogChunkIndex idx = index_log_chunks(bytes, TornPagePolicy::kThrow);
+  if (detail::choose_scatter(policy, idx.n_records(),
+                             range_end - range_begin)) {
+    return detail::scatter_group_v2<Message>(bytes, idx, range_begin,
+                                             range_end);
+  }
+  GroupedLog<Message> out;
+  out.path = SortGroupPath::kComparisonSort;
+  out.records = decode_records_v2<Message>(bytes);
+  out.decoded = out.records.size();
+  sort_records(out.records);
+  out.offsets = group_offsets(
+      std::span<const Record<Message>>(out.records.data(), out.records.size()));
+  return out;
+}
+
+template <typename Message, typename Combine>
+GroupedLog<Message> sort_and_group_v2(std::span<const std::byte> bytes,
+                                      VertexId range_begin, VertexId range_end,
+                                      SortGroupPath policy,
+                                      Combine&& combine) {
+  const LogChunkIndex idx = index_log_chunks(bytes, TornPagePolicy::kThrow);
+  if (detail::choose_scatter(policy, idx.n_records(),
+                             range_end - range_begin)) {
+    return detail::scatter_group_combine_v2<Message>(
+        bytes, idx, range_begin, range_end, std::forward<Combine>(combine));
+  }
+  GroupedLog<Message> out;
+  out.path = SortGroupPath::kComparisonSort;
+  out.records = decode_records_v2<Message>(bytes);
   out.decoded = out.records.size();
   sort_records(out.records);
   combine_sorted(out.records, std::forward<Combine>(combine));

@@ -50,8 +50,18 @@ struct IoStatsSnapshot {
   struct Category {
     std::uint64_t pages_read = 0;
     std::uint64_t pages_written = 0;
+    /// Physical traffic: bytes as issued against the blob (compressed
+    /// lengths under on-disk format v2). Recorded by the Blob I/O layer.
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
+    /// Logical traffic: post-decode (read) / pre-encode (write) bytes, as
+    /// seen by the consumer layer — decoded adjacency elements, decoded log
+    /// records, checkpoint payloads. Recorded by those layers, for both
+    /// formats, so logical/physical is the observed compression ratio and
+    /// logical/num_edges is bytes-per-edge. Zero for layers that don't
+    /// report it.
+    std::uint64_t logical_bytes_read = 0;
+    std::uint64_t logical_bytes_written = 0;
   };
   std::array<Category, kNumIoCategories> categories{};
   /// Host-side page-cache traffic (ssd::PageCache): hits cost no device
@@ -102,6 +112,29 @@ struct IoStatsSnapshot {
   std::uint64_t total_pages() const {
     return total_pages_read() + total_pages_written();
   }
+  /// Physical bytes as issued against the blobs (compressed under v2).
+  std::uint64_t total_bytes_read() const {
+    std::uint64_t t = 0;
+    for (const auto& c : categories) t += c.bytes_read;
+    return t;
+  }
+  std::uint64_t total_bytes_written() const {
+    std::uint64_t t = 0;
+    for (const auto& c : categories) t += c.bytes_written;
+    return t;
+  }
+  /// Logical (post-decode / pre-encode) bytes, where the consumer reported
+  /// them. logical/physical per category is the observed compression ratio.
+  std::uint64_t total_logical_bytes_read() const {
+    std::uint64_t t = 0;
+    for (const auto& c : categories) t += c.logical_bytes_read;
+    return t;
+  }
+  std::uint64_t total_logical_bytes_written() const {
+    std::uint64_t t = 0;
+    for (const auto& c : categories) t += c.logical_bytes_written;
+    return t;
+  }
 
   IoStatsSnapshot operator-(const IoStatsSnapshot& rhs) const {
     IoStatsSnapshot out;
@@ -114,6 +147,12 @@ struct IoStatsSnapshot {
           categories[i].bytes_read - rhs.categories[i].bytes_read;
       out.categories[i].bytes_written =
           categories[i].bytes_written - rhs.categories[i].bytes_written;
+      out.categories[i].logical_bytes_read =
+          categories[i].logical_bytes_read -
+          rhs.categories[i].logical_bytes_read;
+      out.categories[i].logical_bytes_written =
+          categories[i].logical_bytes_written -
+          rhs.categories[i].logical_bytes_written;
     }
     out.cache_hit_pages = cache_hit_pages - rhs.cache_hit_pages;
     out.cache_miss_pages = cache_miss_pages - rhs.cache_miss_pages;
@@ -168,6 +207,14 @@ class IoStats {
   void record_write(IoCategory c, std::uint64_t pages, std::uint64_t bytes) {
     record_write_impl(c, pages, bytes);
     if (IoStats* s = mirror()) s->record_write_impl(c, pages, bytes);
+  }
+  void record_logical_read(IoCategory c, std::uint64_t bytes) {
+    record_logical_read_impl(c, bytes);
+    if (IoStats* s = mirror()) s->record_logical_read_impl(c, bytes);
+  }
+  void record_logical_write(IoCategory c, std::uint64_t bytes) {
+    record_logical_write_impl(c, bytes);
+    if (IoStats* s = mirror()) s->record_logical_write_impl(c, bytes);
   }
   void record_cache_hit(std::uint64_t pages) {
     cache_hit_pages_.fetch_add(pages, std::memory_order_relaxed);
@@ -237,6 +284,10 @@ class IoStats {
           categories_[i].bytes_read.load(std::memory_order_relaxed);
       out.categories[i].bytes_written =
           categories_[i].bytes_written.load(std::memory_order_relaxed);
+      out.categories[i].logical_bytes_read =
+          categories_[i].logical_bytes_read.load(std::memory_order_relaxed);
+      out.categories[i].logical_bytes_written =
+          categories_[i].logical_bytes_written.load(std::memory_order_relaxed);
     }
     out.cache_hit_pages = cache_hit_pages_.load(std::memory_order_relaxed);
     out.cache_miss_pages = cache_miss_pages_.load(std::memory_order_relaxed);
@@ -261,6 +312,8 @@ class IoStats {
       cat.pages_written.store(0, std::memory_order_relaxed);
       cat.bytes_read.store(0, std::memory_order_relaxed);
       cat.bytes_written.store(0, std::memory_order_relaxed);
+      cat.logical_bytes_read.store(0, std::memory_order_relaxed);
+      cat.logical_bytes_written.store(0, std::memory_order_relaxed);
     }
     cache_hit_pages_.store(0, std::memory_order_relaxed);
     cache_miss_pages_.store(0, std::memory_order_relaxed);
@@ -280,6 +333,8 @@ class IoStats {
     std::atomic<std::uint64_t> pages_written{0};
     std::atomic<std::uint64_t> bytes_read{0};
     std::atomic<std::uint64_t> bytes_written{0};
+    std::atomic<std::uint64_t> logical_bytes_read{0};
+    std::atomic<std::uint64_t> logical_bytes_written{0};
   };
 
   static IoStats*& tls_sink() noexcept {
@@ -311,6 +366,14 @@ class IoStats {
     auto& cat = categories_[static_cast<unsigned>(c)];
     cat.pages_written.fetch_add(pages, std::memory_order_relaxed);
     cat.bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void record_logical_read_impl(IoCategory c, std::uint64_t bytes) {
+    categories_[static_cast<unsigned>(c)].logical_bytes_read.fetch_add(
+        bytes, std::memory_order_relaxed);
+  }
+  void record_logical_write_impl(IoCategory c, std::uint64_t bytes) {
+    categories_[static_cast<unsigned>(c)].logical_bytes_written.fetch_add(
+        bytes, std::memory_order_relaxed);
   }
 
   std::array<Category, kNumIoCategories> categories_{};

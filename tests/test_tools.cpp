@@ -5,7 +5,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "graph/generators.hpp"
+#include "graph/stored_csr.hpp"
 #include "ssd/storage.hpp"
 
 namespace mlvc {
@@ -50,6 +53,69 @@ TEST(Tools, ConvertSnapToBinary) {
             0);
   EXPECT_EQ(run_tool(std::string(MLVC_TOOL_RUN) + " --graph " + graph +
                      " --app wcc --budget 1M --page-size 4K"),
+            0);
+}
+
+TEST(Tools, ConvertStoreBetweenFormats) {
+  // Build a v2 stored graph, then drive mlvc_convert over the directory:
+  // --stats must report the format, and a v2 -> v1 -> v2 conversion chain
+  // must preserve the adjacency exactly.
+  ssd::TempDir dir("convert_store");
+  graph::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 4;
+  const auto csr = graph::CsrGraph::from_edge_list(generate_rmat(params));
+  const auto intervals = graph::VertexIntervals::uniform(csr.num_vertices(), 128);
+  const std::string src_dir = (dir.path() / "v2").string();
+  {
+    ssd::Storage storage(src_dir);
+    graph::StoredCsrGraph stored(storage, "g", csr, intervals,
+                                 {.format = OnDiskFormat::kV2});
+  }
+
+  const std::string stats_log = (dir.path() / "stats.log").string();
+  ASSERT_EQ(std::system((std::string(MLVC_TOOL_CONVERT) + " --store " +
+                         src_dir + " --stats > " + stats_log + " 2>&1")
+                            .c_str()),
+            0);
+  {
+    std::ifstream in(stats_log);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("format v2"), std::string::npos) << buf.str();
+  }
+
+  const std::string v1_dir = (dir.path() / "v1").string();
+  ASSERT_EQ(run_tool(std::string(MLVC_TOOL_CONVERT) + " --store " + src_dir +
+                     " --out-store " + v1_dir + " --format v1"),
+            0);
+  const std::string v2_dir = (dir.path() / "v2_again").string();
+  ASSERT_EQ(run_tool(std::string(MLVC_TOOL_CONVERT) + " --store " + v1_dir +
+                     " --out-store " + v2_dir + " --format v2"),
+            0);
+
+  for (const auto& [path, format] :
+       {std::pair{v1_dir, OnDiskFormat::kV1}, {v2_dir, OnDiskFormat::kV2}}) {
+    ssd::Storage storage(path);
+    auto reopened = graph::StoredCsrGraph::open(storage, "g");
+    ASSERT_EQ(reopened->format(), format);
+    ASSERT_EQ(reopened->num_edges(), csr.num_edges());
+    for (IntervalId i = 0; i < intervals.count(); ++i) {
+      const EdgeIndex edges = reopened->interval_edge_count(i);
+      std::vector<VertexId> got(edges);
+      if (edges > 0) reopened->read_adjacency(i, 0, edges, got);
+      std::vector<VertexId> want;
+      for (VertexId v = intervals.begin(i); v < intervals.end(i); ++v) {
+        const auto nbrs = csr.neighbors(v);
+        want.insert(want.end(), nbrs.begin(), nbrs.end());
+      }
+      ASSERT_EQ(got, want) << "interval " << i << " of " << path;
+    }
+  }
+
+  // A bogus store directory must fail cleanly.
+  EXPECT_NE(run_tool(std::string(MLVC_TOOL_CONVERT) + " --store " +
+                     (dir.path() / "nope").string() + " --stats"),
             0);
 }
 

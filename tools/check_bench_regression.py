@@ -30,6 +30,13 @@ in a way absolute numbers are not. Two suites:
     are reported but not enforced (scaling at c<=4 is dominated by core
     count, not the serving path).
 
+  --suite compress
+    bench_compress's custom BENCH_compress.json: v1/v2 bytes-per-edge
+    ratios per layer — what the delta+varint on-disk format bought.
+    Entries the binary marks "enforced": false are reported only.
+    --min-ratio enforces the compression floor (ISSUE acceptance: >= 2x
+    on adjacency and message-log bytes/edge).
+
 Individual configurations are noisy at CI bench durations (a single 0.02 s
 run can swing ±30%), so the gate is the *geometric mean* of the ratios over
 all enforced configurations: a genuine regression shifts every
@@ -132,6 +139,23 @@ def load_serve_ratios(path, min_concurrency):
     return ratios, enforced
 
 
+def load_compress_ratios(path, _unused=None):
+    """Map metric name -> v1/v2 ratio from bench_compress's custom JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    ratios = {}
+    enforced = {}
+    for run in data.get("runs", []):
+        metric = run.get("metric")
+        ratio = run.get("ratio", 0)
+        if not metric or ratio <= 0:
+            continue
+        ratios[metric] = ratio
+        if run.get("enforced"):
+            enforced[metric] = ratio
+    return ratios, enforced
+
+
 def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
@@ -140,7 +164,7 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
     ap.add_argument("baseline")
-    ap.add_argument("--suite", choices=("scatter", "io", "serve"),
+    ap.add_argument("--suite", choices=("scatter", "io", "serve", "compress"),
                     default="scatter")
     ap.add_argument("--max-regression", type=float, default=0.30,
                     help="fail when ratio drops by more than this fraction")
@@ -166,6 +190,10 @@ def main():
         base_all, base = load_serve_ratios(args.baseline,
                                            args.min_concurrency)
         label = "qps-vs-c1 scaling"
+    elif args.suite == "compress":
+        cur_all, cur = load_compress_ratios(args.current)
+        base_all, base = load_compress_ratios(args.baseline)
+        label = "v1/v2 bytes-per-edge"
     else:
         cur_all, cur = load_io_ratios(args.current, args.min_depth)
         base_all, base = load_io_ratios(args.baseline, args.min_depth)

@@ -40,7 +40,35 @@ struct RunConfig {
   std::size_t adj_cache;  // adjacency page-cache bytes (mlvc engine)
   ssd::IoBackendKind io_backend;  // hot-path I/O substrate (mlvc engine)
   unsigned io_depth;              // io_uring ring size
+  OnDiskFormat format;            // stored-CSR / message-log layout
 };
+
+/// Per-layer on-disk vs logical byte split — makes bytes/edge (and the v2
+/// compression ratio) observable straight from the CLI.
+void print_bytes_per_edge(const core::RunStats& stats, EdgeIndex num_edges) {
+  if (num_edges == 0) return;
+  const auto line = [&](const char* name, ssd::IoCategory cat) {
+    const auto c = stats.category_bytes(cat);
+    const std::uint64_t physical = c.bytes_read + c.bytes_written;
+    const std::uint64_t logical = c.logical_bytes_read + c.logical_bytes_written;
+    if (physical == 0 && logical == 0) return;
+    std::cout << "  " << name << ": "
+              << static_cast<double>(physical) / static_cast<double>(num_edges)
+              << " B/edge on-disk, "
+              << static_cast<double>(logical) / static_cast<double>(num_edges)
+              << " B/edge logical";
+    if (physical > 0 && logical > 0) {
+      std::cout << " (ratio "
+                << static_cast<double>(logical) / static_cast<double>(physical)
+                << "x)";
+    }
+    std::cout << "\n";
+  };
+  std::cout << "bytes/edge by layer:\n";
+  line("adjacency", ssd::IoCategory::kCsrColIdx);
+  line("message_log", ssd::IoCategory::kMessageLog);
+  line("checkpoint", ssd::IoCategory::kMisc);
+}
 
 template <core::VertexApp App>
 int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
@@ -60,9 +88,11 @@ int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
     opts.adjacency_cache_bytes = cfg.adj_cache;
     opts.io_backend = cfg.io_backend;
     opts.io_queue_depth = cfg.io_depth;
+    opts.on_disk_format = cfg.format;
     graph::StoredCsrGraph stored(storage, "g", csr,
                                  core::partition_for_app<App>(csr, opts),
-                                 {.with_weights = App::kNeedsWeights});
+                                 {.with_weights = App::kNeedsWeights,
+                                  .format = cfg.format});
     core::MultiLogVCEngine<App> engine(stored, app, opts);
     stats = engine.run();
   } else if (cfg.engine == "graphchi") {
@@ -77,7 +107,8 @@ int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
     popts.memory_budget_bytes = cfg.budget;
     graph::StoredCsrGraph stored(storage, "g", csr,
                                  core::partition_for_app<App>(csr, popts),
-                                 {.with_weights = App::kNeedsWeights});
+                                 {.with_weights = App::kNeedsWeights,
+                                  .format = cfg.format});
     grafboost::GraFBoostOptions opts;
     opts.memory_budget_bytes = cfg.budget;
     opts.max_supersteps = cfg.supersteps;
@@ -90,7 +121,9 @@ int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
     return 2;
   }
 
-  std::cout << metrics::summarize(stats) << "\n\n";
+  std::cout << metrics::summarize(stats) << "\n";
+  print_bytes_per_edge(stats, csr.num_edges());
+  std::cout << "\n";
   metrics::print_superstep_table(stats);
   if (!cfg.json_path.empty()) {
     std::ofstream json(cfg.json_path);
@@ -123,6 +156,8 @@ int main(int argc, char** argv) {
       .option("io-backend", "threadpool | uring (falls back if unsupported)",
               "threadpool")
       .option("io-depth", "io_uring submission queue depth", "64")
+      .option("format", "on-disk layout: v1 | v2 (default MLVC_FORMAT or v2)",
+              "-")
       .option("json", "write run statistics to this JSON file", "-");
   try {
     args.parse(argc, argv);
@@ -140,6 +175,21 @@ int main(int argc, char** argv) {
                 << "' (threadpool | uring)\n";
       return 2;
     }
+    // Resolve the MLVC_FORMAT env override first; --format wins over both
+    // it and the built-in default. (The engine re-applies env overrides at
+    // construction, but the stored CSR below needs the resolved value too.)
+    OnDiskFormat format =
+        core::apply_env_overrides(core::EngineOptions{}).on_disk_format;
+    const std::string format_arg = args.get_string("format", "-");
+    if (format_arg != "-") {
+      if (!parse_on_disk_format(format_arg.c_str(), &format)) {
+        std::cerr << "unknown --format '" << format_arg << "' (v1 | v2)\n";
+        return 2;
+      }
+      // The engine re-applies MLVC_FORMAT at construction; pin it so an
+      // explicit --format can't be half-overridden into a mixed config.
+      setenv("MLVC_FORMAT", to_string(format), /*overwrite=*/1);
+    }
     const auto csr = graph::load_csr(args.get_string("graph"));
     const RunConfig cfg{
         args.get_string("engine", "mlvc"),
@@ -154,6 +204,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_bytes("adj-cache", 0)),
         *backend,
         static_cast<unsigned>(args.get_int("io-depth", 64)),
+        format,
     };
     const auto source = static_cast<VertexId>(args.get_int("source", 0));
     const std::string app = args.get_string("app");

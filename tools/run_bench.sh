@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Run the substrate sweeps and emit BENCH_scatter.json + BENCH_io.json +
-# BENCH_serve.json.
+# BENCH_serve.json + BENCH_compress.json.
 #
-#   tools/run_bench.sh [build-dir] [scatter-out.json] [io-out.json] [serve-out.json]
+#   tools/run_bench.sh [build-dir] [scatter-out.json] [io-out.json] \
+#       [serve-out.json] [compress-out.json]
 #
 # Environment:
 #   MLVC_BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.05;
@@ -17,6 +18,9 @@
 #   MLVC_BENCH_SERVE_BASELINE  baseline JSON for the serving-scaling guard
 #                         (default: bench/baselines/serve.json; skipped if
 #                         absent)
+#   MLVC_BENCH_COMPRESS_BASELINE  baseline JSON for the on-disk-format
+#                         compression guard (default:
+#                         bench/baselines/compress.json; skipped if absent)
 #   MLVC_BENCH_SERVE_QUERIES / MLVC_BENCH_SERVE_CONCURRENCY
 #                         forwarded to bench_serve (queries per level /
 #                         comma list of concurrency levels)
@@ -26,12 +30,15 @@
 #   MLVC_BENCH_IO_MIN_RATIO  absolute floor on the uring/threadpool geomean
 #                         at enforced queue depths (default 1.5; set empty
 #                         to disable the floor)
+#   MLVC_BENCH_COMPRESS_MIN_RATIO  absolute floor on the v1/v2 bytes-per-edge
+#                         geomean (default 2.0; set empty to disable)
 set -eu
 
 build_dir="${1:-build}"
 out="${2:-BENCH_scatter.json}"
 io_out="${3:-BENCH_io.json}"
 serve_out="${4:-BENCH_serve.json}"
+compress_out="${5:-BENCH_compress.json}"
 min_time="${MLVC_BENCH_MIN_TIME:-0.05}"
 filter="${MLVC_BENCH_FILTER:-BM_ScatterAppend}"
 
@@ -66,6 +73,13 @@ if [ ! -x "$serve_bench" ]; then
 fi
 "$serve_bench" "$serve_out"
 
+compress_bench="$build_dir/bench/bench_compress"
+if [ ! -x "$compress_bench" ]; then
+  echo "error: $compress_bench not built (cmake --build $build_dir --target bench_compress)" >&2
+  exit 1
+fi
+"$compress_bench" "$compress_out"
+
 # Regression guards: compare guarded throughput ratios against the committed
 # baselines. Skipped when no baseline exists or MLVC_BENCH_CHECK=0.
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -98,4 +112,18 @@ if [ "$check" != "0" ] && [ -f "$serve_baseline" ]; then
     "$serve_baseline" --suite serve --max-regression "$max_regression"
 elif [ "$check" != "0" ]; then
   echo "no baseline at $serve_baseline, skipping serve regression guard"
+fi
+compress_baseline="${MLVC_BENCH_COMPRESS_BASELINE:-$repo_root/bench/baselines/compress.json}"
+compress_min_ratio="${MLVC_BENCH_COMPRESS_MIN_RATIO-2.0}"
+if [ "$check" != "0" ] && [ -f "$compress_baseline" ]; then
+  if [ -n "$compress_min_ratio" ]; then
+    python3 "$repo_root/tools/check_bench_regression.py" "$compress_out" \
+      "$compress_baseline" --suite compress \
+      --max-regression "$max_regression" --min-ratio "$compress_min_ratio"
+  else
+    python3 "$repo_root/tools/check_bench_regression.py" "$compress_out" \
+      "$compress_baseline" --suite compress --max-regression "$max_regression"
+  fi
+elif [ "$check" != "0" ]; then
+  echo "no baseline at $compress_baseline, skipping compress regression guard"
 fi
