@@ -5,6 +5,14 @@
 // the application that exercises the framework's weighted-graph path: the
 // graph must be stored with_weights, and the engines read the CSR val
 // vector (or its edge-log copy) alongside the adjacency.
+//
+// Delivery-order safe: relaxation is a monotone min over candidate
+// distances, so the same fixed point is reached under BSP, scheduled, and
+// asynchronous (same-wave redelivery) execution — async merely tightens
+// distances in fewer rounds. This is the "SSSP relaxation reuse" of the
+// delta-convergence pair (see apps/pagerank_delta.hpp for the PageRank
+// side, which needs an explicit residual formulation to get the same
+// property).
 #pragma once
 
 #include <limits>

@@ -93,6 +93,63 @@ inline bool parse_on_disk_format(const char* s, OnDiskFormat* out) {
   return false;
 }
 
+/// How the engine orders ready vertex intervals within a superstep wave.
+/// kBsp is the paper's barrier execution (fused interval groups in id
+/// order); every other policy routes through core::IntervalScheduler, which
+/// releases each interval's load→sort→compute chain independently and picks
+/// the next chain by estimated impact. The policy controls ordering ONLY —
+/// message delivery semantics stay with ComputationModel, so a scheduled
+/// synchronous run converges to the same values as BSP.
+enum class SchedulePolicy : std::uint8_t {
+  /// Global barrier, fused groups, id order — the default, byte-identical
+  /// to the pre-scheduler engine.
+  kBsp,
+  /// Interval-granular chains in arrival (id) order — the scheduler's
+  /// control case.
+  kFifo,
+  /// Hubs first: descending per-interval out-degree mass, weighted by the
+  /// history predictor's expected-active set once history exists. The right
+  /// signal on skewed (R-MAT/power-law) graphs.
+  kHubDegree,
+  /// Largest pending message-log volume first.
+  kLogBytes,
+};
+
+inline constexpr const char* to_string(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kBsp: return "bsp";
+    case SchedulePolicy::kFifo: return "fifo";
+    case SchedulePolicy::kHubDegree: return "hub-degree";
+    case SchedulePolicy::kLogBytes: return "log-bytes";
+  }
+  return "?";
+}
+
+/// Parse "bsp"/"fifo"/"hub-degree"/"log-bytes" (plus the underscore
+/// spellings). Returns false (leaving *out untouched) on anything else so
+/// callers can decide between ignoring and rejecting.
+inline bool parse_schedule_policy(const char* s, SchedulePolicy* out) {
+  if (s == nullptr) return false;
+  const std::string_view v(s);
+  if (v == "bsp") {
+    *out = SchedulePolicy::kBsp;
+    return true;
+  }
+  if (v == "fifo") {
+    *out = SchedulePolicy::kFifo;
+    return true;
+  }
+  if (v == "hub-degree" || v == "hub_degree" || v == "hub") {
+    *out = SchedulePolicy::kHubDegree;
+    return true;
+  }
+  if (v == "log-bytes" || v == "log_bytes" || v == "bytes") {
+    *out = SchedulePolicy::kLogBytes;
+    return true;
+  }
+  return false;
+}
+
 /// Byte-size helpers.
 inline constexpr std::size_t operator""_KiB(unsigned long long v) {
   return static_cast<std::size_t>(v) << 10;

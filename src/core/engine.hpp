@@ -24,6 +24,16 @@
 // the next active-vertex batches' adjacency/value loads are prefetched up to
 // options.prefetch_depth ahead of the batch being computed. Vertex values
 // are identical to the serial path; only the overlap changes.
+//
+// With options.schedule_policy != kBsp the barrier inside a superstep is
+// replaced by interval-granular chains ordered by core::IntervalScheduler
+// (DESIGN.md §4c): each ready interval's load→decode→sort→compute chain is
+// released independently, highest estimated impact first. Under the
+// synchronous model this reorders work only (values converge to the BSP
+// fixed point); under the asynchronous model chains additionally drain
+// same-wave sends and the scheduler re-queues intervals whose logs grew
+// after their drain, cutting effective rounds. Superstep boundaries (and so
+// checkpoints, stats, and convergence detection) are unchanged either way.
 #pragma once
 
 #include <algorithm>
@@ -41,6 +51,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/graph_loader.hpp"
+#include "core/interval_scheduler.hpp"
 #include "core/message_range.hpp"
 #include "core/options.hpp"
 #include "core/runtime_context.hpp"
@@ -532,6 +543,7 @@ class MultiLogVCEngine {
     }
     stats_.engine = "MultiLogVC";
     stats_.app = app_.name();
+    stats_.schedule_policy = to_string(options_.schedule_policy);
   }
 
   struct ActiveVertex {
@@ -602,9 +614,13 @@ class MultiLogVCEngine {
   /// thread (instrument = true: attribute load time to io, grouping time to
   /// compute) or on an I/O thread one group ahead of compute (instrument =
   /// false: the main thread only accounts its wait on the future — the
-  /// stage itself is off the critical path).
+  /// stage itself is off the critical path). load_current = false skips the
+  /// current-generation log (scheduler requeue visits: the chain already
+  /// consumed it this wave — reloading would deliver every message twice)
+  /// and delivers only the drained same-wave sends.
   GroupData prepare_group(IntervalId g_begin, IntervalId g_end,
-                          bool drain_async, bool instrument) {
+                          bool drain_async, bool instrument,
+                          bool load_current = true) {
     GroupData g;
     g.begin = g_begin;
     g.end = g_end;
@@ -621,8 +637,8 @@ class MultiLogVCEngine {
       if (instrument) io_time.emplace(step_io_seconds_);
       for (IntervalId i = g_begin; i < g_end; ++i) {
         const std::size_t before = bytes.size();
-        store_.load_interval(i, bytes);
-        if (options_.torn_page_recovery) {
+        if (load_current) store_.load_interval(i, bytes);
+        if (load_current && options_.torn_page_recovery) {
           // A crash mid-append can leave a partial trailing record (v1) or
           // chunk (v2) in an interval's log. Drop the torn tail (per
           // interval — the tear must not shift the next interval's records)
@@ -685,41 +701,40 @@ class MultiLogVCEngine {
     return g;
   }
 
-  SuperstepStats execute_superstep(Superstep s) {
-    SuperstepStats step;
-    step.superstep = s;
-    auto& storage = graph_.storage();
-    // Context mode: route this thread's storage records (and, via AsyncIo's
-    // submit-time sink capture, every pipeline worker's) into the engine's
-    // private IoStats, and diff THAT for step.io — the Storage-level
-    // aggregate is shared with every other concurrent query. Modeled device
-    // time still diffs the shared DeviceModel; under concurrency it reads
-    // as the device-time the whole box spent during this query's superstep
-    // (serving latencies are wall-clock anyway).
-    std::optional<ssd::IoStats::ScopedSink> query_sink;
-    if (ctx_ != nullptr) query_sink.emplace(&query_io_);
-    const auto io_before =
-        ctx_ != nullptr ? query_io_.snapshot() : storage.stats().snapshot();
-    const auto dev_before = storage.device().snapshot();
-    WallTimer wall;
-
-    for (auto& ts : thread_state_) {
-      ts.messages_produced = 0;
-      ts.edges_activated = 0;
-      ts.staging.reset_stats();
-    }
-    DynamicBitset active_now(graph_.num_vertices());
-
+  /// Per-wave tallies shared by the BSP and scheduled execution paths.
+  struct WaveTotals {
     std::uint64_t consumed = 0;
     std::uint64_t active_count = 0;
     std::uint64_t edge_log_hits = 0;
     double sort_group_seconds = 0;
+    /// Slice of sort_group_seconds that ran on the prefetch I/O threads
+    /// (instrument = false) — off the critical path, outside
+    /// step_compute_seconds_.
+    double offthread_sort_seconds = 0;
     std::uint64_t groups_scatter = 0;
     std::uint64_t groups_comparison = 0;
     std::uint64_t torn_bytes_dropped = 0;
-    step_io_seconds_ = 0;
-    step_compute_seconds_ = 0;
+    // Scheduler observability; stays zero on the BSP path.
+    std::uint64_t intervals_scheduled = 0;
+    std::uint64_t reorder_depth = 0;
+    double ready_latency_seconds = 0;
+  };
 
+  void tally_group(const GroupData& group, WaveTotals& wave) const {
+    wave.consumed += group.consumed;
+    wave.sort_group_seconds += group.sort_group_seconds;
+    wave.torn_bytes_dropped += group.torn_bytes_dropped;
+    if (group.path == SortGroupPath::kCountingScatter) {
+      ++wave.groups_scatter;
+    } else {
+      ++wave.groups_comparison;
+    }
+  }
+
+  /// The paper's barrier wave: fused groups in id order (the pre-scheduler
+  /// execution, byte-identical under SchedulePolicy::kBsp).
+  void run_wave_bsp(Superstep s, DynamicBitset& active_now,
+                    WaveTotals& wave) {
     const auto groups = plan_groups();
     const bool drain_async = options_.model == ComputationModel::kAsynchronous;
     // Stage 1 runs one group ahead only in the synchronous model: an
@@ -746,19 +761,13 @@ class MultiLogVCEngine {
             ScopedAccumulator io_time(step_io_seconds_);
             group = next_group.get();
           }
+          wave.offthread_sort_seconds += group.sort_group_seconds;
           if (gi + 1 < groups.size()) launch_group(gi + 1);
         } else {
           group = prepare_group(groups[gi].first, groups[gi].second,
                                 drain_async, /*instrument=*/true);
         }
-        consumed += group.consumed;
-        sort_group_seconds += group.sort_group_seconds;
-        torn_bytes_dropped += group.torn_bytes_dropped;
-        if (group.path == SortGroupPath::kCountingScatter) {
-          ++groups_scatter;
-        } else {
-          ++groups_comparison;
-        }
+        tally_group(group, wave);
 
         // ---- ExtractActiveVert: receivers ∪ sticky actives ----------------
         // Both inputs are ascending; merge per interval.
@@ -766,9 +775,9 @@ class MultiLogVCEngine {
           std::vector<ActiveVertex> actives =
               collect_actives(i, group.records, group.offsets);
           if (actives.empty()) continue;
-          active_count += actives.size();
+          wave.active_count += actives.size();
           process_interval(s, i, group.records, actives, active_now,
-                           edge_log_hits);
+                           wave.edge_log_hits);
         }
       }
     } catch (...) {
@@ -781,6 +790,315 @@ class MultiLogVCEngine {
         }
       }
       throw;
+    }
+  }
+
+  /// Static full-fan-in load cost per interval (loader-estimated adjacency
+  /// bytes, monotone in out-degree mass) — the hub-degree policy's
+  /// first-wave priority (before the predictor has history) and its
+  /// fallback. Computed once; structural updates shift it marginally and
+  /// priorities only order work, so staleness is benign.
+  void ensure_hub_scores() {
+    if (!hub_score_.empty()) return;
+    const IntervalId n = graph_.intervals().count();
+    hub_score_.assign(n, 0);
+    for (IntervalId i = 0; i < n; ++i) {
+      hub_score_[i] = loader_.range_load_cost(graph_.intervals().begin(i),
+                                              graph_.intervals().end(i));
+    }
+  }
+
+  bool interval_has_sticky(IntervalId i) const {
+    bool any = false;
+    sticky_active_.for_each_set_in_range(graph_.intervals().begin(i),
+                                         graph_.intervals().end(i),
+                                         [&](std::size_t) { any = true; });
+    return any;
+  }
+
+  /// Hub-degree impact estimate for one interval: loader-estimated load
+  /// cost of the vertices the history predictor expects to run
+  /// (multilog/predictor.hpp), falling back to the interval's full-fan-in
+  /// cost before any history. Deterministic — predictor state is a pure
+  /// function of the run so far.
+  std::uint64_t schedule_score(IntervalId i) const {
+    if (!predictor_.has_history()) return hub_score_[i];
+    std::uint64_t mass = 0;
+    predictor_.for_each_predicted_in_range(
+        graph_.intervals().begin(i), graph_.intervals().end(i),
+        [&](std::size_t v) {
+          mass += loader_.vertex_load_cost(static_cast<VertexId>(v));
+        });
+    return mass;
+  }
+
+  /// Interval-granular wave (options.schedule_policy != kBsp): one chain
+  /// per interval, ordered by the IntervalScheduler, no fusion (§V.A.1
+  /// sizing guarantees a single interval always fits the sort budget).
+  ///
+  /// Synchronous model: the wave's inputs (current generation + sticky set)
+  /// are immutable during the wave, so the full chain order is frozen up
+  /// front and chain k+1's load+sort runs on the AsyncIo threads while
+  /// chain k computes — the scheduled counterpart of the BSP group
+  /// prefetch. Ordering changes, delivered messages don't: values converge
+  /// to the BSP fixed point.
+  ///
+  /// Asynchronous model — two phases:
+  ///
+  /// Sweep. The wave-start input (current generation + sticky set) is
+  /// immutable, so the full priority order is frozen up front exactly like
+  /// the synchronous case; runs of id-consecutive intervals in that order
+  /// are fused under the sort budget (§V.A.2 applied to the scheduled
+  /// order — fifo recovers the BSP grouping, priority policies fuse
+  /// whatever consecutive runs survive the reorder) and group k+1's
+  /// load+sort overlaps group k's compute on the AsyncIo threads.
+  ///
+  /// Redelivery. Sends made during the sweep for already-swept intervals
+  /// would otherwise wait a full generation swap. Any interval whose
+  /// produce sequence moved past its wave-start quiesce mark (by at least
+  /// EngineOptions::async_requeue_min_bytes) is re-queued for one
+  /// drain-only, receivers-only chain — at most one redelivery per
+  /// interval per wave, in priority order; each chain re-scans, so mass
+  /// forwarded by a redelivery still reaches not-yet-redelivered
+  /// intervals the same wave. Waiting for the sweep (and earlier
+  /// redeliveries) before draining means a hub interval absorbs the whole
+  /// wave's mass in one combined pass instead of re-paying its adjacency
+  /// fan-out per partial delivery. That same-wave propagation is what cuts
+  /// effective rounds.
+  void run_wave_scheduled(Superstep s, DynamicBitset& active_now,
+                          WaveTotals& wave) {
+    const IntervalId n = graph_.intervals().count();
+    const bool drain_async = options_.model == ComputationModel::kAsynchronous;
+    ensure_hub_scores();
+    IntervalScheduler sched(options_.schedule_policy, n);
+
+    const auto mark = [&](IntervalId i) {
+      sched.mark_ready(i, schedule_score(i), store_.current_bytes(i));
+    };
+    for (IntervalId i = 0; i < n; ++i) {
+      // Async mode releases every interval: a chain with no wave-start
+      // input still drains (and delivers) messages sent to it earlier in
+      // the wave, exactly like the BSP asynchronous path does in id order.
+      if (!drain_async && store_.current_count(i) == 0 &&
+          !interval_has_sticky(i)) {
+        continue;
+      }
+      mark(i);
+    }
+
+    if (!drain_async) {
+      // Frozen wave order + chain prefetch on the pipeline threads.
+      std::vector<IntervalId> order;
+      order.reserve(n);
+      for (IntervalId i = sched.pop(); i != kInvalidInterval; i = sched.pop())
+        order.push_back(i);
+      std::future<GroupData> next_chain;
+      const auto launch_chain = [&](std::size_t k) {
+        const IntervalId i = order[k];
+        next_chain = async_io_->submit([this, i] {
+          return prepare_group(i, i + 1, /*drain_async=*/false,
+                               /*instrument=*/false);
+        });
+      };
+      const bool prefetch = pipeline_enabled();
+      if (prefetch && !order.empty()) launch_chain(0);
+      try {
+        for (std::size_t k = 0; k < order.size(); ++k) {
+          const IntervalId i = order[k];
+          GroupData group;
+          if (prefetch) {
+            {
+              ScopedAccumulator io_time(step_io_seconds_);
+              group = next_chain.get();
+            }
+            wave.offthread_sort_seconds += group.sort_group_seconds;
+            if (k + 1 < order.size()) launch_chain(k + 1);
+          } else {
+            group = prepare_group(i, i + 1, /*drain_async=*/false,
+                                  /*instrument=*/true);
+          }
+          tally_group(group, wave);
+          std::vector<ActiveVertex> actives =
+              collect_actives(i, group.records, group.offsets);
+          if (actives.empty()) continue;
+          wave.active_count += actives.size();
+          process_interval(s, i, group.records, actives, active_now,
+                           wave.edge_log_hits);
+        }
+      } catch (...) {
+        if (next_chain.valid()) {
+          try {
+            next_chain.get();
+          } catch (...) {
+          }
+        }
+        throw;
+      }
+    } else {
+      // ---- sweep --------------------------------------------------------
+      // Wave-start quiesce baseline: the produce logs are empty after the
+      // last generation swap, so the live sequences mark "no same-wave
+      // sends yet" — anything past them later is sweep output.
+      for (IntervalId i = 0; i < n; ++i)
+        sched.record_quiesce(i, store_.produce_seq(i));
+
+      // The sweep input is immutable (sends land in the produce logs, not
+      // the current generation), so the priority order freezes up front
+      // and runs of id-consecutive intervals fuse under the sort budget —
+      // prepare_group needs a contiguous vertex range.
+      std::vector<IntervalId> order;
+      order.reserve(n);
+      for (IntervalId i = sched.pop(); i != kInvalidInterval; i = sched.pop())
+        order.push_back(i);
+      std::vector<std::pair<IntervalId, IntervalId>> groups;
+      {
+        const std::uint64_t budget = options_.sort_budget();
+        std::size_t k = 0;
+        while (k < order.size()) {
+          const IntervalId b = order[k];
+          IntervalId e = b + 1;
+          std::uint64_t acc = store_.current_bytes(b);
+          ++k;
+          while (options_.enable_interval_fusion && k < order.size() &&
+                 order[k] == e) {
+            const std::uint64_t bytes = store_.current_bytes(order[k]);
+            if (acc + bytes > budget) break;
+            acc += bytes;
+            ++e;
+            ++k;
+          }
+          groups.emplace_back(b, e);
+        }
+      }
+
+      std::future<GroupData> next_group;
+      const auto launch_group = [&](std::size_t gi) {
+        const IntervalId b = groups[gi].first;
+        const IntervalId e = groups[gi].second;
+        next_group = async_io_->submit([this, b, e] {
+          return prepare_group(b, e, /*drain_async=*/false,
+                               /*instrument=*/false);
+        });
+      };
+      const bool prefetch = pipeline_enabled();
+      if (prefetch && !groups.empty()) launch_group(0);
+      try {
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+          GroupData group;
+          if (prefetch) {
+            {
+              ScopedAccumulator io_time(step_io_seconds_);
+              group = next_group.get();
+            }
+            wave.offthread_sort_seconds += group.sort_group_seconds;
+            if (gi + 1 < groups.size()) launch_group(gi + 1);
+          } else {
+            group = prepare_group(groups[gi].first, groups[gi].second,
+                                  /*drain_async=*/false, /*instrument=*/true);
+          }
+          tally_group(group, wave);
+          for (IntervalId i = group.begin; i < group.end; ++i) {
+            std::vector<ActiveVertex> actives =
+                collect_actives(i, group.records, group.offsets);
+            if (actives.empty()) continue;
+            wave.active_count += actives.size();
+            process_interval(s, i, group.records, actives, active_now,
+                             wave.edge_log_hits);
+          }
+        }
+      } catch (...) {
+        if (next_group.valid()) {
+          try {
+            next_group.get();
+          } catch (...) {
+          }
+        }
+        throw;
+      }
+
+      // ---- redelivery ---------------------------------------------------
+      // Same-wave sends sit in the produce logs. Each interval gets at
+      // most ONE drain-only chain per wave: waiting for the sweep (and any
+      // earlier redeliveries) means a hub interval drains the whole wave's
+      // mass in one combined pass instead of re-paying its adjacency
+      // fan-out per partial delivery — repeated partial redelivery is what
+      // turns the priority policies' reorder into message churn. Cascade
+      // output from the last redeliveries rides the generation swap.
+      flush_produce_staging();
+      const std::uint64_t floor = options_.async_requeue_min_bytes;
+      std::vector<bool> redelivered(n, false);
+      const auto scan_pending = [&] {
+        for (IntervalId j = 0; j < n; ++j) {
+          if (redelivered[j] || sched.is_ready(j)) continue;
+          const std::uint64_t seq = store_.produce_seq(j);
+          if (seq == sched.quiesce_seq(j)) continue;
+          const std::uint64_t pending =
+              (seq - sched.quiesce_seq(j)) * sizeof(Rec);
+          if (pending < floor) continue;
+          sched.mark_ready(j, schedule_score(j), pending);
+        }
+      };
+      scan_pending();
+      for (IntervalId i = sched.pop(); i != kInvalidInterval;
+           i = sched.pop()) {
+        redelivered[i] = true;
+        GroupData group =
+            prepare_group(i, i + 1, /*drain_async=*/true,
+                          /*instrument=*/true, /*load_current=*/false);
+        // The drain left interval i's produce log empty and nothing can
+        // append between it and this read (main thread, no parallel region
+        // active), so the sequence mark is exact.
+        sched.record_quiesce(i, store_.produce_seq(i));
+        tally_group(group, wave);
+        std::vector<ActiveVertex> actives = collect_actives(
+            i, group.records, group.offsets, /*include_sticky=*/false);
+        if (!actives.empty()) {
+          wave.active_count += actives.size();
+          process_interval(s, i, group.records, actives, active_now,
+                           wave.edge_log_hits);
+        }
+        scan_pending();
+      }
+    }
+
+    wave.intervals_scheduled = sched.pops();
+    wave.reorder_depth = sched.max_reorder_depth();
+    wave.ready_latency_seconds = sched.ready_latency_seconds();
+  }
+
+  SuperstepStats execute_superstep(Superstep s) {
+    SuperstepStats step;
+    step.superstep = s;
+    auto& storage = graph_.storage();
+    // Context mode: route this thread's storage records (and, via AsyncIo's
+    // submit-time sink capture, every pipeline worker's) into the engine's
+    // private IoStats, and diff THAT for step.io — the Storage-level
+    // aggregate is shared with every other concurrent query. Modeled device
+    // time still diffs the shared DeviceModel; under concurrency it reads
+    // as the device-time the whole box spent during this query's superstep
+    // (serving latencies are wall-clock anyway).
+    std::optional<ssd::IoStats::ScopedSink> query_sink;
+    if (ctx_ != nullptr) query_sink.emplace(&query_io_);
+    const auto io_before =
+        ctx_ != nullptr ? query_io_.snapshot() : storage.stats().snapshot();
+    const auto dev_before = storage.device().snapshot();
+    WallTimer wall;
+
+    for (auto& ts : thread_state_) {
+      ts.messages_produced = 0;
+      ts.edges_activated = 0;
+      ts.staging.reset_stats();
+    }
+    DynamicBitset active_now(graph_.num_vertices());
+
+    step_io_seconds_ = 0;
+    step_compute_seconds_ = 0;
+
+    WaveTotals wave;
+    if (options_.schedule_policy == SchedulePolicy::kBsp) {
+      run_wave_bsp(s, active_now, wave);
+    } else {
+      run_wave_scheduled(s, active_now, wave);
     }
 
     // ---- close the superstep ---------------------------------------------
@@ -810,8 +1128,8 @@ class MultiLogVCEngine {
       edge_log_.swap_generations();
     }
 
-    step.active_vertices = active_count;
-    step.messages_consumed = consumed;
+    step.active_vertices = wave.active_count;
+    step.messages_consumed = wave.consumed;
     step.messages_produced = messages_produced;
     step.edges_activated = edges_activated;
     step.scatter_flush_count = scatter_flush_count;
@@ -819,15 +1137,19 @@ class MultiLogVCEngine {
     step.pages_touched = util.pages_touched;
     step.pages_inefficient = util.pages_inefficient;
     step.pages_inefficient_predicted = util.inefficient_predicted;
-    step.edge_log_hits = edge_log_hits;
+    step.edge_log_hits = wave.edge_log_hits;
     step.predicted_active = predictor_score.predicted_and_active;
     step.total_wall_seconds = wall.elapsed_seconds();
     step.compute_wall_seconds = step_compute_seconds_;
     step.io_wall_seconds = step_io_seconds_;
-    step.sort_group_seconds = sort_group_seconds;
-    step.groups_scatter = groups_scatter;
-    step.groups_comparison = groups_comparison;
-    step.torn_bytes_dropped = torn_bytes_dropped;
+    step.sort_group_seconds = wave.sort_group_seconds;
+    step.offthread_sort_seconds = wave.offthread_sort_seconds;
+    step.groups_scatter = wave.groups_scatter;
+    step.groups_comparison = wave.groups_comparison;
+    step.torn_bytes_dropped = wave.torn_bytes_dropped;
+    step.intervals_scheduled = wave.intervals_scheduled;
+    step.schedule_reorder_depth = wave.reorder_depth;
+    step.ready_latency_seconds = wave.ready_latency_seconds;
     step.io = (ctx_ != nullptr ? query_io_.snapshot()
                                : storage.stats().snapshot()) -
               io_before;
@@ -837,9 +1159,13 @@ class MultiLogVCEngine {
   }
 
   /// Merge interval i's message receivers with its sticky-active vertices.
+  /// include_sticky = false collects receivers only — scheduler requeue
+  /// visits deliver same-wave sends to a chain that already ran, and its
+  /// sticky vertices (which have no new input) must not execute twice.
   std::vector<ActiveVertex> collect_actives(
       IntervalId i, const std::vector<Rec>& records,
-      const std::vector<std::size_t>& offsets) const {
+      const std::vector<std::size_t>& offsets,
+      bool include_sticky = true) const {
     const VertexId vb = graph_.intervals().begin(i);
     const VertexId ve = graph_.intervals().end(i);
     std::vector<ActiveVertex> actives;
@@ -857,6 +1183,17 @@ class MultiLogVCEngine {
       }
     }
     std::size_t next_group = lo_g;
+    if (!include_sticky) {
+      while (next_group < n_groups && records[offsets[next_group]].dst < ve) {
+        actives.push_back(
+            {records[offsets[next_group]].dst,
+             static_cast<std::uint32_t>(offsets[next_group]),
+             static_cast<std::uint32_t>(offsets[next_group + 1] -
+                                        offsets[next_group])});
+        ++next_group;
+      }
+      return actives;
+    }
     sticky_active_.for_each_set_in_range(vb, ve, [&](std::size_t sv) {
       const VertexId v = static_cast<VertexId>(sv);
       // Emit receiver groups before this sticky vertex.
@@ -913,11 +1250,9 @@ class MultiLogVCEngine {
                         const std::vector<ActiveVertex>& actives,
                         DynamicBitset& active_now,
                         std::uint64_t& edge_log_hits) {
-    // Batch by loader budget: adjacency bytes per vertex known from the
-    // in-memory degree array. Boundaries are fixed up front so batches can
-    // load ahead of compute.
-    const std::size_t per_edge =
-        sizeof(VertexId) + (App::kNeedsWeights ? sizeof(float) : 0);
+    // Batch by loader budget: per-vertex adjacency bytes from the loader's
+    // resident-degree cost model. Boundaries are fixed up front so batches
+    // can load ahead of compute.
     const std::size_t batch_budget =
         std::max<std::size_t>(options_.loader_budget() / 2, 64_KiB);
     std::vector<std::pair<std::size_t, std::size_t>> batches;
@@ -926,8 +1261,7 @@ class MultiLogVCEngine {
       std::size_t end = begin;
       std::uint64_t bytes = 0;
       while (end < actives.size()) {
-        const std::uint64_t cost =
-            graph_.out_degree(actives[end].v) * per_edge;
+        const std::uint64_t cost = loader_.vertex_load_cost(actives[end].v);
         if (end > begin && bytes + cost > batch_budget) break;
         bytes += cost;
         ++end;
@@ -1091,6 +1425,9 @@ class MultiLogVCEngine {
   GraphLoaderUnit loader_;
   VertexValueStore<Value> values_;
   DynamicBitset sticky_active_;
+  /// Per-interval static out-degree mass for the hub-degree schedule
+  /// policy; computed lazily on the first scheduled wave, empty under BSP.
+  std::vector<std::uint64_t> hub_score_;
   RunStats stats_;
   /// Context mode: this query's private I/O view. Every storage-level
   /// record made while this engine's ScopedSink is installed (main thread,

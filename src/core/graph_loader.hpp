@@ -78,7 +78,31 @@ class GraphLoaderUnit {
   void load(IntervalId interval, std::span<const VertexId> actives,
             AdjacencyBatch& out);
 
+  /// Bytes load() would move for vertex v if served from the CSR (adjacency
+  /// plus the weight column when configured). Pure arithmetic over the
+  /// resident degree array — no storage touched — which keeps it cheap
+  /// enough for per-vertex batch sizing and per-interval scheduling
+  /// priorities. Edge-log residency can only shrink the real cost, so this
+  /// is a stable upper bound.
+  std::size_t vertex_load_cost(VertexId v) const {
+    return static_cast<std::size_t>(graph_.out_degree(v)) * entry_bytes();
+  }
+
+  /// Sum of vertex_load_cost over [begin, end): the range's full-fan-in
+  /// load cost. The hub-degree schedule policy uses this per interval as
+  /// its static priority — monotone in out-degree mass, but expressed in
+  /// bytes so it shares a unit with the log-bytes policy.
+  std::uint64_t range_load_cost(VertexId begin, VertexId end) const {
+    std::uint64_t bytes = 0;
+    for (VertexId v = begin; v < end; ++v) bytes += vertex_load_cost(v);
+    return bytes;
+  }
+
  private:
+  std::size_t entry_bytes() const {
+    return sizeof(VertexId) + (config_.load_weights ? sizeof(float) : 0);
+  }
+
   void load_from_csr(IntervalId interval,
                      std::span<const VertexId> csr_vertices,
                      std::span<const std::size_t> result_slots,

@@ -34,6 +34,25 @@ struct EngineOptions {
 
   ComputationModel model = ComputationModel::kSynchronous;
 
+  /// Superstep-internal execution order (common/types.hpp). kBsp keeps the
+  /// paper's barrier path (fused groups, id order) untouched; any other
+  /// value runs interval-granular chains ordered by core::IntervalScheduler.
+  /// Ordering only — delivery semantics stay with `model`, so a scheduled
+  /// synchronous run still converges to the BSP values, while
+  /// schedule+kAsynchronous adds same-wave delivery and dynamic requeue of
+  /// intervals whose logs grew after they ran (the effective-round win).
+  /// MLVC_SCHEDULE overrides this.
+  SchedulePolicy schedule_policy = SchedulePolicy::kBsp;
+
+  /// Scheduled-async redelivery floor: an interval is re-queued for its
+  /// (single, per-wave) same-wave delivery pass only once the volume
+  /// produced for it since its last drain reaches this many bytes; below
+  /// the floor the pending records ride the generation swap into the next
+  /// wave. 0 (default) = any pending volume qualifies — the one-redelivery-
+  /// per-wave rule already bounds the chain count, and same-wave delivery
+  /// of even tiny residuals is what collapses the convergence tail.
+  std::uint64_t async_requeue_min_bytes = 0;
+
   /// §V.C edge-log optimizer. Off = every adjacency read hits the CSR.
   bool enable_edge_log = true;
 
@@ -182,6 +201,12 @@ inline EngineOptions apply_env_overrides(EngineOptions options) {
     // Same convention as MLVC_IO_BACKEND: an unparsable value leaves the
     // configured format alone rather than aborting every entry point.
     parse_on_disk_format(env, &options.on_disk_format);
+  }
+  if (const char* env = std::getenv("MLVC_SCHEDULE")) {
+    // Ordering only: the override never flips the computation model, so a
+    // tier-1 re-run under MLVC_SCHEDULE=hub-degree keeps every app's
+    // delivery semantics (and therefore its values) intact.
+    parse_schedule_policy(env, &options.schedule_policy);
   }
   if (const char* env = std::getenv("MLVC_URING_DEPTH")) {
     const unsigned d = static_cast<unsigned>(std::strtoul(env, nullptr, 10));

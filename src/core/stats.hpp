@@ -56,9 +56,37 @@ struct SuperstepStats {
   /// recovery with options.torn_page_recovery; always 0 on a healthy run).
   std::uint64_t torn_bytes_dropped = 0;
 
+  /// Interval-granular scheduling (options.schedule_policy != kBsp; all
+  /// zero on the BSP barrier path). Chains activated this wave — exceeds
+  /// the interval count when the asynchronous model re-queued intervals
+  /// whose logs grew after their drain (same-wave delivery) — plus how far
+  /// the priority policy moved an interval from its arrival rank at worst,
+  /// and the total time ready chains waited before activation.
+  std::uint64_t intervals_scheduled = 0;
+  std::uint64_t schedule_reorder_depth = 0;
+  double ready_latency_seconds = 0;
+
+  /// The slice of sort_group_seconds that ran on pipeline I/O threads
+  /// (prefetched groups) and is therefore NOT inside compute_wall_seconds.
+  /// compute_wall_seconds + offthread_sort_seconds is invariant to where
+  /// the pipeline scheduled the stage.
+  double offthread_sort_seconds = 0;
+
   /// Primary metric (DESIGN.md §4): host compute + modeled device time.
   double modeled_total_seconds() const {
     return compute_wall_seconds + modeled_storage_seconds;
+  }
+
+  /// Thread-placement-invariant modeled wall time: every CPU second the
+  /// superstep spent — wherever the pipeline scheduled it — plus modeled
+  /// device time, with no overlap credit. modeled_total_seconds() charges
+  /// sort/group only when it ran on the critical path, so it understates
+  /// pipelined runs (BSP prefetch hides the stage on I/O threads) relative
+  /// to serial ones (the scheduled-async redelivery chains); this metric
+  /// compares execution modes on equal footing and is what bench_async
+  /// gates (DESIGN.md §4c).
+  double modeled_work_seconds() const {
+    return modeled_total_seconds() + offthread_sort_seconds;
   }
 
   // Edge-log optimizer observability (Figure 9).
@@ -78,6 +106,9 @@ struct RunStats {
   /// the post-probe backend, so a uring request that fell back reports
   /// "threadpool".
   std::string io_backend;
+  /// Superstep-internal execution order the run used ("bsp" / "fifo" /
+  /// "hub-degree" / "log-bytes") — the resolved value after MLVC_SCHEDULE.
+  std::string schedule_policy;
   std::vector<SuperstepStats> supersteps;
   double build_seconds = 0;  // graph/shard materialization, excluded from run
 
@@ -155,6 +186,17 @@ struct RunStats {
     for (const auto& s : supersteps) t += s.modeled_total_seconds();
     return t;
   }
+  double offthread_sort_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.offthread_sort_seconds;
+    return t;
+  }
+  /// Thread-placement-invariant modeled wall time (SuperstepStats doc).
+  double modeled_work_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.modeled_work_seconds();
+    return t;
+  }
   std::uint64_t total_messages() const {
     std::uint64_t t = 0;
     for (const auto& s : supersteps) t += s.messages_produced;
@@ -163,6 +205,30 @@ struct RunStats {
   std::uint64_t torn_bytes_dropped() const {
     std::uint64_t t = 0;
     for (const auto& s : supersteps) t += s.torn_bytes_dropped;
+    return t;
+  }
+  /// Effective rounds: supersteps actually executed. Under the asynchronous
+  /// model with a schedule policy this is what same-wave delivery shrinks
+  /// relative to BSP — the bench_async acceptance metric.
+  std::uint64_t effective_rounds() const {
+    return static_cast<std::uint64_t>(supersteps.size());
+  }
+  std::uint64_t intervals_scheduled() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.intervals_scheduled;
+    return t;
+  }
+  /// Gauge: the deepest any wave's priority policy reordered an interval.
+  std::uint64_t schedule_reorder_depth() const {
+    std::uint64_t m = 0;
+    for (const auto& s : supersteps) {
+      if (s.schedule_reorder_depth > m) m = s.schedule_reorder_depth;
+    }
+    return m;
+  }
+  double ready_latency_seconds() const {
+    double t = 0;
+    for (const auto& s : supersteps) t += s.ready_latency_seconds;
     return t;
   }
   std::uint64_t io_retries() const {

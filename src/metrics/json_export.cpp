@@ -68,6 +68,8 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
   write_escaped(out, stats.app);
   out << ",\"io_backend\":";
   write_escaped(out, stats.io_backend);
+  out << ",\"schedule_policy\":";
+  write_escaped(out, stats.schedule_policy);
   out << ",\"query\":{"
       << "\"id\":" << stats.query_id
       << ",\"cache_hit_pages\":" << stats.query_cache_hit_pages
@@ -96,8 +98,14 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
       << ",\"sqe_coalesced_ops\":" << stats.sqe_coalesced_ops()
       << ",\"max_inflight_depth\":" << stats.max_inflight_depth()
       << ",\"torn_bytes_dropped\":" << stats.torn_bytes_dropped()
+      << ",\"effective_rounds\":" << stats.effective_rounds()
+      << ",\"intervals_scheduled\":" << stats.intervals_scheduled()
+      << ",\"schedule_reorder_depth\":" << stats.schedule_reorder_depth()
+      << ",\"ready_latency_seconds\":" << stats.ready_latency_seconds()
       << ",\"total_wall_seconds\":" << stats.total_wall_seconds()
       << ",\"modeled_total_seconds\":" << stats.modeled_total_seconds()
+      << ",\"offthread_sort_seconds\":" << stats.offthread_sort_seconds()
+      << ",\"modeled_work_seconds\":" << stats.modeled_work_seconds()
       << ",\"build_seconds\":" << stats.build_seconds << '}'
       << ",\"supersteps\":[";
   for (std::size_t i = 0; i < stats.supersteps.size(); ++i) {
@@ -118,6 +126,9 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
         << ",\"io_wall_seconds\":" << s.io_wall_seconds
         << ",\"total_wall_seconds\":" << s.total_wall_seconds
         << ",\"torn_bytes_dropped\":" << s.torn_bytes_dropped
+        << ",\"intervals_scheduled\":" << s.intervals_scheduled
+        << ",\"schedule_reorder_depth\":" << s.schedule_reorder_depth
+        << ",\"ready_latency_seconds\":" << s.ready_latency_seconds
         << ",\"pages_touched\":" << s.pages_touched
         << ",\"pages_inefficient\":" << s.pages_inefficient
         << ",\"pages_inefficient_predicted\":"

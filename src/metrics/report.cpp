@@ -75,6 +75,11 @@ std::string summarize(const core::RunStats& stats) {
      << format_fixed(stats.modeled_storage_seconds(), 3) << "s storage + "
      << format_fixed(stats.compute_seconds(), 3) << "s compute = "
      << format_fixed(stats.modeled_total_seconds(), 3) << "s";
+  if (!stats.schedule_policy.empty() && stats.schedule_policy != "bsp") {
+    os << " [schedule=" << stats.schedule_policy << ", "
+       << format_count(stats.intervals_scheduled()) << " chains, reorder "
+       << stats.schedule_reorder_depth() << "]";
+  }
   if (!stats.io_backend.empty()) {
     os << " [io=" << stats.io_backend;
     if (stats.io_backend == "uring") {

@@ -69,6 +69,10 @@ MultiLogStore::MultiLogStore(ssd::Storage& storage, std::string prefix,
   for (IntervalId i = 0; i < n; ++i) {
     interval_locks_.push_back(std::make_unique<std::mutex>());
   }
+  produce_seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (IntervalId i = 0; i < n; ++i) {
+    produce_seq_[i].store(0, std::memory_order_relaxed);
+  }
   if (config_.expect_fresh_blobs) {
     MLVC_CHECK_MSG(!storage_.has_blob(prefix_ + "/log_gen0") &&
                        !storage_.has_blob(prefix_ + "/log_gen1"),
@@ -123,6 +127,10 @@ void MultiLogStore::append_bytes_locked(Generation& gen, IntervalId i,
     }
   }
   gen.counts[i] += n_records;
+  // Quiesce signal: every produce-side append funnels through here (both
+  // call sites pass the produce generation), so the per-interval sequence
+  // advances exactly when interval i's pending log grows.
+  produce_seq_[i].fetch_add(n_records, std::memory_order_relaxed);
   // Logical (decoded) produce bytes, regardless of on-disk format — the
   // physical side is whatever the eviction batches hand the blob.
   storage_.stats().record_logical_write(ssd::IoCategory::kMessageLog,

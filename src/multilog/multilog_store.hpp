@@ -198,6 +198,17 @@ class MultiLogStore {
   /// the counter §V.A.2 uses to estimate log sizes for interval fusion.
   std::uint64_t produced_count(IntervalId i) const;
 
+  /// Per-interval producer sequence: total records ever appended to interval
+  /// i's produce side, monotone across generation swaps (never reset). This
+  /// is the interval-granular quiesce signal the scheduler uses: a chain
+  /// records the sequence right after draining i's log, and any later
+  /// mismatch means producers appended behind the drain. Lock-free read —
+  /// exact whenever no appender is concurrently live for i (the engine reads
+  /// it from the main thread with no parallel region active).
+  std::uint64_t produce_seq(IntervalId i) const noexcept {
+    return produce_seq_[i].load(std::memory_order_relaxed);
+  }
+
   // ---- superstep boundary --------------------------------------------------
 
   /// Discard the consumed generation, make the produced one current. Partial
@@ -304,6 +315,10 @@ class MultiLogStore {
   Generation generations_[2];
   unsigned produce_index_ = 0;  // generations_[produce_index_] receives sends
   unsigned swap_count_ = 0;
+  /// Monotone per-interval producer sequence (see produce_seq()); bumped in
+  /// append_bytes_locked, the single funnel every produce-side append passes
+  /// through. Atomic so the scheduler can read it without the interval lock.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> produce_seq_;
 };
 
 inline void MultiLogStore::append_staged(Staging& staging, VertexId dst,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <deque>
+#include <utility>
 
 #include "common/bitset.hpp"
 #include "common/types.hpp"
@@ -39,6 +40,30 @@ class HistoryPredictor {
       if (h.test(v)) return true;
     }
     return false;
+  }
+
+  /// True once at least one superstep has been observed (before that,
+  /// predict_active is uniformly false and range scans below are empty).
+  bool has_history() const noexcept { return !history_.empty(); }
+
+  /// Scheduler priority estimation: visit every vertex in [begin, end)
+  /// predicted active next superstep. The hub-degree schedule policy weighs
+  /// an interval by the out-degree mass of THIS set rather than the whole
+  /// interval — the history that drives the §V.C logging decision doubles
+  /// as the per-interval impact estimate. The common depth-1 case is one
+  /// bitset range scan; deeper histories fall back to per-vertex checks.
+  template <typename Fn>
+  void for_each_predicted_in_range(VertexId begin, VertexId end,
+                                   Fn&& fn) const {
+    if (history_.empty()) return;
+    if (history_.size() == 1) {
+      history_.front().for_each_set_in_range(begin, end,
+                                             std::forward<Fn>(fn));
+      return;
+    }
+    for (VertexId v = begin; v < end; ++v) {
+      if (predict_active(v)) fn(static_cast<std::size_t>(v));
+    }
   }
 
   /// Score a finished superstep against what was predicted before it:

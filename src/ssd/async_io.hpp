@@ -77,6 +77,23 @@ class AsyncIo {
 /// failure on wait(). Keeps engine code linear.
 class IoBatch {
  public:
+  IoBatch() = default;
+  IoBatch(IoBatch&&) = default;
+  IoBatch& operator=(IoBatch&&) = default;
+
+  /// Drain-before-release: these futures come from packaged_task, whose
+  /// future destructor does NOT block, so destroying a batch with ops still
+  /// in flight would leave pool threads writing into buffers the owner is
+  /// about to free (e.g. a cancelled interval chain unwinding past its
+  /// staging buffers). Wait for every pending op; errors are swallowed —
+  /// destruction means the data is being abandoned anyway. Callers that
+  /// care about errors must call wait() themselves.
+  ~IoBatch() {
+    for (auto& f : futures_) {
+      if (f.valid()) f.wait();
+    }
+  }
+
   void add(std::future<void> f) { futures_.push_back(std::move(f)); }
 
   void wait() {

@@ -194,6 +194,75 @@ TEST(Tools, ServeScriptModeAndBadSpecs) {
             0);
 }
 
+TEST(Tools, RunScheduledPrdeltaReportsPolicy) {
+  // mlvc_run end-to-end over the scheduled async path: delta-PageRank under
+  // hub-degree ordering, with the resolved policy surfaced in the JSON.
+  ssd::TempDir dir;
+  const std::string graph = (dir.path() / "g.mlvc").string();
+  ASSERT_EQ(run_tool(std::string(MLVC_TOOL_GEN) +
+                     " --type rmat --scale 9 --edge-factor 6 --out " + graph),
+            0);
+  const std::string json = (dir.path() / "stats.json").string();
+  ASSERT_EQ(run_tool(std::string(MLVC_TOOL_RUN) + " --graph " + graph +
+                     " --app prdelta --model async --schedule hub-degree" +
+                     " --budget 1M --page-size 4K --supersteps 100 --json " +
+                     json),
+            0);
+  std::ifstream in(json);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"app\":\"pagerank_delta\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"schedule_policy\":\"hub-degree\""),
+            std::string::npos);
+  // An unknown policy must fail cleanly, not fall back silently.
+  EXPECT_NE(run_tool(std::string(MLVC_TOOL_RUN) + " --graph " + graph +
+                     " --app prdelta --schedule zork"),
+            0);
+}
+
+TEST(Tools, ServeMixedSchedulePolicies) {
+  // One shared RuntimeContext serving BSP queries next to async scheduled
+  // ones: the schedule= suffix is per-query, and the deterministic BSP
+  // queries still verify against their serial re-runs.
+  ssd::TempDir dir;
+  const std::string graph = (dir.path() / "g.mlvc").string();
+  ASSERT_EQ(run_tool(std::string(MLVC_TOOL_GEN) +
+                     " --type rmat --scale 9 --edge-factor 6 --out " + graph),
+            0);
+  const std::string script = (dir.path() / "queries.txt").string();
+  {
+    std::ofstream out(script);
+    out << "bfs 0\n"
+        << "prdelta\n"
+        << "prdelta schedule=hub-degree\n"
+        << "wcc schedule=fifo\n"
+        << "sssp 3 schedule=log-bytes\n"
+        << "pagerank\n";
+  }
+  const std::string log = (dir.path() / "serve.log").string();
+  ASSERT_EQ(std::system((std::string(MLVC_TOOL_SERVE) + " --graph " + graph +
+                         " --script " + script +
+                         " --concurrency 4 --verify 1 --budget 4M" +
+                         " --page-size 4K > " + log + " 2>&1")
+                            .c_str()),
+            0);
+  std::ifstream in(log);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("(0 failed"), std::string::npos) << buf.str();
+  EXPECT_NE(buf.str().find("0 mismatches"), std::string::npos) << buf.str();
+  // A malformed suffix must be rejected at parse time, not at run time.
+  {
+    std::ofstream out(script);
+    out << "bfs 0 schedule=zork\n";
+  }
+  EXPECT_NE(run_tool(std::string(MLVC_TOOL_SERVE) + " --graph " + graph +
+                     " --script " + script),
+            0);
+}
+
 TEST(Tools, EveryAppRunsOnEveryEngine) {
   ssd::TempDir dir;
   const std::string graph = (dir.path() / "g.mlvc").string();

@@ -37,6 +37,14 @@ in a way absolute numbers are not. Two suites:
     --min-ratio enforces the compression floor (ISSUE acceptance: >= 2x
     on adjacency and message-log bytes/edge).
 
+  --suite async
+    bench_async's custom BENCH_async.json (same metric/ratio/enforced
+    shape as compress): bsp/async ratios of effective rounds and modeled
+    time for delta-PageRank under each schedule policy — what
+    interval-granular async scheduling bought over the barrier wave.
+    Enforced entries are the skewed-large-scale hub-degree pair;
+    --min-ratio enforces the absolute floor on their geomean.
+
 Individual configurations are noisy at CI bench durations (a single 0.02 s
 run can swing ±30%), so the gate is the *geometric mean* of the ratios over
 all enforced configurations: a genuine regression shifts every
@@ -164,7 +172,8 @@ def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("current")
     ap.add_argument("baseline")
-    ap.add_argument("--suite", choices=("scatter", "io", "serve", "compress"),
+    ap.add_argument("--suite",
+                    choices=("scatter", "io", "serve", "compress", "async"),
                     default="scatter")
     ap.add_argument("--max-regression", type=float, default=0.30,
                     help="fail when ratio drops by more than this fraction")
@@ -194,6 +203,11 @@ def main():
         cur_all, cur = load_compress_ratios(args.current)
         base_all, base = load_compress_ratios(args.baseline)
         label = "v1/v2 bytes-per-edge"
+    elif args.suite == "async":
+        # Same custom JSON shape as compress: runs[{metric, ratio, enforced}].
+        cur_all, cur = load_compress_ratios(args.current)
+        base_all, base = load_compress_ratios(args.baseline)
+        label = "bsp/async"
     else:
         cur_all, cur = load_io_ratios(args.current, args.min_depth)
         base_all, base = load_io_ratios(args.baseline, args.min_depth)

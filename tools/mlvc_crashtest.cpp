@@ -63,11 +63,23 @@ graph::CsrGraph make_graph() {
   return graph::CsrGraph::from_edge_list(graph::generate_rmat(p));
 }
 
+/// Set once in main from --schedule and forwarded to every child spawn, so
+/// one clean/victim/recover cycle runs entirely under one interval schedule.
+/// Non-bsp also flips the children to the asynchronous model — that is the
+/// schedule's intended pairing and the path the torn-log profiles must
+/// cover (same-wave redelivery appends to the log generations the crash
+/// tears).
+SchedulePolicy g_schedule = SchedulePolicy::kBsp;
+
 core::EngineOptions crashtest_options() {
   core::EngineOptions opts;
   opts.memory_budget_bytes = 4_MiB;
   opts.max_supersteps = 40;
   opts.seed = 5;
+  opts.schedule_policy = g_schedule;
+  if (g_schedule != SchedulePolicy::kBsp) {
+    opts.model = core::ComputationModel::kAsynchronous;
+  }
   return opts;
 }
 
@@ -263,7 +275,8 @@ CycleResult crash_cycle(const std::string& app, const std::string& profile,
 
   ChildEnv env{profile, seed, 0.02, crash_after};
   const int victim = spawn({"mlvc_crashtest", "--mode", "victim", "--app", app,
-                            "--workdir", workdir.path().string()},
+                            "--workdir", workdir.path().string(), "--schedule",
+                            to_string(g_schedule)},
                            &env);
   if (victim != ssd::kCrashExitCode && victim != 0 && victim != 3) {
     std::cout << "  [FAIL] " << label << ": victim exit " << victim
@@ -275,7 +288,8 @@ CycleResult crash_cycle(const std::string& app, const std::string& profile,
   const auto recovered_path = workdir.path() / "recovered.bin";
   const int recover = spawn({"mlvc_crashtest", "--mode", "recover", "--app",
                              app, "--workdir", workdir.path().string(),
-                             "--out", recovered_path.string()},
+                             "--out", recovered_path.string(), "--schedule",
+                             to_string(g_schedule)},
                             nullptr);
   if (recover != 0) {
     std::cout << "  [FAIL] " << label << ": recover exit " << recover << "\n";
@@ -324,10 +338,12 @@ int run_sweep(std::uint64_t base_seed, unsigned crash_points) {
   ssd::TempDir bfs_work("mlvc_crashwork_bfs");
   ssd::TempDir pr_work("mlvc_crashwork_pr");
   if (spawn({"mlvc_crashtest", "--mode", "clean", "--app", "bfs", "--workdir",
-             bfs_work.path().string(), "--out", clean_bfs.string()},
+             bfs_work.path().string(), "--out", clean_bfs.string(),
+             "--schedule", to_string(g_schedule)},
             nullptr) != 0 ||
       spawn({"mlvc_crashtest", "--mode", "clean", "--app", "pagerank",
-             "--workdir", pr_work.path().string(), "--out", clean_pr.string()},
+             "--workdir", pr_work.path().string(), "--out", clean_pr.string(),
+             "--schedule", to_string(g_schedule)},
             nullptr) != 0) {
     std::cout << "  [FAIL] clean reference runs\n";
     return 1;
@@ -382,7 +398,11 @@ int main(int argc, char** argv) {
               "25")
       .option("sweep", "run the full profile × crash-point sweep", "false")
       .option("crash-points", "crash points per tearing profile in --sweep",
-              "4");
+              "4")
+      .option("schedule",
+              "interval schedule for all runs (bsp | fifo | hub-degree | "
+              "log-bytes); non-bsp also uses the asynchronous model",
+              "bsp");
   try {
     args.parse(argc, argv);
   } catch (const Error& e) {
@@ -391,6 +411,17 @@ int main(int argc, char** argv) {
   }
 
   try {
+    const std::string sched_arg = args.get_string("schedule", "bsp");
+    if (!parse_schedule_policy(sched_arg.c_str(), &g_schedule)) {
+      std::cerr << "unknown --schedule '" << sched_arg
+                << "' (bsp | fifo | hub-degree | log-bytes)\n";
+      return 2;
+    }
+    // Pin the env form too so the engine's MLVC_SCHEDULE re-resolve cannot
+    // half-override an explicit request (same pattern as mlvc_run --format).
+    if (g_schedule != SchedulePolicy::kBsp) {
+      ::setenv("MLVC_SCHEDULE", to_string(g_schedule), 1);
+    }
     const std::string mode = args.get_string("mode", "driver");
     if (mode != "driver") {
       return run_child_mode(mode, args.get_string("app", "bfs"),
@@ -410,7 +441,8 @@ int main(int argc, char** argv) {
     const std::string app = args.get_string("app", "bfs");
     const auto clean_values = clean_dir.path() / "clean.bin";
     if (spawn({"mlvc_crashtest", "--mode", "clean", "--app", app, "--workdir",
-               work.path().string(), "--out", clean_values.string()},
+               work.path().string(), "--out", clean_values.string(),
+               "--schedule", to_string(g_schedule)},
               nullptr) != 0) {
       std::cerr << "clean reference run failed\n";
       return 1;

@@ -12,6 +12,7 @@
 #include "apps/kcore.hpp"
 #include "apps/mis.hpp"
 #include "apps/pagerank.hpp"
+#include "apps/pagerank_delta.hpp"
 #include "apps/random_walk.hpp"
 #include "apps/sssp.hpp"
 #include "apps/wcc.hpp"
@@ -41,6 +42,8 @@ struct RunConfig {
   ssd::IoBackendKind io_backend;  // hot-path I/O substrate (mlvc engine)
   unsigned io_depth;              // io_uring ring size
   OnDiskFormat format;            // stored-CSR / message-log layout
+  core::ComputationModel model;   // message delivery (mlvc engine)
+  SchedulePolicy schedule;        // superstep-internal interval order (mlvc)
 };
 
 /// Per-layer on-disk vs logical byte split — makes bytes/edge (and the v2
@@ -89,6 +92,8 @@ int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
     opts.io_backend = cfg.io_backend;
     opts.io_queue_depth = cfg.io_depth;
     opts.on_disk_format = cfg.format;
+    opts.model = cfg.model;
+    opts.schedule_policy = cfg.schedule;
     graph::StoredCsrGraph stored(storage, "g", csr,
                                  core::partition_for_app<App>(csr, opts),
                                  {.with_weights = App::kNeedsWeights,
@@ -139,8 +144,8 @@ int main(int argc, char** argv) {
   ArgParser args("mlvc_run", "run a vertex-centric application on a graph");
   args.option("graph", "binary MLVC graph file (see mlvc_gen/mlvc_convert)")
       .option("app",
-              "bfs | sssp | pagerank | cdlp | coloring | mis | rw | kcore | "
-              "wcc")
+              "bfs | sssp | pagerank | prdelta | cdlp | coloring | mis | rw | "
+              "kcore | wcc")
       .option("engine", "mlvc | graphchi | grafboost", "mlvc")
       .option("budget", "host memory budget, e.g. 64M or 1G", "64M")
       .option("supersteps", "superstep cap", "15")
@@ -157,6 +162,11 @@ int main(int argc, char** argv) {
               "threadpool")
       .option("io-depth", "io_uring submission queue depth", "64")
       .option("format", "on-disk layout: v1 | v2 (default MLVC_FORMAT or v2)",
+              "-")
+      .option("model", "message delivery: sync | async (mlvc engine)", "sync")
+      .option("schedule",
+              "interval order: bsp | fifo | hub-degree | log-bytes "
+              "(default MLVC_SCHEDULE or bsp; mlvc engine)",
               "-")
       .option("json", "write run statistics to this JSON file", "-");
   try {
@@ -190,6 +200,28 @@ int main(int argc, char** argv) {
       // explicit --format can't be half-overridden into a mixed config.
       setenv("MLVC_FORMAT", to_string(format), /*overwrite=*/1);
     }
+    // --schedule follows the same resolve-then-pin pattern as --format.
+    SchedulePolicy schedule =
+        core::apply_env_overrides(core::EngineOptions{}).schedule_policy;
+    const std::string schedule_arg = args.get_string("schedule", "-");
+    if (schedule_arg != "-") {
+      if (!parse_schedule_policy(schedule_arg.c_str(), &schedule)) {
+        std::cerr << "unknown --schedule '" << schedule_arg
+                  << "' (bsp | fifo | hub-degree | log-bytes)\n";
+        return 2;
+      }
+      setenv("MLVC_SCHEDULE", to_string(schedule), /*overwrite=*/1);
+    }
+    const std::string model_arg = args.get_string("model", "sync");
+    core::ComputationModel model;
+    if (model_arg == "sync") {
+      model = core::ComputationModel::kSynchronous;
+    } else if (model_arg == "async") {
+      model = core::ComputationModel::kAsynchronous;
+    } else {
+      std::cerr << "unknown --model '" << model_arg << "' (sync | async)\n";
+      return 2;
+    }
     const auto csr = graph::load_csr(args.get_string("graph"));
     const RunConfig cfg{
         args.get_string("engine", "mlvc"),
@@ -205,6 +237,8 @@ int main(int argc, char** argv) {
         *backend,
         static_cast<unsigned>(args.get_int("io-depth", 64)),
         format,
+        model,
+        schedule,
     };
     const auto source = static_cast<VertexId>(args.get_int("source", 0));
     const std::string app = args.get_string("app");
@@ -212,6 +246,7 @@ int main(int argc, char** argv) {
     if (app == "bfs") return run_app(csr, apps::Bfs{.source = source}, cfg);
     if (app == "sssp") return run_app(csr, apps::Sssp{.source = source}, cfg);
     if (app == "pagerank") return run_app(csr, apps::PageRank{}, cfg);
+    if (app == "prdelta") return run_app(csr, apps::PageRankDelta{}, cfg);
     if (app == "cdlp") return run_app(csr, apps::Cdlp{}, cfg);
     if (app == "coloring") return run_app(csr, apps::GraphColoring{}, cfg);
     if (app == "mis") return run_app(csr, apps::Mis{}, cfg);

@@ -13,13 +13,19 @@
 //   echo "bfs 0" | mlvc_serve --graph g.mlvc
 //
 // Query language (one query per line, '#' comments):
-//   bfs <source> | sssp <source> | wcc | cdlp | pagerank | rw <stride> | quit
+//   bfs <source> | sssp <source> | wcc | cdlp | pagerank | prdelta |
+//   rw <stride> | quit
+// Any query may end with "schedule=<fifo|hub-degree|log-bytes>", which runs
+// it under the asynchronous model with that interval schedule policy —
+// async delta-PageRank queries share the RuntimeContext with BSP queries.
 //
 // --verify re-runs each distinct order-independent query (bfs/sssp/wcc —
 // min-combines, so bit-identical regardless of message arrival order)
 // serially on a one-shot engine over the same graph and compares value
-// hashes. pagerank (float-sum combine) and rw (walker/draw pairing) are
-// arrival-order-sensitive by nature and are checked for completion only.
+// hashes. pagerank/prdelta (float-sum combine) and rw (walker/draw pairing)
+// are arrival-order-sensitive by nature and are checked for completion
+// only; so are scheduled queries (the serial replay would run BSP order,
+// and e.g. async BFS legally reaches vertices in fewer supersteps).
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -36,6 +42,7 @@
 #include "apps/bfs.hpp"
 #include "apps/cdlp.hpp"
 #include "apps/pagerank.hpp"
+#include "apps/pagerank_delta.hpp"
 #include "apps/random_walk.hpp"
 #include "apps/sssp.hpp"
 #include "apps/wcc.hpp"
@@ -64,13 +71,20 @@ std::uint64_t hash_values(const std::vector<T>& values) {
 }
 
 struct Spec {
-  std::string app;   // bfs | sssp | wcc | cdlp | pagerank | rw
+  std::string app;   // bfs | sssp | wcc | cdlp | pagerank | prdelta | rw
   VertexId arg = 0;  // source (bfs/sssp) or stride (rw)
+  /// Non-kBsp runs the query under the asynchronous model with this
+  /// interval schedule (same-wave delivery + priority order).
+  SchedulePolicy schedule = SchedulePolicy::kBsp;
   std::string text;  // canonical form, also the verify-dedup key
 
   /// Order-independent message combine → bit-identical under concurrency.
+  /// Scheduled queries are excluded even for min-combine apps: the serial
+  /// verify replay runs BSP order, and async delivery legally changes
+  /// per-superstep results (e.g. BFS levels settle in fewer rounds).
   bool deterministic() const {
-    return app == "bfs" || app == "sssp" || app == "wcc";
+    return (app == "bfs" || app == "sssp" || app == "wcc") &&
+           schedule == SchedulePolicy::kBsp;
   }
 };
 
@@ -111,14 +125,31 @@ std::optional<Spec> parse_spec(const std::string& line, VertexId n_vertices) {
     }
     s.arg = static_cast<VertexId>(arg);
     s.text = s.app + " " + std::to_string(arg);
-    return s;
-  }
-  if (s.app == "wcc" || s.app == "cdlp" || s.app == "pagerank") {
+  } else if (s.app == "wcc" || s.app == "cdlp" || s.app == "pagerank" ||
+             s.app == "prdelta") {
     s.text = s.app;
-    return s;
+  } else {
+    throw InvalidArgument(
+        "unknown query '" + line +
+        "' (bfs S | sssp S | wcc | cdlp | pagerank | prdelta | rw N"
+        " [schedule=POLICY])");
   }
-  throw InvalidArgument("unknown query '" + line +
-                        "' (bfs S | sssp S | wcc | cdlp | pagerank | rw N)");
+  std::string tok;
+  if (is >> tok) {
+    constexpr const char* kPrefix = "schedule=";
+    if (tok.rfind(kPrefix, 0) != 0 ||
+        !parse_schedule_policy(tok.c_str() + 9, &s.schedule)) {
+      throw InvalidArgument(
+          "bad query suffix '" + tok +
+          "' (expected schedule=bsp|fifo|hub-degree|log-bytes)");
+    }
+    if (s.schedule != SchedulePolicy::kBsp) {
+      s.text += " ";
+      s.text += kPrefix;
+      s.text += to_string(s.schedule);
+    }
+  }
+  return s;
 }
 
 template <core::VertexApp App>
@@ -127,7 +158,15 @@ QueryResult run_query(core::RuntimeContext& ctx, graph::StoredCsrGraph& graph,
   QueryResult r;
   r.spec = spec;
   WallTimer wall;
-  core::MultiLogVCEngine<App> engine(ctx, graph, app, cfg.engine);
+  // Per-query engine options: a scheduled query flips this engine (and only
+  // this engine) to the asynchronous model with the requested interval
+  // order; BSP queries sharing the RuntimeContext are untouched.
+  core::EngineOptions opts = cfg.engine;
+  if (spec.schedule != SchedulePolicy::kBsp) {
+    opts.schedule_policy = spec.schedule;
+    opts.model = core::ComputationModel::kAsynchronous;
+  }
+  core::MultiLogVCEngine<App> engine(ctx, graph, app, opts);
   r.query_id = engine.query_id();
   const core::RunStats stats = engine.run();
   r.wall_seconds = wall.elapsed_seconds();
@@ -175,6 +214,9 @@ QueryResult dispatch(core::RuntimeContext& ctx, graph::StoredCsrGraph& graph,
   }
   if (spec.app == "pagerank") {
     return run_query(ctx, graph, apps::PageRank{}, spec, cfg);
+  }
+  if (spec.app == "prdelta") {
+    return run_query(ctx, graph, apps::PageRankDelta{}, spec, cfg);
   }
   apps::RandomWalk rw;
   rw.source_stride = spec.arg;

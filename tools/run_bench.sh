@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
 # Run the substrate sweeps and emit BENCH_scatter.json + BENCH_io.json +
-# BENCH_serve.json + BENCH_compress.json.
+# BENCH_serve.json + BENCH_compress.json + BENCH_async.json.
 #
 #   tools/run_bench.sh [build-dir] [scatter-out.json] [io-out.json] \
-#       [serve-out.json] [compress-out.json]
+#       [serve-out.json] [compress-out.json] [async-out.json]
 #
 # Environment:
 #   MLVC_BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.05;
@@ -32,6 +32,12 @@
 #                         to disable the floor)
 #   MLVC_BENCH_COMPRESS_MIN_RATIO  absolute floor on the v1/v2 bytes-per-edge
 #                         geomean (default 2.0; set empty to disable)
+#   MLVC_BENCH_ASYNC_BASELINE  baseline JSON for the async-scheduling guard
+#                         (default: bench/baselines/async.json; skipped if
+#                         absent)
+#   MLVC_BENCH_ASYNC_MIN_GEOMEAN  absolute floor on the bsp/async geomean
+#                         over the enforced configs (default 1.05; set empty
+#                         to disable)
 set -eu
 
 build_dir="${1:-build}"
@@ -39,6 +45,7 @@ out="${2:-BENCH_scatter.json}"
 io_out="${3:-BENCH_io.json}"
 serve_out="${4:-BENCH_serve.json}"
 compress_out="${5:-BENCH_compress.json}"
+async_out="${6:-BENCH_async.json}"
 min_time="${MLVC_BENCH_MIN_TIME:-0.05}"
 filter="${MLVC_BENCH_FILTER:-BM_ScatterAppend}"
 
@@ -79,6 +86,13 @@ if [ ! -x "$compress_bench" ]; then
   exit 1
 fi
 "$compress_bench" "$compress_out"
+
+async_bench="$build_dir/bench/bench_async"
+if [ ! -x "$async_bench" ]; then
+  echo "error: $async_bench not built (cmake --build $build_dir --target bench_async)" >&2
+  exit 1
+fi
+"$async_bench" "$async_out"
 
 # Regression guards: compare guarded throughput ratios against the committed
 # baselines. Skipped when no baseline exists or MLVC_BENCH_CHECK=0.
@@ -126,4 +140,18 @@ if [ "$check" != "0" ] && [ -f "$compress_baseline" ]; then
   fi
 elif [ "$check" != "0" ]; then
   echo "no baseline at $compress_baseline, skipping compress regression guard"
+fi
+async_baseline="${MLVC_BENCH_ASYNC_BASELINE:-$repo_root/bench/baselines/async.json}"
+async_min_geomean="${MLVC_BENCH_ASYNC_MIN_GEOMEAN-1.05}"
+if [ "$check" != "0" ] && [ -f "$async_baseline" ]; then
+  if [ -n "$async_min_geomean" ]; then
+    python3 "$repo_root/tools/check_bench_regression.py" "$async_out" \
+      "$async_baseline" --suite async \
+      --max-regression "$max_regression" --min-ratio "$async_min_geomean"
+  else
+    python3 "$repo_root/tools/check_bench_regression.py" "$async_out" \
+      "$async_baseline" --suite async --max-regression "$max_regression"
+  fi
+elif [ "$check" != "0" ]; then
+  echo "no baseline at $async_baseline, skipping async regression guard"
 fi
