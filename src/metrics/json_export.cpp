@@ -40,6 +40,9 @@ void write_io(std::ostream& out, const ssd::IoStatsSnapshot& io) {
       << ",\"submit_batches\":" << io.submit_batches
       << ",\"sqe_coalesced_ops\":" << io.sqe_coalesced_ops
       << ",\"max_inflight_depth\":" << io.max_inflight_depth
+      << ",\"bus_bytes_crossed\":" << io.bus_bytes_crossed
+      << ",\"device_combine_records_in\":" << io.device_combine_records_in
+      << ",\"device_combine_records_out\":" << io.device_combine_records_out
       << ",\"by_category\":{";
   bool first = true;
   for (unsigned c = 0; c < ssd::kNumIoCategories; ++c) {
@@ -70,6 +73,9 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
   write_escaped(out, stats.io_backend);
   out << ",\"schedule_policy\":";
   write_escaped(out, stats.schedule_policy);
+  out << ",\"combine_placement\":";
+  write_escaped(out, stats.combine_placement);
+  out << ",\"num_devices\":" << stats.num_devices;
   out << ",\"query\":{"
       << "\"id\":" << stats.query_id
       << ",\"cache_hit_pages\":" << stats.query_cache_hit_pages
@@ -98,6 +104,11 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
       << ",\"sqe_coalesced_ops\":" << stats.sqe_coalesced_ops()
       << ",\"max_inflight_depth\":" << stats.max_inflight_depth()
       << ",\"torn_bytes_dropped\":" << stats.torn_bytes_dropped()
+      << ",\"bytes_crossed_bus\":" << stats.bytes_crossed_bus()
+      << ",\"device_combine_records_in\":"
+      << stats.device_combine_records_in()
+      << ",\"device_combine_records_out\":"
+      << stats.device_combine_records_out()
       << ",\"effective_rounds\":" << stats.effective_rounds()
       << ",\"intervals_scheduled\":" << stats.intervals_scheduled()
       << ",\"schedule_reorder_depth\":" << stats.schedule_reorder_depth()

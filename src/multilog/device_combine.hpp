@@ -1,0 +1,150 @@
+// Modeled near-storage (computational-storage) combine.
+//
+// On a striped store the raw message log for one fused interval group is
+// spread over N devices in stripe_unit extents. The host combine path ships
+// every raw record across the bus and reduces it in one counting scatter.
+// A computational-storage device can instead reduce the records *it holds*
+// before they leave the drive — per-device reduction tables — so only one
+// record per live destination per device crosses the bus, and the host
+// finishes with a small merge. This header models that split exactly: the
+// loaded log buffer is partitioned into the per-device sub-streams the
+// stripe layout implies, each sub-stream is grouped+combined independently
+// ("inside" its device), and the reduced outputs are merged on the host.
+//
+// The result is identical to the host path up to combine fold order: exact
+// for idempotent combines (BFS/WCC min), within rounding for floating sums
+// (PageRank). The bus-traffic delta — raw log bytes vs reduced record
+// bytes — is reported through DeviceCombineStats so IoStats can expose the
+// bytes-crossed-bus ablation (nvmevirt-graph-ISC's 4-CSD aggregation
+// design, see ROADMAP).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "multilog/log_codec.hpp"
+#include "multilog/record.hpp"
+#include "multilog/sort_group.hpp"
+
+namespace mlvc::multilog {
+
+/// Traffic model for one device-side combine invocation.
+struct DeviceCombineStats {
+  /// Raw records entering the per-device reduction tables.
+  std::uint64_t records_in = 0;
+  /// Records surviving them (what actually crosses the bus).
+  std::uint64_t records_out = 0;
+  /// Bytes the host path would have moved: the raw log buffer as loaded.
+  std::uint64_t raw_bytes = 0;
+  /// Bytes crossing the bus under device combine: the reduced records.
+  std::uint64_t bus_bytes = 0;
+};
+
+namespace detail {
+
+/// Partition the loaded log buffer into the per-device sub-streams the
+/// stripe layout implies. v1 fixed-width records are assigned in blocks of
+/// one stripe unit's worth of records (a record that straddles a stripe
+/// boundary is charged to the stripe holding its first byte); v2
+/// self-delimiting chunks are walked whole, accumulating ~stripe_unit
+/// bytes per device before rotating — both mirror where the bytes
+/// physically live without splitting any record across devices.
+inline std::vector<std::vector<std::byte>> split_by_device(
+    std::span<const std::byte> bytes, bool v2_format, std::size_t record_size,
+    unsigned num_devices, std::size_t stripe_unit) {
+  std::vector<std::vector<std::byte>> per_dev(num_devices);
+  if (bytes.empty()) return per_dev;
+  if (!v2_format) {
+    const std::size_t block_records = std::max<std::size_t>(
+        1, stripe_unit / record_size);
+    const std::size_t block_bytes = block_records * record_size;
+    std::size_t pos = 0;
+    unsigned dev = 0;
+    while (pos < bytes.size()) {
+      const std::size_t n = std::min(block_bytes, bytes.size() - pos);
+      per_dev[dev].insert(per_dev[dev].end(), bytes.begin() + pos,
+                          bytes.begin() + pos + n);
+      pos += n;
+      dev = (dev + 1) % num_devices;
+    }
+    return per_dev;
+  }
+  // v2: whole chunks only — a chunk is the decode unit, so every device's
+  // sub-stream stays independently decodable.
+  const LogChunkIndex idx = index_log_chunks(bytes, TornPagePolicy::kThrow);
+  unsigned dev = 0;
+  std::size_t acc = 0;
+  for (std::size_t c = 0; c < idx.chunk_offsets.size(); ++c) {
+    const std::size_t begin = idx.chunk_offsets[c];
+    const std::size_t end = c + 1 < idx.chunk_offsets.size()
+                                ? idx.chunk_offsets[c + 1]
+                                : idx.valid_bytes;
+    per_dev[dev].insert(per_dev[dev].end(), bytes.begin() + begin,
+                        bytes.begin() + end);
+    acc += end - begin;
+    if (acc >= stripe_unit) {
+      dev = (dev + 1) % num_devices;
+      acc = 0;
+    }
+  }
+  return per_dev;
+}
+
+}  // namespace detail
+
+/// Group + combine one fused interval group's log with the combine step
+/// placed device-side. Drop-in replacement for the combining
+/// sort_and_group / sort_and_group_v2 calls: same grouped-output contract
+/// (records ascending by dst, offsets with end sentinel, one record per
+/// live destination). Devices are processed in device order — each
+/// device's reduction is internally deterministic — so the result is
+/// reproducible run to run.
+template <typename Message, typename Combine>
+GroupedLog<Message> device_side_combine(
+    std::span<const std::byte> bytes, bool v2_format, VertexId range_begin,
+    VertexId range_end, SortGroupPath policy, unsigned num_devices,
+    std::size_t stripe_unit, Combine&& combine,
+    DeviceCombineStats* stats = nullptr) {
+  std::vector<std::vector<std::byte>> per_dev = detail::split_by_device(
+      bytes, v2_format, sizeof(Record<Message>), num_devices, stripe_unit);
+
+  GroupedLog<Message> out;
+  DeviceCombineStats st;
+  st.raw_bytes = bytes.size();
+  bool path_set = false;
+  for (const std::vector<std::byte>& sub : per_dev) {
+    if (sub.empty()) continue;
+    // "Inside" device d: reduce its resident records with its own table.
+    GroupedLog<Message> reduced =
+        v2_format ? sort_and_group_v2<Message>(sub, range_begin, range_end,
+                                               policy, combine)
+                  : sort_and_group<Message>(sub, range_begin, range_end,
+                                            policy, combine);
+    st.records_in += reduced.decoded;
+    st.records_out += reduced.records.size();
+    out.decoded += reduced.decoded;
+    if (!path_set) {
+      out.path = reduced.path;
+      path_set = true;
+    }
+    out.records.insert(out.records.end(),
+                       std::make_move_iterator(reduced.records.begin()),
+                       std::make_move_iterator(reduced.records.end()));
+  }
+  st.bus_bytes = st.records_out * sizeof(Record<Message>);
+
+  // Host-side merge of the per-device reduced streams: at most num_devices
+  // records per destination remain, so this pass is small by construction.
+  sort_records(out.records);
+  combine_sorted(out.records, std::forward<Combine>(combine));
+  out.offsets = group_offsets(
+      std::span<const Record<Message>>(out.records.data(), out.records.size()));
+  if (stats) *stats = st;
+  return out;
+}
+
+}  // namespace mlvc::multilog

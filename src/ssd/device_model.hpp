@@ -44,6 +44,19 @@ struct DeviceConfig {
   /// most of the graph is active. 1.0 disables the discount.
   double sequential_factor = 0.3;
 
+  /// Number of independent backing devices Blobs stripe across (RAID-0
+  /// style). Each device contributes its own group of num_channels flash
+  /// channels, its own backing file per blob, and — on the uring backend —
+  /// its own submission ring. 1 = the original single-file layout.
+  /// MLVC_DEVICES overrides this at Storage construction; an existing
+  /// store's stripe manifest overrides both.
+  unsigned num_devices = 1;
+
+  /// Stripe unit in bytes: consecutive stripe_unit_bytes extents of a blob
+  /// round-robin across the devices. Must be a multiple of page_size so a
+  /// flash page never straddles two devices. MLVC_STRIPE_UNIT overrides.
+  std::size_t stripe_unit_bytes = 128_KiB;
+
   void validate() const {
     MLVC_CHECK_MSG(page_size >= 512 && (page_size & (page_size - 1)) == 0,
                    "page_size must be a power of two >= 512");
@@ -52,6 +65,11 @@ struct DeviceConfig {
                    "page costs must be positive");
     MLVC_CHECK_MSG(sequential_factor > 0 && sequential_factor <= 1.0,
                    "sequential_factor must be in (0, 1]");
+    MLVC_CHECK_MSG(num_devices >= 1 && num_devices <= 64,
+                   "num_devices must be in [1, 64]");
+    MLVC_CHECK_MSG(stripe_unit_bytes >= page_size &&
+                       stripe_unit_bytes % page_size == 0,
+                   "stripe_unit_bytes must be a whole number of pages");
   }
 };
 
@@ -59,26 +77,34 @@ struct DeviceConfig {
 class DeviceModel {
  public:
   explicit DeviceModel(const DeviceConfig& config)
-      : config_(config), channels_(config.num_channels) {
+      : config_(config),
+        channels_(static_cast<std::size_t>(config.num_channels) *
+                  config.num_devices) {
     config_.validate();
   }
 
   const DeviceConfig& config() const noexcept { return config_; }
 
-  /// Channel placement: consecutive pages of one blob round-robin across all
-  /// channels (the paper's log interspersing), and different blobs start at
-  /// different channels so concurrent blob streams overlap.
-  unsigned channel_for(std::uint64_t blob_id, std::uint64_t page_no) const {
-    return static_cast<unsigned>((blob_id * 2654435761u + page_no) %
+  /// Channel placement: consecutive pages of one blob round-robin across the
+  /// owning device's channels (the paper's log interspersing), and different
+  /// blobs start at different channels so concurrent blob streams overlap.
+  /// The channel group is derived from the striped device id — not from the
+  /// global offset hash — so a page can only ever occupy a channel of the
+  /// device it physically lives on and modeled per-device service times
+  /// never double-count parallelism the stripe layout doesn't provide.
+  unsigned channel_for(std::uint64_t blob_id, std::uint64_t page_no,
+                       unsigned device) const {
+    return device * config_.num_channels +
+           static_cast<unsigned>((blob_id * 2654435761u + page_no) %
                                  config_.num_channels);
   }
 
-  /// Record one page transfer. `cost_scale` applies the sequential discount
-  /// (1.0 for the first page of a transfer, sequential_factor for the
-  /// rest); callers pass it per page.
-  void record(std::uint64_t blob_id, std::uint64_t page_no, bool is_write,
-              double cost_scale) {
-    Channel& ch = channels_[channel_for(blob_id, page_no)];
+  /// Record one page transfer on `device`. `cost_scale` applies the
+  /// sequential discount (1.0 for the first page of a transfer on that
+  /// device, sequential_factor for the rest); callers pass it per page.
+  void record(std::uint64_t blob_id, std::uint64_t page_no, unsigned device,
+              bool is_write, double cost_scale) {
+    Channel& ch = channels_[channel_for(blob_id, page_no, device)];
     const double us =
         (is_write ? config_.page_write_us : config_.page_read_us) *
         cost_scale;
@@ -88,10 +114,10 @@ class DeviceModel {
   }
 
   void record_read(std::uint64_t blob_id, std::uint64_t page_no) {
-    record(blob_id, page_no, /*is_write=*/false, 1.0);
+    record(blob_id, page_no, /*device=*/0, /*is_write=*/false, 1.0);
   }
   void record_write(std::uint64_t blob_id, std::uint64_t page_no) {
-    record(blob_id, page_no, /*is_write=*/true, 1.0);
+    record(blob_id, page_no, /*device=*/0, /*is_write=*/true, 1.0);
   }
 
   /// Modeled device time in seconds: channels run in parallel; each channel's

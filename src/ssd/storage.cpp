@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <thread>
 
 #include "ssd/fault_injector.hpp"
@@ -58,21 +59,46 @@ void for_each_contiguous_run(std::span<const ReadOp> ops, Fn&& fn) {
 // ---------------------------------------------------------------------------
 
 Blob::Blob(Storage* storage, std::uint64_t id, std::string name,
-           IoCategory category, std::filesystem::path path)
+           IoCategory category, std::vector<std::filesystem::path> paths)
     : storage_(storage),
       id_(id),
       name_(std::move(name)),
       category_(category),
-      path_(std::move(path)) {
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd_ < 0) throw IoError("open", path_.string(), errno);
-  const off_t end = ::lseek(fd_, 0, SEEK_END);
-  if (end < 0) throw IoError("lseek", path_.string(), errno);
-  size_ = static_cast<std::uint64_t>(end);
+      paths_(std::move(paths)) {
+  fds_.reserve(paths_.size());
+  for (const auto& p : paths_) {
+    const int fd = ::open(p.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      const int err = errno;
+      for (int open_fd : fds_) ::close(open_fd);
+      throw IoError("open", p.string(), err);
+    }
+    fds_.push_back(fd);
+  }
+  // Reconstruct the logical size from the device files via the inverse
+  // stripe map: the device holding the blob's last stripe determines the
+  // logical end (crash recovery re-opens a striped checkpoint this way).
+  const unsigned ndev = static_cast<unsigned>(fds_.size());
+  const std::size_t unit = storage_->stripe_unit();
+  for (unsigned d = 0; d < ndev; ++d) {
+    const off_t end = ::lseek(fds_[d], 0, SEEK_END);
+    if (end < 0) throw IoError("lseek", paths_[d].string(), errno);
+    if (end == 0) continue;
+    const auto e = static_cast<std::uint64_t>(end);
+    if (ndev == 1) {
+      size_ = std::max(size_, e);
+      continue;
+    }
+    const std::uint64_t last = e - 1;  // last device-local byte
+    const std::uint64_t global_stripe = (last / unit) * ndev + d;
+    size_ = std::max(size_, global_stripe * unit + last % unit + 1);
+  }
 }
 
 Blob::~Blob() {
-  if (fd_ >= 0) ::close(fd_);
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
 }
 
 std::uint64_t Blob::size() const {
@@ -92,10 +118,22 @@ void Blob::account(std::uint64_t offset, std::size_t len,
   const std::uint64_t first = offset / ps;
   const std::uint64_t last = (offset + len - 1) / ps;
   const double seq = storage_->device_.config().sequential_factor;
+  const unsigned ndev = storage_->num_devices();
+  const std::uint64_t pages_per_unit = storage_->stripe_unit() / ps;
+  // The stripe unit is a whole number of pages, so every page lives on
+  // exactly one device; charge it to that device's channel group. Each
+  // device's first page of the transfer pays the full (command +
+  // seek-equivalent) cost, its subsequent pages stream at the discounted
+  // rate — striping splits one logical transfer into one sequential
+  // transfer per device.
+  std::uint64_t first_paid = 0;  // bitmask; num_devices <= 64 by validate()
   for (std::uint64_t p = first; p <= last; ++p) {
-    // One contiguous transfer: the first page pays the full (command +
-    // seek-equivalent) cost, subsequent pages stream at the discounted rate.
-    storage_->device_.record(id_, p, is_write, p == first ? 1.0 : seq);
+    const unsigned dev =
+        ndev == 1 ? 0u
+                  : static_cast<unsigned>((p / pages_per_unit) % ndev);
+    const bool dev_first = (first_paid >> dev & 1) == 0;
+    first_paid |= std::uint64_t{1} << dev;
+    storage_->device_.record(id_, p, dev, is_write, dev_first ? 1.0 : seq);
   }
   const std::uint64_t pages = last - first + 1;
   if (is_write) {
@@ -106,8 +144,8 @@ void Blob::account(std::uint64_t offset, std::size_t len,
 }
 
 template <typename Raw>
-void Blob::run_io(FaultSite site, const char* op, std::uint64_t offset,
-                  std::size_t len, Raw&& raw) const {
+void Blob::run_io(FaultSite site, const char* op, unsigned dev,
+                  std::uint64_t offset, std::size_t len, Raw&& raw) const {
   const std::shared_ptr<FaultInjector> fault = storage_->fault_injector();
   const RetryPolicy policy = storage_->retry_policy();
   unsigned fails = 0;
@@ -130,7 +168,7 @@ void Blob::run_io(FaultSite site, const char* op, std::uint64_t offset,
         }
         if (++fails >= policy.max_attempts) {
           storage_->stats_.record_io_giveup();
-          throw IoError(op, path_.string(), d.err);
+          throw IoError(op, paths_[dev].string(), d.err);
         }
         storage_->stats_.record_io_retry();
         retry_backoff_sleep(policy, fails);
@@ -153,7 +191,7 @@ void Blob::run_io(FaultSite site, const char* op, std::uint64_t offset,
         continue;
       }
       storage_->stats_.record_io_giveup();
-      throw IoError(op, path_.string(), err);
+      throw IoError(op, paths_[dev].string(), err);
     }
     MLVC_CHECK_MSG(n != 0, "unexpected EOF on blob '" << name_ << "'");
     done += static_cast<std::size_t>(n);
@@ -171,29 +209,22 @@ void Blob::read(std::uint64_t offset, void* buf, std::size_t len) const {
                                              << " size=" << size_);
   }
   account(offset, len, /*is_write=*/false);
-  if (auto uring = storage_->uring_backend()) {
-    UringOp op;
-    op.offset = offset;
-    op.len = len;
-    op.buf = buf;
-    run_uring(*uring, std::span<UringOp>(&op, 1));
-    return;
-  }
-  char* dst = static_cast<char*>(buf);
-  run_io(FaultSite::kRead, "pread", offset, len,
-         [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
-           return ::pread(fd_, dst + done, n, static_cast<off_t>(pos));
-         });
+  ReadOp op;
+  op.offset = offset;
+  op.buf = buf;
+  op.len = len;
+  dispatch_reads(std::span<const ReadOp>(&op, 1));
 }
 
-void Blob::run_uring(UringIo& io, std::span<UringOp> ops) const {
+void Blob::run_uring(UringIo& io, unsigned dev,
+                     std::span<UringOp> ops) const {
   const std::shared_ptr<FaultInjector> fault = storage_->fault_injector();
   UringBatchContext ctx;
-  ctx.fd = fd_;
+  ctx.fd = fds_[dev];
   ctx.fault = fault.get();
   ctx.retry = storage_->retry_policy();
   ctx.stats = &storage_->stats_;
-  ctx.path = path_.string();
+  ctx.path = paths_[dev].string();
   io.run_batch(ctx, ops);
 }
 
@@ -213,10 +244,47 @@ void Blob::read_multi(std::span<const ReadOp> ops) const {
   // structure) as one read() call per op, so read_multi never changes what a
   // workload is charged.
   for (const ReadOp& op : ops) account(op.offset, op.len, /*is_write=*/false);
+  dispatch_reads(ops);
+}
 
-  if (auto uring = storage_->uring_backend()) {
+void Blob::dispatch_reads(std::span<const ReadOp> ops) const {
+  const unsigned ndev = static_cast<unsigned>(fds_.size());
+  if (ndev == 1) {
+    // Identity mapping: logical offsets are device offsets, the batch is
+    // exactly what the caller handed us.
+    dispatch_reads_device(0, ops);
+    return;
+  }
+  // Split every op into per-device segments with device-local offsets.
+  // Within one device, consecutive stripes are contiguous in its file, so
+  // the per-device coalescer still merges large logical extents into few
+  // SQEs/preadv calls.
+  const std::size_t unit = storage_->stripe_unit();
+  std::vector<std::vector<ReadOp>> per_dev(ndev);
+  for (const ReadOp& op : ops) {
+    for_each_stripe_segment(
+        op.offset, op.len, unit, ndev,
+        [&](unsigned dev, std::uint64_t dev_off, std::size_t buf_off,
+            std::size_t seg_len) {
+          ReadOp seg;
+          seg.offset = dev_off;
+          seg.buf = static_cast<char*>(op.buf) + buf_off;
+          seg.len = seg_len;
+          per_dev[dev].push_back(seg);
+        });
+  }
+  for (unsigned d = 0; d < ndev; ++d) {
+    if (!per_dev[d].empty()) dispatch_reads_device(d, per_dev[d]);
+  }
+}
+
+void Blob::dispatch_reads_device(unsigned dev,
+                                 std::span<const ReadOp> ops) const {
+  if (auto uring = storage_->uring_backend(dev)) {
     // One READV SQE per contiguous run, the whole scattered batch in flight
     // together: queue depth comes from the batch, not from thread count.
+    // Each device has its own ring, so batches to different devices never
+    // serialize behind one submission queue.
     std::vector<struct iovec> iov;
     iov.reserve(ops.size());  // no reallocation: UringOps point into it
     std::vector<UringOp> uops;
@@ -237,7 +305,7 @@ void Blob::read_multi(std::span<const ReadOp> ops) const {
           }
           uops.push_back(u);
         });
-    run_uring(*uring, uops);
+    run_uring(*uring, dev, uops);
     return;
   }
 
@@ -251,7 +319,7 @@ void Blob::read_multi(std::span<const ReadOp> ops) const {
       iov.push_back({ops[k].buf, ops[k].len});
     }
     std::size_t vec_begin = 0;
-    run_io(FaultSite::kRead, "preadv", ops[i].offset, run_len,
+    run_io(FaultSite::kRead, "preadv", dev, ops[i].offset, run_len,
            [&](std::uint64_t pos, std::size_t, std::size_t want) -> ssize_t {
              // Clip the remaining iovecs to at most `want` bytes, so a
              // short-I/O fault decision bounds this attempt too.
@@ -264,9 +332,9 @@ void Blob::read_multi(std::span<const ReadOp> ops) const {
                acc += v.iov_len;
                clip.push_back(v);
              }
-             const ssize_t n =
-                 ::preadv(fd_, clip.data(), static_cast<int>(clip.size()),
-                          static_cast<off_t>(pos));
+             const ssize_t n = ::preadv(fds_[dev], clip.data(),
+                                        static_cast<int>(clip.size()),
+                                        static_cast<off_t>(pos));
              if (n > 0) {
                // Retire fully-read iovecs; trim a partially-read one.
                std::size_t adv = static_cast<std::size_t>(n);
@@ -287,23 +355,48 @@ void Blob::read_multi(std::span<const ReadOp> ops) const {
   });
 }
 
+void Blob::dispatch_write(std::uint64_t offset, const void* buf,
+                          std::size_t len) {
+  const unsigned ndev = static_cast<unsigned>(fds_.size());
+  const std::size_t unit = storage_->stripe_unit();
+  const char* src = static_cast<const char*>(buf);
+  // Collect per-device segments first so the uring path can put a device's
+  // whole stripe train in flight as one batch.
+  std::vector<std::vector<UringOp>> per_dev(ndev);
+  for_each_stripe_segment(
+      offset, len, unit, ndev,
+      [&](unsigned dev, std::uint64_t dev_off, std::size_t buf_off,
+          std::size_t seg_len) {
+        UringOp op;
+        op.offset = dev_off;
+        op.len = seg_len;
+        // WRITE SQEs never modify the buffer
+        op.buf = const_cast<char*>(src + buf_off);
+        op.is_write = true;
+        per_dev[dev].push_back(op);
+      });
+  for (unsigned d = 0; d < ndev; ++d) {
+    if (per_dev[d].empty()) continue;
+    if (auto uring = storage_->uring_backend(d)) {
+      run_uring(*uring, d, per_dev[d]);
+      continue;
+    }
+    for (const UringOp& op : per_dev[d]) {
+      const char* seg = static_cast<const char*>(op.buf);
+      run_io(FaultSite::kWrite, "pwrite", d, op.offset, op.len,
+             [&](std::uint64_t pos, std::size_t done,
+                 std::size_t n) -> ssize_t {
+               return ::pwrite(fds_[d], seg + done, n,
+                               static_cast<off_t>(pos));
+             });
+    }
+  }
+}
+
 void Blob::write(std::uint64_t offset, const void* buf, std::size_t len) {
   if (len == 0) return;
   account(offset, len, /*is_write=*/true);
-  if (auto uring = storage_->uring_backend()) {
-    UringOp op;
-    op.offset = offset;
-    op.len = len;
-    op.buf = const_cast<void*>(buf);  // WRITE SQEs never modify the buffer
-    op.is_write = true;
-    run_uring(*uring, std::span<UringOp>(&op, 1));
-  } else {
-    const char* src = static_cast<const char*>(buf);
-    run_io(FaultSite::kWrite, "pwrite", offset, len,
-           [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
-             return ::pwrite(fd_, src + done, n, static_cast<off_t>(pos));
-           });
-  }
+  dispatch_write(offset, buf, len);
   std::lock_guard<std::mutex> lock(size_mutex_);
   size_ = std::max(size_, offset + len);
 }
@@ -318,20 +411,7 @@ std::uint64_t Blob::append(const void* buf, std::size_t len) {
   }
   if (len == 0) return offset;
   account(offset, len, /*is_write=*/true);
-  if (auto uring = storage_->uring_backend()) {
-    UringOp op;
-    op.offset = offset;
-    op.len = len;
-    op.buf = const_cast<void*>(buf);
-    op.is_write = true;
-    run_uring(*uring, std::span<UringOp>(&op, 1));
-    return offset;
-  }
-  const char* src = static_cast<const char*>(buf);
-  run_io(FaultSite::kWrite, "pwrite", offset, len,
-         [&](std::uint64_t pos, std::size_t done, std::size_t n) -> ssize_t {
-           return ::pwrite(fd_, src + done, n, static_cast<off_t>(pos));
-         });
+  dispatch_write(offset, buf, len);
   return offset;
 }
 
@@ -343,8 +423,22 @@ std::uint64_t Blob::reserve(std::size_t len) {
 }
 
 void Blob::truncate(std::uint64_t new_size) {
-  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
-    throw IoError("ftruncate", path_.string(), errno);
+  // Device d keeps `unit` bytes for every full stripe it owns below the cut,
+  // plus the partial tail if the cut lands inside one of its stripes.
+  const unsigned ndev = static_cast<unsigned>(fds_.size());
+  const std::size_t unit = storage_->stripe_unit();
+  for (unsigned d = 0; d < ndev; ++d) {
+    std::uint64_t dev_size = new_size;
+    if (ndev > 1) {
+      const std::uint64_t full = new_size / unit;  // whole stripes below cut
+      const std::uint64_t rem = new_size % unit;
+      const std::uint64_t base = (full / ndev) * unit;
+      const unsigned r = static_cast<unsigned>(full % ndev);
+      dev_size = base + (d < r ? unit : (d == r ? rem : 0));
+    }
+    if (::ftruncate(fds_[d], static_cast<off_t>(dev_size)) != 0) {
+      throw IoError("ftruncate", paths_[d].string(), errno);
+    }
   }
   std::lock_guard<std::mutex> lock(size_mutex_);
   size_ = new_size;
@@ -355,22 +449,24 @@ void Blob::sync() {
     const FaultDecision d = fault->decide(FaultSite::kSync, 0);
     if (d.kind == FaultDecision::Kind::kTransient) {
       storage_->stats_.record_io_giveup();
-      throw IoError("fdatasync", path_.string(), d.err);
+      throw IoError("fdatasync", paths_[0].string(), d.err);
     }
     if (d.kind == FaultDecision::Kind::kCrash) {
       std::_Exit(kCrashExitCode);
     }
   }
-  while (::fdatasync(fd_) != 0) {
-    const int err = errno;
-    if (err == EINTR) {
-      storage_->stats_.record_io_retry();
-      continue;
+  for (std::size_t d = 0; d < fds_.size(); ++d) {
+    while (::fdatasync(fds_[d]) != 0) {
+      const int err = errno;
+      if (err == EINTR) {
+        storage_->stats_.record_io_retry();
+        continue;
+      }
+      // Never retry a failed sync: the kernel may have dropped the dirty
+      // pages, so a later "successful" fdatasync would be a lie.
+      storage_->stats_.record_io_giveup();
+      throw IoError("fdatasync", paths_[d].string(), err);
     }
-    // Never retry a failed sync: the kernel may have dropped the dirty
-    // pages, so a later "successful" fdatasync would be a lie.
-    storage_->stats_.record_io_giveup();
-    throw IoError("fdatasync", path_.string(), err);
   }
 }
 
@@ -392,13 +488,119 @@ std::string sanitize(const std::string& name) {
   }
   return out;
 }
+
+constexpr const char* kStripeManifestName = "stripe.manifest";
+constexpr const char* kStripeMagic = "mlvc-stripe";
+constexpr unsigned kStripeManifestVersion = 1;
 }  // namespace
 
-Storage::Storage(std::filesystem::path dir, DeviceConfig config)
-    : dir_(std::move(dir)), device_(config) {
+bool read_stripe_manifest(const std::filesystem::path& dir,
+                          StripeManifest* out) {
+  std::ifstream in(dir / kStripeManifestName);
+  if (!in) return false;
+  std::string magic;
+  StripeManifest m;
+  in >> magic >> m.version;
+  if (!in || magic != kStripeMagic) {
+    throw Error("corrupt stripe manifest in '" + dir.string() + "'");
+  }
+  if (m.version > kStripeManifestVersion) {
+    throw Error("stripe manifest in '" + dir.string() + "' has version " +
+                std::to_string(m.version) + "; this build understands <= " +
+                std::to_string(kStripeManifestVersion));
+  }
+  std::string key;
+  while (in >> key) {
+    if (key == "devices") {
+      in >> m.num_devices;
+    } else if (key == "stripe_unit") {
+      in >> m.stripe_unit_bytes;
+    } else {
+      std::string skip;
+      in >> skip;  // forward-compatible: unknown keys ignored
+    }
+  }
+  if (m.num_devices < 1 || m.stripe_unit_bytes == 0) {
+    throw Error("corrupt stripe manifest in '" + dir.string() + "'");
+  }
+  *out = m;
+  return true;
+}
+
+void write_stripe_manifest(const std::filesystem::path& dir,
+                           const StripeManifest& m) {
+  const std::filesystem::path path = dir / kStripeManifestName;
+  std::ofstream out(path, std::ios::trunc);
+  out << kStripeMagic << ' ' << m.version << '\n'
+      << "devices " << m.num_devices << '\n'
+      << "stripe_unit " << m.stripe_unit_bytes << '\n';
+  out.flush();
+  if (!out) throw IoError("write", path.string(), EIO);
+}
+
+DeviceConfig Storage::resolve_stripe_layout(const std::filesystem::path& dir,
+                                            DeviceConfig config) {
   std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
-  if (ec) throw IoError("mkdir", dir_.string(), ec.value());
+  std::filesystem::create_directories(dir, ec);
+  if (ec) throw IoError("mkdir", dir.string(), ec.value());
+  if (const char* env = std::getenv("MLVC_DEVICES")) {
+    const unsigned n = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (n > 0) config.num_devices = n;
+  }
+  if (const char* env = std::getenv("MLVC_STRIPE_UNIT")) {
+    const std::size_t u =
+        static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    if (u > 0) config.stripe_unit_bytes = u;
+  }
+  // An existing store's manifest is authoritative: the stripe layout is
+  // baked into the files, so reopening under a different MLVC_DEVICES must
+  // not scramble them.
+  StripeManifest manifest;
+  if (read_stripe_manifest(dir, &manifest)) {
+    config.num_devices = manifest.num_devices;
+    config.stripe_unit_bytes = manifest.stripe_unit_bytes;
+    config.validate();
+    return config;
+  }
+  // Manifest-less but non-empty: a v1 store from before striping existed.
+  // Force single-device so its files keep reading byte-for-byte.
+  if (!std::filesystem::is_empty(dir, ec) && !ec) {
+    config.num_devices = 1;
+    config.validate();
+    return config;
+  }
+  config.validate();
+  if (config.num_devices > 1) {
+    for (unsigned d = 0; d < config.num_devices; ++d) {
+      std::filesystem::create_directories(dir / ("dev" + std::to_string(d)),
+                                          ec);
+      if (ec) throw IoError("mkdir", dir.string(), ec.value());
+    }
+    manifest.version = kStripeManifestVersion;
+    manifest.num_devices = config.num_devices;
+    manifest.stripe_unit_bytes = config.stripe_unit_bytes;
+    write_stripe_manifest(dir, manifest);
+  }
+  return config;
+}
+
+std::vector<std::filesystem::path> Storage::blob_paths(
+    const std::string& name) const {
+  const unsigned ndev = device_.config().num_devices;
+  std::vector<std::filesystem::path> paths;
+  paths.reserve(ndev);
+  if (ndev == 1) {
+    paths.push_back(dir_ / sanitize(name));
+  } else {
+    for (unsigned d = 0; d < ndev; ++d) {
+      paths.push_back(dir_ / ("dev" + std::to_string(d)) / sanitize(name));
+    }
+  }
+  return paths;
+}
+
+Storage::Storage(std::filesystem::path dir, DeviceConfig config)
+    : dir_(std::move(dir)), device_(resolve_stripe_layout(dir_, config)) {
   fault_ = FaultInjector::from_env();
   if (const char* env = std::getenv("MLVC_FAULT_RETRIES")) {
     retry_policy_.max_attempts = std::max(
@@ -427,11 +629,11 @@ Storage::~Storage() = default;
 Blob& Storage::create_blob(const std::string& name, IoCategory category) {
   std::lock_guard<std::mutex> lock(blobs_mutex_);
   blobs_.erase(name);  // closes any previous handle
-  const std::filesystem::path path = dir_ / sanitize(name);
+  std::vector<std::filesystem::path> paths = blob_paths(name);
   std::error_code ec;
-  std::filesystem::remove(path, ec);  // fresh content
+  for (const auto& p : paths) std::filesystem::remove(p, ec);  // fresh content
   auto blob = std::unique_ptr<Blob>(
-      new Blob(this, next_blob_id_++, name, category, path));
+      new Blob(this, next_blob_id_++, name, category, std::move(paths)));
   Blob& ref = *blob;
   blobs_.emplace(name, std::move(blob));
   return ref;
@@ -441,15 +643,22 @@ Blob& Storage::open_blob(const std::string& name) {
   std::lock_guard<std::mutex> lock(blobs_mutex_);
   auto it = blobs_.find(name);
   if (it != blobs_.end()) return *it->second;
-  // No live handle — fall back to a file left on disk by a previous process
-  // (crash recovery re-opens checkpoints this way).
-  const std::filesystem::path path = dir_ / sanitize(name);
+  // No live handle — fall back to files left on disk by a previous process
+  // (crash recovery re-opens checkpoints this way). Any one device file is
+  // evidence enough: a crash between the per-device creates may have left
+  // the others missing, and the Blob ctor recreates them empty.
+  std::vector<std::filesystem::path> paths = blob_paths(name);
   std::error_code ec;
-  if (!std::filesystem::is_regular_file(path, ec) || ec) {
+  const bool any_on_disk =
+      std::any_of(paths.begin(), paths.end(), [&](const auto& p) {
+        return std::filesystem::is_regular_file(p, ec) && !ec;
+      });
+  if (!any_on_disk) {
     throw InvalidArgument("no such blob: '" + name + "'");
   }
-  auto blob = std::unique_ptr<Blob>(
-      new Blob(this, next_blob_id_++, name, IoCategory::kMisc, path));
+  auto blob = std::unique_ptr<Blob>(new Blob(this, next_blob_id_++, name,
+                                             IoCategory::kMisc,
+                                             std::move(paths)));
   Blob& ref = *blob;
   blobs_.emplace(name, std::move(blob));
   return ref;
@@ -461,15 +670,21 @@ void Storage::publish_blob(const std::string& from, const std::string& to) {
   if (it == blobs_.end()) {
     throw InvalidArgument("no such blob: '" + from + "'");
   }
-  const std::filesystem::path new_path = dir_ / sanitize(to);
-  blobs_.erase(to);  // close any open handle to the file being replaced
-  if (::rename(it->second->path_.c_str(), new_path.c_str()) != 0) {
-    throw IoError("rename", new_path.string(), errno);
+  const std::vector<std::filesystem::path> new_paths = blob_paths(to);
+  blobs_.erase(to);  // close any open handle to the files being replaced
+  // Each per-device rename is atomic; the set as a whole is not. Crash
+  // faults fire only on read/write/sync sites, so the fault harness never
+  // interrupts a publish — see DESIGN.md §4d for the real-device caveat.
+  Blob& blob = *it->second;
+  for (std::size_t d = 0; d < blob.paths_.size(); ++d) {
+    if (::rename(blob.paths_[d].c_str(), new_paths[d].c_str()) != 0) {
+      throw IoError("rename", new_paths[d].string(), errno);
+    }
   }
   auto node = blobs_.extract(it);
   node.key() = to;
   node.mapped()->name_ = to;
-  node.mapped()->path_ = new_path;
+  node.mapped()->paths_ = new_paths;
   blobs_.insert(std::move(node));
 }
 
@@ -523,8 +738,17 @@ IoBackendKind Storage::set_io_backend(IoBackendKind requested,
   if (requested == IoBackendKind::kUring) {
     const IoBackendProbe& p = shared_io_backend_probe();
     if (p.uring_available) {
-      if (!uring_ || uring_->queue_depth() != uring_depth_) {
-        uring_ = std::make_shared<UringIo>(uring_depth_);
+      // One ring per device: submissions to different devices must never
+      // share (and so serialize behind) one submission queue.
+      const unsigned ndev = device_.config().num_devices;
+      const bool reuse = urings_.size() == ndev && !urings_.empty() &&
+                         urings_[0]->queue_depth() == uring_depth_;
+      if (!reuse) {
+        urings_.clear();
+        urings_.reserve(ndev);
+        for (unsigned d = 0; d < ndev; ++d) {
+          urings_.push_back(std::make_shared<UringIo>(uring_depth_));
+        }
       }
       io_backend_kind_ = IoBackendKind::kUring;
       return io_backend_kind_;
@@ -538,7 +762,7 @@ IoBackendKind Storage::set_io_backend(IoBackendKind requested,
           uring_fallback_);
     }
   }
-  uring_.reset();
+  urings_.clear();
   io_backend_kind_ = IoBackendKind::kThreadPool;
   return io_backend_kind_;
 }
@@ -553,19 +777,20 @@ std::string Storage::io_backend_fallback() const {
   return uring_fallback_;
 }
 
-std::shared_ptr<UringIo> Storage::uring_backend() const {
+std::shared_ptr<UringIo> Storage::uring_backend(unsigned dev) const {
   std::lock_guard<std::mutex> lock(fault_mutex_);
-  return uring_;
+  if (dev >= urings_.size()) return nullptr;
+  return urings_[dev];
 }
 
 void Storage::remove_blob(const std::string& name) {
   std::lock_guard<std::mutex> lock(blobs_mutex_);
   auto it = blobs_.find(name);
   if (it == blobs_.end()) return;
-  const std::filesystem::path path = it->second->path_;
+  const std::vector<std::filesystem::path> paths = it->second->paths_;
   blobs_.erase(it);
   std::error_code ec;
-  std::filesystem::remove(path, ec);
+  for (const auto& p : paths) std::filesystem::remove(p, ec);
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 // about (§IV.C).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -71,6 +72,49 @@ struct ReadOp {
   void* buf = nullptr;
   std::size_t len = 0;
 };
+
+/// On-disk stripe layout descriptor, persisted as `stripe.manifest` in the
+/// storage directory when a store is created with more than one device. A
+/// directory without a manifest is a v1 single-file store and always opens
+/// (devices = 1) regardless of the requested config; a directory with a
+/// manifest opens with the manifest's layout so a striped store is
+/// self-describing across processes (crash recovery re-opens the stripe
+/// set). The manifest is versioned: an unrecognized version is a typed
+/// Error, not a misread layout.
+struct StripeManifest {
+  unsigned version = 1;
+  unsigned num_devices = 1;
+  std::size_t stripe_unit_bytes = 0;
+};
+
+/// Logical→physical stripe mapping (RAID-0): stripe s of a blob lives on
+/// device s % N at device-file offset (s / N) * unit. Invokes
+/// fn(device, dev_offset, transfer_offset, seg_len) for each maximal
+/// single-device segment of [offset, offset + len). With num_devices == 1
+/// the whole range is one segment at its original offset, so the v1 layout
+/// is the identity mapping.
+template <typename Fn>
+void for_each_stripe_segment(std::uint64_t offset, std::size_t len,
+                             std::size_t unit, unsigned num_devices,
+                             Fn&& fn) {
+  if (len == 0) return;
+  if (num_devices <= 1) {
+    fn(0u, offset, std::size_t{0}, len);
+    return;
+  }
+  std::size_t done = 0;
+  while (done < len) {
+    const std::uint64_t off = offset + done;
+    const std::uint64_t stripe = off / unit;
+    const std::size_t within = static_cast<std::size_t>(off % unit);
+    const std::size_t seg =
+        std::min<std::uint64_t>(len - done, unit - within);
+    const unsigned dev = static_cast<unsigned>(stripe % num_devices);
+    const std::uint64_t dev_off = (stripe / num_devices) * unit + within;
+    fn(dev, dev_off, done, seg);
+    done += seg;
+  }
+}
 
 /// A single append-/overwrite-able file with page accounting. Thread-safe:
 /// pread/pwrite are positional, and the logical size is guarded.
@@ -141,30 +185,48 @@ class Blob {
  private:
   friend class Storage;
   Blob(Storage* storage, std::uint64_t id, std::string name,
-       IoCategory category, std::filesystem::path path);
+       IoCategory category, std::vector<std::filesystem::path> paths);
 
   void account(std::uint64_t offset, std::size_t len, bool is_write) const;
 
   /// Partial-progress transfer loop shared by read/read_multi/write/append:
   /// consults the storage's fault injector before each attempt, applies the
   /// retry policy to transient errnos, and throws IoError on giveup. `raw`
-  /// issues one syscall attempt of at most `n` bytes at file position `pos`
-  /// (with `done` bytes of the logical transfer already complete) and
-  /// returns the syscall result.
+  /// issues one syscall attempt of at most `n` bytes at device-file
+  /// position `pos` (with `done` bytes of the segment already complete) and
+  /// returns the syscall result. Runs against one device; a give-up names
+  /// that device's backing file in the typed IoError.
   template <typename Raw>
-  void run_io(FaultSite site, const char* op, std::uint64_t offset,
-              std::size_t len, Raw&& raw) const;
+  void run_io(FaultSite site, const char* op, unsigned dev,
+              std::uint64_t offset, std::size_t len, Raw&& raw) const;
 
-  /// Issue a prepared op batch through the storage's io_uring backend with
-  /// this blob's fault/retry/stats context.
-  void run_uring(UringIo& io, std::span<UringOp> ops) const;
+  /// Issue a prepared op batch through `dev`'s io_uring ring with this
+  /// blob's fault/retry/stats context. Each device has its own ring, so
+  /// batches to different devices never serialize behind one submission
+  /// queue.
+  void run_uring(UringIo& io, unsigned dev, std::span<UringOp> ops) const;
+
+  /// Issue already-accounted read ops, expressed in *device-local* offsets
+  /// against device `dev`, through whichever backend is selected —
+  /// coalescing file-contiguous runs identically on both.
+  void dispatch_reads_device(unsigned dev, std::span<const ReadOp> ops) const;
+
+  /// Split logical-offset read ops per device (stripe mapping) and issue
+  /// each device's share. The single-device path forwards ops untouched.
+  void dispatch_reads(std::span<const ReadOp> ops) const;
+
+  /// Striped write: split [offset, offset+len) per device and issue each
+  /// device's segments through the selected backend.
+  void dispatch_write(std::uint64_t offset, const void* buf,
+                      std::size_t len);
 
   Storage* storage_;
   std::uint64_t id_;
   std::string name_;
   IoCategory category_;
-  std::filesystem::path path_;
-  int fd_ = -1;
+  /// One backing file per device (size 1 = v1 single-file layout).
+  std::vector<std::filesystem::path> paths_;
+  std::vector<int> fds_;
   mutable std::mutex size_mutex_;
   std::uint64_t size_ = 0;
 };
@@ -198,6 +260,14 @@ class Storage {
   void remove_blob(const std::string& name);
 
   std::size_t page_size() const noexcept { return device_.config().page_size; }
+  /// Resolved stripe layout (manifest > MLVC_DEVICES/MLVC_STRIPE_UNIT env >
+  /// DeviceConfig). 1 device = the original single-file layout.
+  unsigned num_devices() const noexcept {
+    return device_.config().num_devices;
+  }
+  std::size_t stripe_unit() const noexcept {
+    return device_.config().stripe_unit_bytes;
+  }
   DeviceModel& device() noexcept { return device_; }
   const DeviceModel& device() const noexcept { return device_; }
   IoStats& stats() noexcept { return stats_; }
@@ -231,9 +301,24 @@ class Storage {
  private:
   friend class Blob;
 
-  /// Backend handle for Blob I/O dispatch (null = thread-pool path). Shared
-  /// ownership so a concurrent set_io_backend can't free a ring mid-batch.
-  std::shared_ptr<UringIo> uring_backend() const;
+  /// Resolve the effective stripe layout for `dir` before the DeviceModel
+  /// is built: applies MLVC_DEVICES / MLVC_STRIPE_UNIT, then defers to an
+  /// existing stripe.manifest (the store's layout wins), then falls back to
+  /// single-file for a manifest-less directory that already holds blobs
+  /// (v1 compatibility). Creates the directory, the per-device
+  /// subdirectories and — for a freshly striped store — the manifest.
+  static DeviceConfig resolve_stripe_layout(const std::filesystem::path& dir,
+                                            DeviceConfig config);
+
+  /// Per-device ring for Blob I/O dispatch (null = thread-pool path).
+  /// Shared ownership so a concurrent set_io_backend can't free a ring
+  /// mid-batch.
+  std::shared_ptr<UringIo> uring_backend(unsigned dev) const;
+
+  /// Backing-file paths for a blob name, one per device. Device k of a
+  /// striped store lives under dir/dev<k>/; a single-device store keeps the
+  /// original flat dir/<name> layout.
+  std::vector<std::filesystem::path> blob_paths(const std::string& name) const;
 
   std::filesystem::path dir_;
   DeviceModel device_;
@@ -245,10 +330,20 @@ class Storage {
   std::shared_ptr<FaultInjector> fault_;
   RetryPolicy retry_policy_;
   IoBackendKind io_backend_kind_ = IoBackendKind::kThreadPool;
-  std::shared_ptr<UringIo> uring_;
+  /// One ring per device under kUring (all null on the thread pool).
+  std::vector<std::shared_ptr<UringIo>> urings_;
   unsigned uring_depth_ = 64;
   std::string uring_fallback_;
 };
+
+/// Read `dir`'s stripe manifest. Returns false when none exists (v1
+/// single-file store); throws Error on an unrecognized manifest version or
+/// a malformed file.
+bool read_stripe_manifest(const std::filesystem::path& dir,
+                          StripeManifest* out);
+/// Write (create or overwrite) `dir`'s stripe manifest.
+void write_stripe_manifest(const std::filesystem::path& dir,
+                           const StripeManifest& manifest);
 
 /// RAII temporary directory (unique under the system temp dir) for tests,
 /// benches, and examples.

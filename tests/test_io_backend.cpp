@@ -163,6 +163,11 @@ TEST_F(UringBackend, RoundTripRecordsBatchStats) {
 }
 
 TEST_F(UringBackend, ReadMultiCoalescesAdjacentRuns) {
+  // The inflight-depth bound below counts SQEs on ONE ring; a striped store
+  // (CI re-runs tier-1 under MLVC_DEVICES=4) spreads the batch over
+  // per-device rings and legitimately lowers it. Pin the single-file layout.
+  ScopedEnv pin_devices("MLVC_DEVICES", nullptr);
+  ScopedEnv pin_unit("MLVC_STRIPE_UNIT", nullptr);
   ssd::TempDir dir;
   ssd::Storage storage(dir.path());
   ASSERT_EQ(storage.set_io_backend(ssd::IoBackendKind::kUring, 32),

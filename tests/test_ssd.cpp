@@ -155,11 +155,11 @@ TEST(DeviceModel, ChannelsAccumulateIndependently) {
   cfg.sequential_factor = 1.0;
   ssd::DeviceModel dev(cfg);
   // All pages to the same (blob, page) -> one channel: serial time.
-  for (int i = 0; i < 10; ++i) dev.record(1, 0, false, 1.0);
+  for (int i = 0; i < 10; ++i) dev.record(1, 0, /*device=*/0, false, 1.0);
   EXPECT_DOUBLE_EQ(dev.modeled_seconds(), 10 * 100e-6);
   dev.reset();
   // Consecutive pages stripe across channels: parallel time.
-  for (std::uint64_t p = 0; p < 8; ++p) dev.record(1, p, false, 1.0);
+  for (std::uint64_t p = 0; p < 8; ++p) dev.record(1, p, /*device=*/0, false, 1.0);
   EXPECT_DOUBLE_EQ(dev.modeled_seconds(), 2 * 100e-6);  // 8 pages / 4 channels
 }
 

@@ -45,6 +45,14 @@ in a way absolute numbers are not. Two suites:
     Enforced entries are the skewed-large-scale hub-degree pair;
     --min-ratio enforces the absolute floor on their geomean.
 
+  --suite stripe
+    bench_stripe's custom BENCH_stripe.json (same metric/ratio/enforced
+    shape as compress): modeled-bandwidth scaling of the striped layout
+    (1 vs 4 devices) and host-vs-device bytes-crossed-bus for the
+    near-storage combine. --min-ratio enforces the absolute floor on the
+    enforced geomean (ISSUE acceptance: >= 1.6x modeled aggregate
+    bandwidth at 4 devices; device placement must cut bus bytes).
+
 Individual configurations are noisy at CI bench durations (a single 0.02 s
 run can swing ±30%), so the gate is the *geometric mean* of the ratios over
 all enforced configurations: a genuine regression shifts every
@@ -173,7 +181,8 @@ def main():
     ap.add_argument("current")
     ap.add_argument("baseline")
     ap.add_argument("--suite",
-                    choices=("scatter", "io", "serve", "compress", "async"),
+                    choices=("scatter", "io", "serve", "compress", "async",
+                             "stripe"),
                     default="scatter")
     ap.add_argument("--max-regression", type=float, default=0.30,
                     help="fail when ratio drops by more than this fraction")
@@ -208,6 +217,11 @@ def main():
         cur_all, cur = load_compress_ratios(args.current)
         base_all, base = load_compress_ratios(args.baseline)
         label = "bsp/async"
+    elif args.suite == "stripe":
+        # Same custom JSON shape as compress: runs[{metric, ratio, enforced}].
+        cur_all, cur = load_compress_ratios(args.current)
+        base_all, base = load_compress_ratios(args.baseline)
+        label = "striped/single-device"
     else:
         cur_all, cur = load_io_ratios(args.current, args.min_depth)
         base_all, base = load_io_ratios(args.baseline, args.min_depth)

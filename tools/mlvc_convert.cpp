@@ -4,9 +4,11 @@
 //   mlvc_convert --in com-friendster.txt --out cf.mlvc
 //   mlvc_convert --in web.txt --out web.mlvc --directed
 //
-// Store mode (stored-CSR directory, on-disk format v1 <-> v2):
+// Store mode (stored-CSR directory, on-disk format v1 <-> v2, restripe):
 //   mlvc_convert --store run_dir --stats
 //   mlvc_convert --store run_dir --out-store run_dir_v2 --format v2
+//   mlvc_convert --store run_dir --out-store run_dir_x4 --devices 4
+#include <cstdlib>
 #include <filesystem>
 #include <iomanip>
 #include <iostream>
@@ -112,11 +114,37 @@ int store_mode(const ArgParser& args) {
     std::cerr << "store mode needs --stats or --out-store\n";
     return 2;
   }
-  OnDiskFormat format = OnDiskFormat::kV2;
-  const std::string format_arg = args.get_string("format", "v2");
-  if (!parse_on_disk_format(format_arg.c_str(), &format)) {
+  OnDiskFormat format = src->format();
+  const std::string format_arg = args.get_string("format", "-");
+  if (format_arg != "-" &&
+      !parse_on_disk_format(format_arg.c_str(), &format)) {
     std::cerr << "unknown --format '" << format_arg << "' (v1 | v2)\n";
     return 2;
+  }
+
+  // Restripe: the out-store is created with the requested device count /
+  // stripe unit, so every blob written below lands striped. (The source
+  // store's own layout is read back through its manifest; no flag needed.)
+  ssd::DeviceConfig out_device;
+  const std::string devices_arg = args.get_string("devices", "-");
+  if (devices_arg != "-") {
+    out_device.num_devices =
+        static_cast<unsigned>(std::strtoul(devices_arg.c_str(), nullptr, 10));
+    if (out_device.num_devices == 0) {
+      std::cerr << "--devices must be >= 1\n";
+      return 2;
+    }
+    // Pin: Storage construction re-reads MLVC_DEVICES, and env must not
+    // override an explicit flag.
+    setenv("MLVC_DEVICES", devices_arg.c_str(), /*overwrite=*/1);
+  }
+  const std::string stripe_arg = args.get_string("stripe", "-");
+  if (stripe_arg != "-") {
+    out_device.stripe_unit_bytes =
+        static_cast<std::size_t>(args.get_bytes("stripe", 128_KiB));
+    setenv("MLVC_STRIPE_UNIT",
+           std::to_string(out_device.stripe_unit_bytes).c_str(),
+           /*overwrite=*/1);
   }
 
   // Rebuild in memory and materialize under the new format with the same
@@ -124,13 +152,15 @@ int store_mode(const ArgParser& args) {
   // identically.
   const auto list = read_back(*src);
   const auto csr = graph::CsrGraph::from_edge_list(list);
-  ssd::Storage out_storage{std::filesystem::path(out_dir)};
+  ssd::Storage out_storage{std::filesystem::path(out_dir), out_device};
   graph::StoredCsrGraph converted(
       out_storage, prefix, csr, src->intervals(),
       {.with_weights = src->has_weights(), .format = format});
   std::cout << "wrote " << out_dir << " (" << to_string(src->format())
-            << " -> " << to_string(format) << "): " << converted.num_vertices()
-            << " vertices, " << converted.num_edges() << " edges\n";
+            << " -> " << to_string(format) << ", " << storage.num_devices()
+            << " -> " << out_storage.num_devices() << " devices): "
+            << converted.num_vertices() << " vertices, "
+            << converted.num_edges() << " edges\n";
   print_store_stats(converted);
   return 0;
 }
@@ -172,8 +202,15 @@ int main(int argc, char** argv) {
               "print per-interval adjacency compression stats and exit",
               "false")
       .option("out-store", "write a converted copy of --store here", "-")
-      .option("format", "target on-disk format for --out-store: v1 | v2",
-              "v2");
+      .option("format",
+              "target on-disk format for --out-store: v1 | v2 "
+              "(default keeps the source's)",
+              "-")
+      .option("devices",
+              "restripe --out-store across this many devices (default "
+              "MLVC_DEVICES or 1)",
+              "-")
+      .option("stripe", "stripe unit bytes for --out-store, e.g. 128K", "-");
   try {
     args.parse(argc, argv);
   } catch (const Error& e) {

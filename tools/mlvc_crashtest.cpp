@@ -402,7 +402,12 @@ int main(int argc, char** argv) {
       .option("schedule",
               "interval schedule for all runs (bsp | fifo | hub-degree | "
               "log-bytes); non-bsp also uses the asynchronous model",
-              "bsp");
+              "bsp")
+      .option("devices",
+              "striped backing devices for every run's store (children "
+              "inherit via MLVC_DEVICES; crash recovery must re-open the "
+              "stripe set)",
+              "-");
   try {
     args.parse(argc, argv);
   } catch (const Error& e) {
@@ -421,6 +426,21 @@ int main(int argc, char** argv) {
     // half-override an explicit request (same pattern as mlvc_run --format).
     if (g_schedule != SchedulePolicy::kBsp) {
       ::setenv("MLVC_SCHEDULE", to_string(g_schedule), 1);
+    }
+    // Striped-store mode: every Storage this process (and, via the
+    // inherited environment, every forked child) constructs resolves to an
+    // N-device stripe set. The victim's manifest makes the layout durable,
+    // so the recover child re-opens the same stripe set even where a torn
+    // write left one device's file short.
+    const std::string devices_arg = args.get_string("devices", "-");
+    if (devices_arg != "-") {
+      const unsigned n = static_cast<unsigned>(
+          std::strtoul(devices_arg.c_str(), nullptr, 10));
+      if (n == 0) {
+        std::cerr << "--devices must be >= 1\n";
+        return 2;
+      }
+      ::setenv("MLVC_DEVICES", devices_arg.c_str(), 1);
     }
     const std::string mode = args.get_string("mode", "driver");
     if (mode != "driver") {

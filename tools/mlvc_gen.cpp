@@ -1,14 +1,22 @@
-// mlvc_gen — generate a synthetic graph and save it as a binary MLVC file.
+// mlvc_gen — generate a synthetic graph and save it as a binary MLVC file,
+// optionally also materializing a stored-CSR directory (striped when
+// --devices > 1).
 //
 //   mlvc_gen --type rmat --scale 18 --edge-factor 16 --seed 1 --out g.mlvc
 //   mlvc_gen --type cf   --scale 16 --out cf.mlvc
 //   mlvc_gen --type grid --width 512 --height 512 --out grid.mlvc
+//   mlvc_gen --type rmat --scale 16 --out g.mlvc --store g_dir --devices 4
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
 #include "common/args.hpp"
+#include "core/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/serialization.hpp"
+#include "graph/stored_csr.hpp"
+#include "ssd/storage.hpp"
 
 int main(int argc, char** argv) {
   using namespace mlvc;
@@ -21,7 +29,15 @@ int main(int argc, char** argv) {
       .option("vertices", "vertex count (er/star/chain)", "65536")
       .option("width", "grid width", "256")
       .option("height", "grid height", "256")
-      .option("seed", "generator seed", "1");
+      .option("seed", "generator seed", "1")
+      .option("store",
+              "also materialize a stored-CSR directory here (striped when "
+              "--devices > 1)",
+              "-")
+      .option("devices",
+              "striped devices for --store (default MLVC_DEVICES or 1)", "-")
+      .option("stripe", "stripe unit bytes for --store, e.g. 128K", "-")
+      .option("format", "on-disk format for --store: v1 | v2", "-");
   try {
     args.parse(argc, argv);
   } catch (const Error& e) {
@@ -68,6 +84,51 @@ int main(int argc, char** argv) {
     graph::save_csr(csr, args.get_string("out"));
     std::cout << "wrote " << args.get_string("out") << ": "
               << graph::compute_stats(csr).to_string() << "\n";
+
+    // Optional stored-CSR materialization, striped when --devices > 1, so
+    // a striped store can be staged once and reused across runs (and the
+    // striping path is exercised straight from the CLI).
+    const std::string store_dir = args.get_string("store", "-");
+    if (store_dir != "-") {
+      ssd::DeviceConfig device;
+      const std::string devices_arg = args.get_string("devices", "-");
+      if (devices_arg != "-") {
+        device.num_devices = static_cast<unsigned>(
+            std::strtoul(devices_arg.c_str(), nullptr, 10));
+        if (device.num_devices == 0) {
+          std::cerr << "--devices must be >= 1\n";
+          return 2;
+        }
+        setenv("MLVC_DEVICES", devices_arg.c_str(), /*overwrite=*/1);
+      }
+      const std::string stripe_arg = args.get_string("stripe", "-");
+      if (stripe_arg != "-") {
+        device.stripe_unit_bytes =
+            static_cast<std::size_t>(args.get_bytes("stripe", 128_KiB));
+        setenv("MLVC_STRIPE_UNIT",
+               std::to_string(device.stripe_unit_bytes).c_str(),
+               /*overwrite=*/1);
+      }
+      OnDiskFormat format =
+          core::apply_env_overrides(core::EngineOptions{}).on_disk_format;
+      const std::string format_arg = args.get_string("format", "-");
+      if (format_arg != "-" &&
+          !parse_on_disk_format(format_arg.c_str(), &format)) {
+        std::cerr << "unknown --format '" << format_arg << "' (v1 | v2)\n";
+        return 2;
+      }
+      ssd::Storage storage{std::filesystem::path(store_dir), device};
+      const auto in_degrees = csr.in_degrees();
+      const auto intervals = graph::VertexIntervals::partition_by_in_degree(
+          in_degrees, sizeof(multilog::Record<float>),
+          core::EngineOptions{}.sort_budget());
+      graph::StoredCsrGraph stored(storage, "g", csr, intervals,
+                                   {.with_weights = false, .format = format});
+      std::cout << "wrote store " << store_dir << " ("
+                << to_string(stored.format()) << ", "
+                << storage.num_devices() << " device"
+                << (storage.num_devices() == 1 ? "" : "s") << ")\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -3,6 +3,7 @@
 //   mlvc_run --graph g.mlvc --app bfs --source 0
 //   mlvc_run --graph g.mlvc --app cdlp --engine graphchi --budget 64M
 //   mlvc_run --graph g.mlvc --app pagerank --engine grafboost --supersteps 15
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -44,6 +45,9 @@ struct RunConfig {
   OnDiskFormat format;            // stored-CSR / message-log layout
   core::ComputationModel model;   // message delivery (mlvc engine)
   SchedulePolicy schedule;        // superstep-internal interval order (mlvc)
+  unsigned devices;               // striped backing devices for the store
+  std::size_t stripe_unit;        // stripe unit bytes (0 = default)
+  CombinePlacement combine_placement;  // §V.D combine site (mlvc engine)
 };
 
 /// Per-layer on-disk vs logical byte split — makes bytes/edge (and the v2
@@ -79,6 +83,8 @@ int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
   ssd::DeviceConfig device;
   device.page_size = cfg.page_size;
   device.num_channels = cfg.channels;
+  device.num_devices = cfg.devices;
+  if (cfg.stripe_unit > 0) device.stripe_unit_bytes = cfg.stripe_unit;
   ssd::Storage storage(workdir.path(), device);
 
   core::RunStats stats;
@@ -94,6 +100,7 @@ int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
     opts.on_disk_format = cfg.format;
     opts.model = cfg.model;
     opts.schedule_policy = cfg.schedule;
+    opts.combine_placement = cfg.combine_placement;
     graph::StoredCsrGraph stored(storage, "g", csr,
                                  core::partition_for_app<App>(csr, opts),
                                  {.with_weights = App::kNeedsWeights,
@@ -168,6 +175,15 @@ int main(int argc, char** argv) {
               "interval order: bsp | fifo | hub-degree | log-bytes "
               "(default MLVC_SCHEDULE or bsp; mlvc engine)",
               "-")
+      .option("devices",
+              "striped backing devices for the run's store "
+              "(default MLVC_DEVICES or 1)",
+              "-")
+      .option("stripe", "stripe unit bytes, e.g. 128K (striped stores)", "-")
+      .option("combine-placement",
+              "combine site: host | device (default MLVC_COMBINE_PLACEMENT "
+              "or host; mlvc engine, striped stores)",
+              "-")
       .option("json", "write run statistics to this JSON file", "-");
   try {
     args.parse(argc, argv);
@@ -212,6 +228,43 @@ int main(int argc, char** argv) {
       }
       setenv("MLVC_SCHEDULE", to_string(schedule), /*overwrite=*/1);
     }
+    // --devices / --stripe / --combine-placement: resolve-then-pin again,
+    // because Storage construction re-reads MLVC_DEVICES/MLVC_STRIPE_UNIT
+    // and the engine re-reads MLVC_COMBINE_PLACEMENT.
+    unsigned devices = 1;
+    if (const char* env = std::getenv("MLVC_DEVICES")) {
+      const unsigned n = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+      if (n > 0) devices = n;
+    }
+    const std::string devices_arg = args.get_string("devices", "-");
+    if (devices_arg != "-") {
+      devices =
+          static_cast<unsigned>(std::strtoul(devices_arg.c_str(), nullptr, 10));
+      if (devices == 0) {
+        std::cerr << "--devices must be >= 1\n";
+        return 2;
+      }
+      setenv("MLVC_DEVICES", devices_arg.c_str(), /*overwrite=*/1);
+    }
+    std::size_t stripe_unit = 0;
+    const std::string stripe_arg = args.get_string("stripe", "-");
+    if (stripe_arg != "-") {
+      stripe_unit = static_cast<std::size_t>(args.get_bytes("stripe", 0));
+      setenv("MLVC_STRIPE_UNIT", std::to_string(stripe_unit).c_str(),
+             /*overwrite=*/1);
+    }
+    CombinePlacement placement =
+        core::apply_env_overrides(core::EngineOptions{}).combine_placement;
+    const std::string placement_arg =
+        args.get_string("combine-placement", "-");
+    if (placement_arg != "-") {
+      if (!parse_combine_placement(placement_arg.c_str(), &placement)) {
+        std::cerr << "unknown --combine-placement '" << placement_arg
+                  << "' (host | device)\n";
+        return 2;
+      }
+      setenv("MLVC_COMBINE_PLACEMENT", to_string(placement), /*overwrite=*/1);
+    }
     const std::string model_arg = args.get_string("model", "sync");
     core::ComputationModel model;
     if (model_arg == "sync") {
@@ -239,6 +292,9 @@ int main(int argc, char** argv) {
         format,
         model,
         schedule,
+        devices,
+        stripe_unit,
+        placement,
     };
     const auto source = static_cast<VertexId>(args.get_int("source", 0));
     const std::string app = args.get_string("app");

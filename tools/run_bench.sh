@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Run the substrate sweeps and emit BENCH_scatter.json + BENCH_io.json +
-# BENCH_serve.json + BENCH_compress.json + BENCH_async.json.
+# BENCH_serve.json + BENCH_compress.json + BENCH_async.json +
+# BENCH_stripe.json.
 #
 #   tools/run_bench.sh [build-dir] [scatter-out.json] [io-out.json] \
-#       [serve-out.json] [compress-out.json] [async-out.json]
+#       [serve-out.json] [compress-out.json] [async-out.json] \
+#       [stripe-out.json]
 #
 # Environment:
 #   MLVC_BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.05;
@@ -38,6 +40,12 @@
 #   MLVC_BENCH_ASYNC_MIN_GEOMEAN  absolute floor on the bsp/async geomean
 #                         over the enforced configs (default 1.05; set empty
 #                         to disable)
+#   MLVC_BENCH_STRIPE_BASELINE  baseline JSON for the multi-device striping
+#                         guard (default: bench/baselines/stripe.json;
+#                         skipped if absent)
+#   MLVC_BENCH_STRIPE_MIN_GEOMEAN  absolute floor on the striped/single-
+#                         device geomean over the enforced configs
+#                         (default 1.3; set empty to disable)
 set -eu
 
 build_dir="${1:-build}"
@@ -46,6 +54,7 @@ io_out="${3:-BENCH_io.json}"
 serve_out="${4:-BENCH_serve.json}"
 compress_out="${5:-BENCH_compress.json}"
 async_out="${6:-BENCH_async.json}"
+stripe_out="${7:-BENCH_stripe.json}"
 min_time="${MLVC_BENCH_MIN_TIME:-0.05}"
 filter="${MLVC_BENCH_FILTER:-BM_ScatterAppend}"
 
@@ -93,6 +102,13 @@ if [ ! -x "$async_bench" ]; then
   exit 1
 fi
 "$async_bench" "$async_out"
+
+stripe_bench="$build_dir/bench/bench_stripe"
+if [ ! -x "$stripe_bench" ]; then
+  echo "error: $stripe_bench not built (cmake --build $build_dir --target bench_stripe)" >&2
+  exit 1
+fi
+"$stripe_bench" "$stripe_out"
 
 # Regression guards: compare guarded throughput ratios against the committed
 # baselines. Skipped when no baseline exists or MLVC_BENCH_CHECK=0.
@@ -154,4 +170,18 @@ if [ "$check" != "0" ] && [ -f "$async_baseline" ]; then
   fi
 elif [ "$check" != "0" ]; then
   echo "no baseline at $async_baseline, skipping async regression guard"
+fi
+stripe_baseline="${MLVC_BENCH_STRIPE_BASELINE:-$repo_root/bench/baselines/stripe.json}"
+stripe_min_geomean="${MLVC_BENCH_STRIPE_MIN_GEOMEAN-1.3}"
+if [ "$check" != "0" ] && [ -f "$stripe_baseline" ]; then
+  if [ -n "$stripe_min_geomean" ]; then
+    python3 "$repo_root/tools/check_bench_regression.py" "$stripe_out" \
+      "$stripe_baseline" --suite stripe \
+      --max-regression "$max_regression" --min-ratio "$stripe_min_geomean"
+  else
+    python3 "$repo_root/tools/check_bench_regression.py" "$stripe_out" \
+      "$stripe_baseline" --suite stripe --max-regression "$max_regression"
+  fi
+elif [ "$check" != "0" ]; then
+  echo "no baseline at $stripe_baseline, skipping stripe regression guard"
 fi
