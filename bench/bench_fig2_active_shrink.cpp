@@ -3,7 +3,9 @@
 // The paper runs graph coloring for 15 supersteps on CF and YWS and plots
 // the fraction of vertices/edges active per superstep, showing the dramatic
 // shrink that motivates CSR + multi-log. We reproduce the same measurement
-// from MultiLogVC's per-superstep statistics.
+// from MultiLogVC's per-superstep statistics, plus the frontier density
+// (messages produced / total edges) — the signal the §4e direction planner
+// extrapolates to decide push vs pull for the next superstep.
 #include "apps/coloring.hpp"
 #include "bench/harness/bench_common.hpp"
 #include "common/format.hpp"
@@ -16,7 +18,7 @@ int main() {
                       "supersteps");
 
   metrics::Table table({"dataset", "superstep", "active_vertex_fraction",
-                        "active_edge_fraction"});
+                        "active_edge_fraction", "frontier_density"});
   const bench::ScaledConfig cfg{.memory_budget = 1_MiB, .max_supersteps = 15};
   for (const auto& data : {bench::make_cf(), bench::make_yws()}) {
     apps::GraphColoring app;
@@ -26,7 +28,8 @@ int main() {
     for (const auto& s : stats.supersteps) {
       table.add_row({data.name, std::to_string(s.superstep),
                      format_fixed(s.active_vertices / v_total, 4),
-                     format_fixed(s.edges_activated / e_total, 4)});
+                     format_fixed(s.edges_activated / e_total, 4),
+                     format_fixed(s.messages_produced / e_total, 4)});
     }
   }
   table.print();

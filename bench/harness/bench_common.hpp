@@ -72,6 +72,21 @@ std::uint64_t hash_values(const std::vector<Value>& values) {
   return h;
 }
 
+/// Same hash, streamed from the engine's value store in chunks — no O(V)
+/// materialization.
+template <typename Engine>
+std::uint64_t hash_engine_values(const Engine& engine) {
+  std::uint64_t h = 1469598103934665603ull;
+  engine.for_each_value_chunk([&](VertexId, auto chunk) {
+    const auto* bytes = reinterpret_cast<const unsigned char*>(chunk.data());
+    for (std::size_t i = 0; i < chunk.size_bytes(); ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  });
+  return h;
+}
+
 template <core::VertexApp App>
 core::RunStats run_mlvc(const Dataset& data, App app, const ScaledConfig& cfg,
                         const StepCallback& cb = always_continue,
@@ -92,7 +107,7 @@ core::RunStats run_mlvc(const Dataset& data, App app, const ScaledConfig& cfg,
   const double build_s = build.elapsed_seconds();
   auto stats = engine.run_with_callback(cb);
   stats.build_seconds = build_s;
-  if (values_hash != nullptr) *values_hash = hash_values(engine.values());
+  if (values_hash != nullptr) *values_hash = hash_engine_values(engine);
   return stats;
 }
 

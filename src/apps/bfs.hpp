@@ -19,6 +19,9 @@ struct Bfs {
   using Message = std::uint32_t;
   static constexpr bool kHasCombine = true;
   static constexpr bool kNeedsWeights = false;
+  /// All sends are uniform broadcasts (candidate + 1 to every neighbor), so
+  /// the engine's pull path may capture-and-regenerate them (§4e).
+  static constexpr bool kHasPullGather = true;
   static constexpr Value kUnreached = std::numeric_limits<Value>::max();
 
   VertexId source = 0;

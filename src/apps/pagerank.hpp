@@ -17,6 +17,9 @@ struct PageRank {
   using Message = float;
   static constexpr bool kHasCombine = true;
   static constexpr bool kNeedsWeights = false;
+  /// The per-superstep share is one uniform broadcast per sender — pull-path
+  /// eligible (§4e).
+  static constexpr bool kHasPullGather = true;
 
   float damping = 0.85f;
   /// The paper's activation threshold (0.4, §VII). Lower values run more

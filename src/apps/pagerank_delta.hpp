@@ -35,6 +35,10 @@ struct PageRankDelta {
   using Message = float;  // residual delta
   static constexpr bool kHasCombine = true;
   static constexpr bool kNeedsWeights = false;
+  /// Residual shares are uniform broadcasts per sender — pull-path eligible
+  /// (§4e). (Pull only engages under the synchronous models; async keeps
+  /// push.)
+  static constexpr bool kHasPullGather = true;
 
   float damping = 0.85f;
   /// Residual mass below which a delta is absorbed without propagating.

@@ -17,6 +17,8 @@ struct Wcc {
   using Message = VertexId;  // candidate label
   static constexpr bool kHasCombine = true;
   static constexpr bool kNeedsWeights = false;
+  /// Label broadcasts are uniform per sender — pull-path eligible (§4e).
+  static constexpr bool kHasPullGather = true;
 
   const char* name() const { return "wcc"; }
 

@@ -102,6 +102,27 @@ class DynamicBitset {
     }
   }
 
+  /// Popcount over [begin, end) — word-at-a-time with first/last-word
+  /// masking, so interval density queries don't pay a per-bit loop.
+  std::size_t count_in_range(std::size_t begin, std::size_t end) const {
+    MLVC_CHECK(begin <= end && end <= size_);
+    if (begin == end) return 0;
+    const std::size_t first_word = begin / 64;
+    const std::size_t last_word = (end - 1) / 64;
+    std::size_t total = 0;
+    for (std::size_t wi = first_word; wi <= last_word; ++wi) {
+      std::uint64_t w = words_[wi];
+      if (wi == first_word && begin % 64 != 0) {
+        w &= ~0ull << (begin % 64);
+      }
+      if (wi == last_word && end % 64 != 0) {
+        w &= (1ull << (end % 64)) - 1;
+      }
+      total += std::popcount(w);
+    }
+    return total;
+  }
+
   /// Raw word access for serialization (checkpointing).
   std::span<const std::uint64_t> words() const noexcept { return words_; }
   void load_words(std::span<const std::uint64_t> w) {
@@ -166,6 +187,29 @@ class AtomicBitset {
     std::size_t total = 0;
     for (const auto& w : words_) {
       total += std::popcount(w.load(std::memory_order_relaxed));
+    }
+    return total;
+  }
+
+  /// Popcount over [begin, end), word-masked like
+  /// DynamicBitset::count_in_range. Relaxed loads: exact only when no
+  /// concurrent set() is in flight (between supersteps / batches), which is
+  /// also all the density heuristic needs mid-superstep.
+  std::size_t count_in_range(std::size_t begin, std::size_t end) const {
+    MLVC_CHECK(begin <= end && end <= size_);
+    if (begin == end) return 0;
+    const std::size_t first_word = begin / 64;
+    const std::size_t last_word = (end - 1) / 64;
+    std::size_t total = 0;
+    for (std::size_t wi = first_word; wi <= last_word; ++wi) {
+      std::uint64_t w = words_[wi].load(std::memory_order_relaxed);
+      if (wi == first_word && begin % 64 != 0) {
+        w &= ~0ull << (begin % 64);
+      }
+      if (wi == last_word && end % 64 != 0) {
+        w &= (1ull << (end % 64)) - 1;
+      }
+      total += std::popcount(w);
     }
     return total;
   }

@@ -187,6 +187,50 @@ inline bool parse_combine_placement(const char* s, CombinePlacement* out) {
   return false;
 }
 
+/// Per-interval message movement direction. kPush is the paper's multi-log
+/// scatter: every active edge writes a log record that is later re-read and
+/// sort-and-grouped. kPull inverts dense intervals: the engine streams the
+/// stored in-edge (transpose) CSR and gathers each active in-neighbor's
+/// broadcast message directly — zero log writes, decodes, or sort_and_group
+/// for that interval. kAdaptive picks per interval per superstep from the
+/// predicted active-edge mass (the direction-optimizing BFS idea applied to
+/// the multi-log engine). Requires a stored transpose and a broadcast-send
+/// app; the engine falls back to push (with a logged reason) otherwise.
+enum class DirectionMode : std::uint8_t {
+  kPush,
+  kPull,
+  kAdaptive,
+};
+
+inline constexpr const char* to_string(DirectionMode d) {
+  switch (d) {
+    case DirectionMode::kPush: return "push";
+    case DirectionMode::kPull: return "pull";
+    case DirectionMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// Parse "push"/"pull"/"adaptive". Returns false (leaving *out untouched)
+/// on anything else so callers can decide between ignoring and rejecting.
+inline bool parse_direction_mode(const char* s, DirectionMode* out) {
+  if (s == nullptr) return false;
+  const std::string_view v(s);
+  if (v == "push") {
+    *out = DirectionMode::kPush;
+    return true;
+  }
+  if (v == "pull") {
+    *out = DirectionMode::kPull;
+    return true;
+  }
+  if (v == "adaptive" || v == "auto") {
+    *out = DirectionMode::kAdaptive;
+    return true;
+  }
+  return false;
+}
+
 /// Byte-size helpers.
 inline constexpr std::size_t operator""_KiB(unsigned long long v) {
   return static_cast<std::size_t>(v) << 10;

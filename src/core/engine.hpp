@@ -126,8 +126,13 @@ class MultiLogVCEngine {
   template <typename StepFn>
   RunStats run_with_callback(StepFn&& on_superstep) {
     for (Superstep s = next_superstep_; s < options_.max_supersteps; ++s) {
-      const bool any_input =
-          store_.total_current_count() > 0 || sticky_active_.count() > 0;
+      // §4e: suppressed (never-logged) deliveries are pending whenever last
+      // superstep captured broadcasts and some interval is planned to pull —
+      // without the third clause a wave whose sends were ALL suppressed
+      // would terminate one superstep early.
+      const bool any_input = store_.total_current_count() > 0 ||
+                             sticky_active_.count() > 0 ||
+                             (any_pull_next_ && frontier_cur_.any());
       if (!any_input) break;
       SuperstepStats step = execute_superstep(s);
       next_superstep_ = s + 1;
@@ -166,9 +171,16 @@ class MultiLogVCEngine {
   // still accepted and treated as v1-format logs. A mismatch between the
   // image's log format and the running store's is transcoded through the
   // log codec on load, so checkpoints round-trip across --format changes.
+  //
+  // Version 4 appends the §4e direction state after the values: the
+  // per-interval direction plan for the next superstep plus the captured
+  // broadcasts (vertex ids + messages) whose suppressed sends never reached
+  // the message logs. v2/v3 images are still accepted (no pull state). A v4
+  // image that carries pull state refuses to load into an engine that cannot
+  // pull — silently dropping it would lose in-flight deliveries.
 
   static constexpr std::uint32_t kCkptMagic = 0x4B435643u;  // "CVCK"
-  static constexpr std::uint32_t kCkptVersion = 3;
+  static constexpr std::uint32_t kCkptVersion = 4;
   static constexpr std::size_t kCkptHeaderBytes = 20;
 
   /// Persist a checkpoint into the graph's storage under `name`. One-shot
@@ -214,8 +226,31 @@ class MultiLogVCEngine {
       put(&n_bytes, 8);
       put(bytes.data(), bytes.size());
     }
-    const auto values = values_.all();
-    put(values.data(), values.size() * sizeof(Value));
+    values_.for_each_chunk([&](VertexId, std::span<const Value> chunk) {
+      put(chunk.data(), chunk.size_bytes());
+    });
+    // ---- v4 appendix: §4e direction state ---------------------------------
+    // At a superstep boundary direction_next_ is the plan for
+    // next_superstep_, and broadcast_cur_/frontier_cur_ hold the previous
+    // superstep's captured broadcasts — deliveries the suppressed sends
+    // never wrote to the logs, reconstructible only from here.
+    const std::uint32_t n_dir =
+        static_cast<std::uint32_t>(direction_next_.size());
+    put(&n_dir, 4);
+    put(direction_next_.data(), direction_next_.size());
+    const auto fwords = frontier_cur_.words();
+    const std::uint64_t n_fwords = fwords.size();
+    put(&n_fwords, 8);
+    put(fwords.data(), fwords.size_bytes());
+    std::vector<VertexId> bids;
+    frontier_cur_.for_each_set([&](VertexId v) { bids.push_back(v); });
+    const std::uint64_t n_bcast = bids.size();
+    put(&n_bcast, 8);
+    if (!bids.empty()) {
+      const std::vector<Message> bmsgs = broadcast_cur_->gather(bids);
+      put(bids.data(), bids.size() * sizeof(VertexId));
+      put(bmsgs.data(), bmsgs.size() * sizeof(Message));
+    }
     // Logical (decoded-content) checkpoint size vs the physical payload the
     // blob sees — under v2 the embedded log images are compressed.
     storage.stats().record_logical_write(
@@ -258,9 +293,11 @@ class MultiLogVCEngine {
     std::memcpy(&payload_bytes, header.data() + 8, 8);
     std::memcpy(&stored_crc, header.data() + 16, 4);
     MLVC_CHECK_MSG(magic == kCkptMagic, "not a checkpoint blob");
-    // Version 2 = pre-format-v2 images (no log-format byte, logs are v1).
-    MLVC_CHECK_MSG(version == kCkptVersion || version == 2,
-                   "unsupported checkpoint version " << version);
+    // Version 2 = pre-format-v2 images (no log-format byte, logs are v1);
+    // version 3 = pre-direction images (no §4e appendix).
+    MLVC_CHECK_MSG(
+        version == kCkptVersion || version == 3 || version == 2,
+        "unsupported checkpoint version " << version);
     MLVC_CHECK_MSG(kCkptHeaderBytes + payload_bytes <= blob.size(),
                    "checkpoint payload truncated");
     // Verify the payload CRC in a streaming pass BEFORE parsing anything, so
@@ -339,9 +376,66 @@ class MultiLogVCEngine {
     graph_.storage().stats().record_logical_read(
         ssd::IoCategory::kMisc,
         payload_bytes - stored_log_bytes + decoded_log_bytes);
-    std::vector<Value> values(graph_.num_vertices());
-    read(values.data(), values.size() * sizeof(Value));
-    values_.store_range(0, values);
+    {
+      constexpr VertexId kChunk = 1u << 16;
+      std::vector<Value> chunk;
+      VertexId begin = 0;
+      const VertexId n = graph_.num_vertices();
+      while (begin < n) {
+        const VertexId end = static_cast<VertexId>(std::min<std::uint64_t>(
+            n, static_cast<std::uint64_t>(begin) + kChunk));
+        chunk.resize(end - begin);
+        read(chunk.data(), chunk.size() * sizeof(Value));
+        values_.store_range(begin, chunk);
+        begin = end;
+      }
+    }
+    // ---- v4 appendix: §4e direction state ---------------------------------
+    // Clear pull state first so pre-v4 images (and v4 images taken from
+    // push-only runs) roll back to a clean push start.
+    std::fill(direction_next_.begin(), direction_next_.end(), 0);
+    any_pull_next_ = false;
+    frontier_cur_.clear_all();
+    frontier_next_.clear_all();
+    pull_dense_valid_ = false;
+    plan_produced_last_ = 0;
+    plan_produced_prev_ = 0;
+    if (version >= 4) {
+      std::uint32_t n_dir = 0;
+      read(&n_dir, 4);
+      std::vector<std::uint8_t> dirs(n_dir);
+      read(dirs.data(), n_dir);
+      std::uint64_t n_fwords = 0;
+      read(&n_fwords, 8);
+      std::vector<std::uint64_t> fwords(n_fwords);
+      read(fwords.data(), n_fwords * 8);
+      std::uint64_t n_bcast = 0;
+      read(&n_bcast, 8);
+      std::vector<VertexId> bids(n_bcast);
+      std::vector<Message> bmsgs(n_bcast);
+      if (n_bcast > 0) {
+        read(bids.data(), n_bcast * sizeof(VertexId));
+        read(bmsgs.data(), n_bcast * sizeof(Message));
+      }
+      bool any_dir = false;
+      for (const std::uint8_t d : dirs) any_dir = any_dir || d != 0;
+      if (any_dir || n_bcast > 0) {
+        MLVC_CHECK_MSG(
+            pull_available_,
+            "checkpoint carries pull-direction state but this engine cannot "
+            "pull (no stored transpose, asynchronous model, or --direction "
+            "push) — reload under a pull-capable configuration");
+        MLVC_CHECK(dirs.size() == direction_next_.size());
+        std::copy(dirs.begin(), dirs.end(), direction_next_.begin());
+        any_pull_next_ = any_dir;
+        if (n_fwords == frontier_cur_.words().size()) {
+          frontier_cur_.load_words(fwords);
+        } else {
+          for (const VertexId v : bids) frontier_cur_.set(v);
+        }
+        if (n_bcast > 0) broadcast_cur_->scatter(bids, bmsgs);
+      }
+    }
     // Drop the edge-log cache and any un-applied structural updates.
     edge_log_.reset();
     {
@@ -355,6 +449,13 @@ class MultiLogVCEngine {
   }
 
   std::vector<Value> values() const { return values_.all(); }
+  /// Stream vertex values in id-ascending chunks without materializing the
+  /// O(V) vector values() returns — the export/hash path for big graphs.
+  /// fn(first_vertex_id, std::span<const Value>).
+  template <typename Fn>
+  void for_each_value_chunk(Fn&& fn) const {
+    values_.for_each_chunk(std::forward<Fn>(fn));
+  }
   const RunStats& stats() const { return stats_; }
   graph::StoredCsrGraph& graph() { return graph_; }
   /// Context-mode identity/views (query_id() is 0 for one-shot engines,
@@ -411,6 +512,32 @@ class MultiLogVCEngine {
       ++ts.edges_activated;
     }
     void send_to_all_neighbors(const Message& m) {
+      if (engine_.capture_broadcasts_) {
+        // §4e broadcast capture: remember what this vertex broadcast (a
+        // double broadcast folds through the app combine, exactly as the
+        // log path would) and suppress the per-edge records destined to
+        // intervals that will pull next superstep — those deliveries are
+        // regenerated there from the transpose CSR plus this captured
+        // message. Raw send() is never suppressed.
+        broadcast_msg_ = broadcast_set_
+                             ? combine_messages(engine_.app_, broadcast_msg_, m)
+                             : m;
+        broadcast_set_ = true;
+        auto& ts = engine_.thread_state_[thread_index()];
+        const auto& intervals = engine_.graph_.intervals();
+        for (std::size_t i = 0; i < out_degree(); ++i) {
+          const VertexId dst = out_edge(i);
+          if (engine_.direction_next_[intervals.interval_of(dst)] != 0) {
+            // The message logically exists — only its log record does not.
+            ++ts.messages_produced;
+            ++ts.edges_activated;
+            ts.log_bytes_avoided += sizeof(Rec);
+          } else {
+            send(dst, m);
+          }
+        }
+        return;
+      }
       for (std::size_t i = 0; i < out_degree(); ++i) send(out_edge(i), m);
     }
 
@@ -434,6 +561,9 @@ class MultiLogVCEngine {
     bool deactivated() const { return deactivated_; }
     bool value_dirty() const { return value_dirty_; }
     const Value& current_value() const { return value_; }
+    /// §4e capture outputs, read by the engine after process() returns.
+    bool broadcast_set() const { return broadcast_set_; }
+    const Message& broadcast_message() const { return broadcast_msg_; }
 
    private:
     MultiLogVCEngine& engine_;
@@ -442,8 +572,10 @@ class MultiLogVCEngine {
     const AdjacencyBatch& batch_;
     std::size_t slot_;
     Value value_;
+    Message broadcast_msg_{};
     bool deactivated_ = false;
     bool value_dirty_ = false;
+    bool broadcast_set_ = false;
   };
 
  private:
@@ -549,6 +681,116 @@ class MultiLogVCEngine {
     stats_.combine_placement =
         to_string(device_combine_active() ? CombinePlacement::kDevice
                                           : CombinePlacement::kHost);
+    setup_direction();
+  }
+
+  /// §4e eligibility gates + state setup. A pull/adaptive request degrades
+  /// to push — with the reason surfaced in RunStats::direction_fallback —
+  /// when any requirement is missing, so MLVC_DIRECTION=adaptive is safe on
+  /// every store/app/model combination (v1-era stores without a transpose
+  /// included).
+  void setup_direction() {
+    const IntervalId n = graph_.intervals().count();
+    direction_cur_.assign(n, 0);
+    direction_next_.assign(n, 0);
+    stats_.direction = to_string(options_.direction);
+    if (options_.direction == DirectionMode::kPush) return;
+    const char* reason = nullptr;
+    if (!has_pull_gather<App>() || !App::kHasCombine) {
+      reason = "app does not declare kHasPullGather with a combine";
+    } else if (!graph_.has_transpose()) {
+      reason = "store has no transpose CSR (rebuild it or run mlvc_convert)";
+    } else if (options_.model != ComputationModel::kSynchronous) {
+      reason = "pull requires the synchronous model";
+    } else if (!options_.enable_combine) {
+      reason = "pull requires combining enabled";
+    }
+    if (reason != nullptr) {
+      stats_.direction = to_string(DirectionMode::kPush);
+      stats_.direction_fallback = reason;
+      return;
+    }
+    pull_available_ = true;
+    frontier_cur_.resize(graph_.num_vertices());
+    frontier_next_.resize(graph_.num_vertices());
+    broadcast_cur_ = std::make_unique<VertexValueStore<Message>>(
+        graph_.storage(), blob_prefix_ + "/bcast0", graph_.num_vertices(),
+        [](VertexId) { return Message{}; }, options_.values_on_storage);
+    broadcast_next_ = std::make_unique<VertexValueStore<Message>>(
+        graph_.storage(), blob_prefix_ + "/bcast1", graph_.num_vertices(),
+        [](VertexId) { return Message{}; }, options_.values_on_storage);
+    // No edge log or page-utilization tracking on the transpose stream —
+    // those optimize sparse access, and pull IS the dense-interval case.
+    tloader_ = std::make_unique<GraphLoaderUnit>(
+        graph_.transpose(), nullptr, nullptr,
+        GraphLoaderUnit::Config{/*load_weights=*/false,
+                                /*use_edge_log=*/false, cache_reg_.slot()});
+  }
+
+  /// §4e density heuristic: plan which intervals the NEXT superstep
+  /// consumes by pull. Estimated push cost per destination interval =
+  /// global active-edge density x in_edges(i) x sizeof(Rec) x 2 (each
+  /// active in-edge writes one log record and reads it back); pull cost =
+  /// the interval's stored transpose adjacency + rowptr bytes + the
+  /// expected broadcast gather. Pull wins when
+  /// push_cost >= pull_density_threshold x pull_cost.
+  ///
+  /// Sender estimate for the superstep about to run: extrapolate the
+  /// engine's own production series. Messages produced next are last
+  /// superstep's production scaled by its observed trend (Beamer's
+  /// direction-switch insight: an exploding BFS-style frontier keeps
+  /// exploding, a collapsing one keeps collapsing — pricing it at its
+  /// stale size misses exactly the dense supersteps pull exists for, and
+  /// keeps pulling through the sparse tail where a whole-transpose sweep
+  /// serves a handful of deliveries). Suppressed sends count as produced,
+  /// so an all-suppressed wave doesn't read as idle. Sticky out-degree
+  /// mass floors the estimate — those vertices run for sure (and it is
+  /// the only signal before the first superstep has history).
+  void plan_directions() {
+    any_pull_next_ = false;
+    std::fill(direction_next_.begin(), direction_next_.end(), 0);
+    if (!pull_available_) return;
+    if (options_.direction == DirectionMode::kPull) {
+      std::fill(direction_next_.begin(), direction_next_.end(), 1);
+      any_pull_next_ = true;
+      return;
+    }
+    const EdgeIndex total_edges = graph_.num_edges();
+    if (total_edges == 0) return;
+    std::uint64_t sticky_mass = 0;
+    sticky_active_.for_each_set([&](std::size_t v) {
+      sticky_mass += graph_.out_degree(static_cast<VertexId>(v));
+    });
+    double trend = 1.0;
+    if (plan_produced_last_ > 0) {
+      trend = plan_produced_prev_ > 0
+                  ? std::clamp(static_cast<double>(plan_produced_last_) /
+                                   static_cast<double>(plan_produced_prev_),
+                               1.0 / 16.0, 64.0)
+                  : 64.0;  // production appearing from nothing: explosive
+    }
+    const double est_produced =
+        static_cast<double>(plan_produced_last_) * trend;
+    const double density =
+        std::min(1.0, std::max(est_produced,
+                               static_cast<double>(sticky_mass)) /
+                          static_cast<double>(total_edges));
+    if (density <= 0) return;
+    const auto& t = graph_.transpose();
+    const IntervalId n = graph_.intervals().count();
+    for (IntervalId i = 0; i < n; ++i) {
+      const double in_edges = static_cast<double>(t.interval_edge_count(i));
+      const double push_bytes = density * in_edges * sizeof(Rec) * 2.0;
+      const double pull_bytes =
+          static_cast<double>(t.adjacency_stored_bytes(i)) +
+          static_cast<double>(graph_.intervals().width(i) + 1) *
+              sizeof(EdgeIndex) +
+          density * in_edges * sizeof(Message);
+      if (push_bytes >= options_.pull_density_threshold * pull_bytes) {
+        direction_next_[i] = 1;
+        any_pull_next_ = true;
+      }
+    }
   }
 
   /// True when the §V.D combine actually runs device-side: requested, the
@@ -732,6 +974,151 @@ class MultiLogVCEngine {
     return g;
   }
 
+  /// §4e pull front-end for one interval: synthesize its grouped message
+  /// input by streaming the stored transpose CSR in loader-budget batches,
+  /// filtering in-neighbors against the broadcast frontier, gathering their
+  /// captured messages through the broadcast value store, and folding one
+  /// combined record per receiver — zero log writes, decodes, or
+  /// sort_and_group for the regenerated side. Records that DID land in the
+  /// interval's log (raw send() is never suppressed) are loaded the normal
+  /// way and merged in, so pull stays correct for apps mixing send styles.
+  /// The result feeds the unchanged collect_actives / process_interval
+  /// machinery.
+  /// Materialize this superstep's captured broadcasts as a vertex-indexed
+  /// table (validity = frontier_cur_), one store gather for all pulled
+  /// intervals. Rebuilt lazily after each broadcast-generation swap.
+  void ensure_pull_dense(bool instrument) {
+    if (pull_dense_valid_) return;
+    pull_dense_msgs_.assign(graph_.num_vertices(), Message{});
+    std::vector<VertexId> ids;
+    frontier_cur_.for_each_set(
+        [&](std::size_t u) { ids.push_back(static_cast<VertexId>(u)); });
+    if (!ids.empty()) {
+      std::optional<ScopedAccumulator> io_time;
+      if (instrument) io_time.emplace(step_io_seconds_);
+      const std::vector<Message> msgs = broadcast_cur_->gather(ids);
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        pull_dense_msgs_[ids[k]] = msgs[k];
+      }
+    }
+    pull_dense_valid_ = true;
+  }
+
+  GroupData prepare_pull_group(IntervalId interval, bool instrument) {
+    GroupData logs = prepare_group(interval, interval + 1,
+                                   /*drain_async=*/false, instrument);
+    const VertexId vb = graph_.intervals().begin(interval);
+    const VertexId ve = graph_.intervals().end(interval);
+
+    // Dense-gather fast path: when the captured-broadcast table fits a
+    // quarter of the budget, materialize it once per superstep (shared by
+    // every pulled interval) and index it per in-edge directly. The
+    // per-batch sort + dedup + binary-search fallback below stays for
+    // vertex counts the budget can't hold resident.
+    const bool dense =
+        static_cast<std::uint64_t>(graph_.num_vertices()) * sizeof(Message) <=
+        options_.memory_budget_bytes / 4;
+    if (dense) ensure_pull_dense(instrument);
+
+    std::vector<Rec> regen;  // one combined record per receiver, ascending
+    std::uint64_t regen_consumed = 0;  // per contributing in-edge, matching
+                                       // what push would have loaded
+    const std::size_t batch_budget =
+        std::max<std::size_t>(options_.loader_budget() / 2, 64_KiB);
+    std::vector<VertexId> ids;
+    std::vector<VertexId> srcs;
+    std::vector<Message> msgs;
+    VertexId v = vb;
+    while (v < ve) {
+      ids.clear();
+      std::uint64_t bytes = 0;
+      while (v < ve) {
+        const std::uint64_t cost = tloader_->vertex_load_cost(v);
+        if (!ids.empty() && bytes + cost > batch_budget) break;
+        bytes += cost;
+        ids.push_back(v);
+        ++v;
+      }
+      AdjacencyBatch adj;
+      {
+        std::optional<ScopedAccumulator> io_time;
+        if (instrument) io_time.emplace(step_io_seconds_);
+        tloader_->load(interval, ids, adj);
+      }
+      if (!dense) {
+        // Unique frontier sources of this batch -> one coalesced gather.
+        srcs.clear();
+        for (std::size_t k = 0; k < ids.size(); ++k) {
+          const auto span = adj.spans[k];
+          for (std::size_t e = 0; e < span.length; ++e) {
+            const VertexId u = adj.adjacency[span.offset + e];
+            if (frontier_cur_.test(u)) srcs.push_back(u);
+          }
+        }
+        std::sort(srcs.begin(), srcs.end());
+        srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+        if (srcs.empty()) continue;
+        std::optional<ScopedAccumulator> io_time;
+        if (instrument) io_time.emplace(step_io_seconds_);
+        msgs = broadcast_cur_->gather(srcs);
+      }
+      std::optional<ScopedAccumulator> compute_time;
+      if (instrument) compute_time.emplace(step_compute_seconds_);
+      for (std::size_t k = 0; k < ids.size(); ++k) {
+        const auto span = adj.spans[k];
+        bool have = false;
+        Message acc{};
+        for (std::size_t e = 0; e < span.length; ++e) {
+          const VertexId u = adj.adjacency[span.offset + e];
+          if (!frontier_cur_.test(u)) continue;
+          const Message& m =
+              dense ? pull_dense_msgs_[u]
+                    : msgs[static_cast<std::size_t>(
+                          std::lower_bound(srcs.begin(), srcs.end(), u) -
+                          srcs.begin())];
+          acc = have ? combine_messages(app_, acc, m) : m;
+          have = true;
+          ++regen_consumed;
+        }
+        if (have) regen.push_back(Rec{ids[k], acc});
+      }
+    }
+
+    if (regen.empty()) return logs;
+    // Merge the regenerated records into the log-side grouped sequence
+    // (both ascending by dst; a shared dst becomes one group).
+    GroupData g;
+    g.begin = interval;
+    g.end = interval + 1;
+    g.consumed = logs.consumed + regen_consumed;
+    g.sort_group_seconds = logs.sort_group_seconds;
+    g.path = logs.path;
+    g.torn_bytes_dropped = logs.torn_bytes_dropped;
+    const std::size_t n_log = logs.offsets.empty() ? 0 : logs.offsets.size() - 1;
+    g.records.reserve(logs.records.size() + regen.size());
+    std::size_t li = 0, ri = 0;
+    while (li < n_log || ri < regen.size()) {
+      g.offsets.push_back(g.records.size());
+      const VertexId ld =
+          li < n_log ? logs.records[logs.offsets[li]].dst : kInvalidVertex;
+      const VertexId rd = ri < regen.size() ? regen[ri].dst : kInvalidVertex;
+      if (ld <= rd) {
+        g.records.insert(g.records.end(),
+                         logs.records.begin() +
+                             static_cast<std::ptrdiff_t>(logs.offsets[li]),
+                         logs.records.begin() +
+                             static_cast<std::ptrdiff_t>(logs.offsets[li + 1]));
+        ++li;
+      }
+      if (rd <= ld) {
+        g.records.push_back(regen[ri]);
+        ++ri;
+      }
+    }
+    g.offsets.push_back(g.records.size());
+    return g;
+  }
+
   /// Per-wave tallies shared by the BSP and scheduled execution paths.
   struct WaveTotals {
     std::uint64_t consumed = 0;
@@ -749,6 +1136,8 @@ class MultiLogVCEngine {
     std::uint64_t intervals_scheduled = 0;
     std::uint64_t reorder_depth = 0;
     double ready_latency_seconds = 0;
+    /// §4e: intervals consumed through the pull front-end this wave.
+    std::uint64_t intervals_pulled = 0;
   };
 
   void tally_group(const GroupData& group, WaveTotals& wave) const {
@@ -766,6 +1155,10 @@ class MultiLogVCEngine {
   /// execution, byte-identical under SchedulePolicy::kBsp).
   void run_wave_bsp(Superstep s, DynamicBitset& active_now,
                     WaveTotals& wave) {
+    if (any_pull_cur_) {
+      run_wave_bsp_direction(s, active_now, wave);
+      return;
+    }
     const auto groups = plan_groups();
     const bool drain_async = options_.model == ComputationModel::kAsynchronous;
     // Stage 1 runs one group ahead only in the synchronous model: an
@@ -821,6 +1214,49 @@ class MultiLogVCEngine {
         }
       }
       throw;
+    }
+  }
+
+  /// BSP wave when at least one interval pulls this superstep (§4e): pull
+  /// intervals run as singleton chains through the pull front-end, maximal
+  /// runs of consecutive push intervals fuse greedily under the sort budget
+  /// exactly like plan_groups(). Group-level prefetch is off here (the pull
+  /// front-end computes on the main thread); batch-level prefetch inside
+  /// process_interval still overlaps loads with compute. Only reachable
+  /// under the synchronous model — pull_available_ gates on it.
+  void run_wave_bsp_direction(Superstep s, DynamicBitset& active_now,
+                              WaveTotals& wave) {
+    const IntervalId n = graph_.intervals().count();
+    const std::uint64_t budget = options_.sort_budget();
+    IntervalId i = 0;
+    while (i < n) {
+      GroupData group;
+      if (direction_cur_[i] != 0) {
+        group = prepare_pull_group(i, /*instrument=*/true);
+        ++wave.intervals_pulled;
+      } else {
+        IntervalId e = i + 1;
+        std::uint64_t acc = store_.current_bytes(i);
+        while (options_.enable_interval_fusion && e < n &&
+               direction_cur_[e] == 0) {
+          const std::uint64_t bytes = store_.current_bytes(e);
+          if (acc + bytes > budget) break;
+          acc += bytes;
+          ++e;
+        }
+        group = prepare_group(i, e, /*drain_async=*/false,
+                              /*instrument=*/true);
+      }
+      tally_group(group, wave);
+      for (IntervalId j = group.begin; j < group.end; ++j) {
+        std::vector<ActiveVertex> actives =
+            collect_actives(j, group.records, group.offsets);
+        if (actives.empty()) continue;
+        wave.active_count += actives.size();
+        process_interval(s, j, group.records, actives, active_now,
+                         wave.edge_log_hits);
+      }
+      i = group.end;
     }
   }
 
@@ -910,8 +1346,11 @@ class MultiLogVCEngine {
       // Async mode releases every interval: a chain with no wave-start
       // input still drains (and delivers) messages sent to it earlier in
       // the wave, exactly like the BSP asynchronous path does in id order.
+      // A pull-direction interval is ready even with an empty log — its
+      // input lives in the broadcast capture, not the log (§4e).
       if (!drain_async && store_.current_count(i) == 0 &&
-          !interval_has_sticky(i)) {
+          !interval_has_sticky(i) &&
+          !(any_pull_cur_ && direction_cur_[i] != 0)) {
         continue;
       }
       mark(i);
@@ -931,7 +1370,9 @@ class MultiLogVCEngine {
                                /*instrument=*/false);
         });
       };
-      const bool prefetch = pipeline_enabled();
+      // Pull chains prep on the main thread (the §4e front-end is itself a
+      // compute stage), so chain prefetch is off for waves that pull.
+      const bool prefetch = pipeline_enabled() && !any_pull_cur_;
       if (prefetch && !order.empty()) launch_chain(0);
       try {
         for (std::size_t k = 0; k < order.size(); ++k) {
@@ -944,6 +1385,9 @@ class MultiLogVCEngine {
             }
             wave.offthread_sort_seconds += group.sort_group_seconds;
             if (k + 1 < order.size()) launch_chain(k + 1);
+          } else if (direction_cur_[i] != 0) {
+            group = prepare_pull_group(i, /*instrument=*/true);
+            ++wave.intervals_pulled;
           } else {
             group = prepare_group(i, i + 1, /*drain_async=*/false,
                                   /*instrument=*/true);
@@ -1100,6 +1544,16 @@ class MultiLogVCEngine {
   SuperstepStats execute_superstep(Superstep s) {
     SuperstepStats step;
     step.superstep = s;
+    // §4e: this superstep consumes by the directions planned at the start
+    // of the previous one (whose sends were suppressed to match); plan the
+    // next superstep's now, BEFORE any send runs —
+    // Context::send_to_all_neighbors consults direction_next_ live.
+    if (pull_available_) {
+      direction_cur_.swap(direction_next_);
+      any_pull_cur_ = any_pull_next_;
+      plan_directions();
+      capture_broadcasts_ = any_pull_next_;
+    }
     auto& storage = graph_.storage();
     // Context mode: route this thread's storage records (and, via AsyncIo's
     // submit-time sink capture, every pipeline worker's) into the engine's
@@ -1118,6 +1572,7 @@ class MultiLogVCEngine {
     for (auto& ts : thread_state_) {
       ts.messages_produced = 0;
       ts.edges_activated = 0;
+      ts.log_bytes_avoided = 0;
       ts.staging.reset_stats();
     }
     DynamicBitset active_now(graph_.num_vertices());
@@ -1143,11 +1598,13 @@ class MultiLogVCEngine {
     flush_produce_staging();
     std::uint64_t messages_produced = 0;
     std::uint64_t edges_activated = 0;
+    std::uint64_t log_bytes_avoided = 0;
     std::uint64_t scatter_flush_count = 0;
     double scatter_stall_seconds = 0;
     for (auto& ts : thread_state_) {
       messages_produced += ts.messages_produced;
       edges_activated += ts.edges_activated;
+      log_bytes_avoided += ts.log_bytes_avoided;
       scatter_flush_count += ts.staging.flush_count();
       scatter_stall_seconds += ts.staging.stall_seconds();
     }
@@ -1157,6 +1614,19 @@ class MultiLogVCEngine {
       ScopedAccumulator io_time(step_io_seconds_);
       store_.swap_generations();
       edge_log_.swap_generations();
+    }
+    if (pull_available_) {
+      // Broadcast generations swap with the log generations: this
+      // superstep's captures become next superstep's gather source.
+      std::swap(broadcast_cur_, broadcast_next_);
+      frontier_cur_ = frontier_next_;
+      frontier_next_.clear_all();
+      pull_dense_valid_ = false;
+      // Production history for plan_directions' trend extrapolation.
+      // messages_produced counts suppressed sends too, so an
+      // all-suppressed wave doesn't look idle.
+      plan_produced_prev_ = plan_produced_last_;
+      plan_produced_last_ = messages_produced;
     }
 
     step.active_vertices = wave.active_count;
@@ -1181,6 +1651,8 @@ class MultiLogVCEngine {
     step.intervals_scheduled = wave.intervals_scheduled;
     step.schedule_reorder_depth = wave.reorder_depth;
     step.ready_latency_seconds = wave.ready_latency_seconds;
+    step.intervals_pulled = wave.intervals_pulled;
+    step.log_bytes_avoided = log_bytes_avoided;
     step.io = (ctx_ != nullptr ? query_io_.snapshot()
                                : storage.stats().snapshot()) -
               io_before;
@@ -1367,6 +1839,12 @@ class MultiLogVCEngine {
     std::vector<Value>& vals = data.vals;
     edge_log_hits += adj.edge_log_hits;
     std::vector<std::uint8_t> deactivated(batch.size(), 0);
+    std::vector<std::uint8_t> broadcast_flag;
+    std::vector<Message> broadcast_msgs;
+    if (capture_broadcasts_) {
+      broadcast_flag.assign(batch.size(), 0);
+      broadcast_msgs.resize(batch.size());
+    }
 
     std::optional<ScopedAccumulator> compute_time;
     compute_time.emplace(step_compute_seconds_);
@@ -1383,6 +1861,10 @@ class MultiLogVCEngine {
       app_.process(ctx, msgs);
       vals[k] = ctx.current_value();
       deactivated[k] = ctx.deactivated() ? 1 : 0;
+      if (capture_broadcasts_ && ctx.broadcast_set()) {
+        broadcast_flag[k] = 1;
+        broadcast_msgs[k] = ctx.broadcast_message();
+      }
 
       // §V.C edge-log decision: predicted active next superstep, edges came
       // from an inefficiently used CSR page, and the vertex is low-degree
@@ -1423,6 +1905,23 @@ class MultiLogVCEngine {
       ScopedAccumulator io_time(step_io_seconds_);
       values_.scatter(data.ids, vals);
     }
+    if (capture_broadcasts_) {
+      // §4e: persist this batch's captured broadcasts (ascending vertex ids,
+      // so the scatter coalesces) and mark the frontier. Serial, main
+      // thread — same discipline as the sticky/values post-pass above.
+      std::vector<VertexId> bids;
+      std::vector<Message> bmsgs;
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        if (broadcast_flag[k] == 0) continue;
+        bids.push_back(batch[k].v);
+        bmsgs.push_back(broadcast_msgs[k]);
+        frontier_next_.set(batch[k].v);
+      }
+      if (!bids.empty()) {
+        ScopedAccumulator io_time(step_io_seconds_);
+        broadcast_next_->scatter(bids, bmsgs);
+      }
+    }
   }
 
   void apply_structural_updates() {
@@ -1456,6 +1955,43 @@ class MultiLogVCEngine {
   GraphLoaderUnit loader_;
   VertexValueStore<Value> values_;
   DynamicBitset sticky_active_;
+
+  // ---- §4e direction-optimization state ----------------------------------
+  /// All pull gates passed (stored transpose + broadcast-capable app with a
+  /// combine + synchronous model + combining on + direction != push). False
+  /// leaves everything below inert: the run is byte-identical to the
+  /// pre-direction engine.
+  bool pull_available_ = false;
+  /// Capture broadcasts this superstep (== any direction_next_ bit set):
+  /// Context::send_to_all_neighbors records the per-sender message and
+  /// suppresses the log records destined to pull-next intervals. Written
+  /// only at superstep start, before any parallel region.
+  bool capture_broadcasts_ = false;
+  /// Per-interval direction, 1 = pull. cur = how THIS superstep's input is
+  /// consumed (decided at the start of the previous superstep, which
+  /// suppressed its sends to match); next = the plan Context::send consults
+  /// live while this superstep produces. Both sized interval-count always,
+  /// all-zero when pull_available_ is false.
+  std::vector<std::uint8_t> direction_cur_, direction_next_;
+  bool any_pull_cur_ = false, any_pull_next_ = false;
+  /// Broadcast double-buffer: cur = messages captured last superstep (the
+  /// pull front-end's gather source), next = captures in progress. The
+  /// frontier bitsets mark which vertices actually broadcast. Blob-backed
+  /// like values_ so pull adds no O(V) host-memory term.
+  std::unique_ptr<VertexValueStore<Message>> broadcast_cur_, broadcast_next_;
+  DynamicBitset frontier_cur_, frontier_next_;
+  /// Dense-gather fast path: captured broadcasts indexed by vertex id,
+  /// built at most once per superstep (ensure_pull_dense) and only when
+  /// V x sizeof(Message) fits a quarter of the budget.
+  std::vector<Message> pull_dense_msgs_;
+  bool pull_dense_valid_ = false;
+  /// plan_directions production history (suppressed sends included): the
+  /// last two supersteps' messages_produced, for the trend extrapolation.
+  std::uint64_t plan_produced_last_ = 0;
+  std::uint64_t plan_produced_prev_ = 0;
+  /// Loader over the transposed CSR for pull streaming (constructed only
+  /// when pull_available_).
+  std::unique_ptr<GraphLoaderUnit> tloader_;
   /// Per-interval static out-degree mass for the hub-degree schedule
   /// policy; computed lazily on the first scheduled wave, empty under BSP.
   std::vector<std::uint64_t> hub_score_;
@@ -1482,6 +2018,9 @@ class MultiLogVCEngine {
     multilog::MultiLogStore::Staging staging;
     std::uint64_t messages_produced = 0;
     std::uint64_t edges_activated = 0;
+    /// §4e: record bytes this thread did NOT write because the destination
+    /// interval pulls next superstep.
+    std::uint64_t log_bytes_avoided = 0;
   };
   std::vector<ThreadProduceState> thread_state_;
   std::mutex structural_mutex_;

@@ -72,6 +72,23 @@ struct EngineOptions {
   /// overrides this.
   CombinePlacement combine_placement = CombinePlacement::kHost;
 
+  /// Message movement direction (common/types.hpp). kPush keeps the paper's
+  /// multi-log scatter untouched (the default — zero behavior change).
+  /// kPull forces every eligible interval through the transpose-CSR gather
+  /// path; kAdaptive compares, per destination interval per superstep, the
+  /// predicted push log traffic against the interval's stored in-edge bytes
+  /// and pulls when push would move more. Pull needs a stored transpose, a
+  /// broadcast-send app (kHasPullGather) with a combine, and the synchronous
+  /// model; anything else falls back to push with the reason recorded in
+  /// RunStats. MLVC_DIRECTION overrides this.
+  DirectionMode direction = DirectionMode::kPush;
+
+  /// Adaptive-direction threshold: interval i pulls when
+  ///   est_push_bytes(i) >= pull_density_threshold * est_pull_bytes(i).
+  /// Raise above 1 to pull only when push is clearly worse; lower toward 0
+  /// to pull aggressively.
+  double pull_density_threshold = 1.0;
+
   /// §V.B sort-and-group implementation. kAuto uses the fused parallel
   /// counting scatter (histogram + prefix sum + scatter keyed by
   /// dst - interval_begin) whenever the fused range is not vastly wider than
@@ -216,6 +233,13 @@ inline EngineOptions apply_env_overrides(EngineOptions options) {
     // tier-1 re-run under MLVC_SCHEDULE=hub-degree keeps every app's
     // delivery semantics (and therefore its values) intact.
     parse_schedule_policy(env, &options.schedule_policy);
+  }
+  if (const char* env = std::getenv("MLVC_DIRECTION")) {
+    // Same convention as MLVC_SCHEDULE: an unparsable value leaves the
+    // configured direction alone. Pull/adaptive are self-gating — a store
+    // with no transpose (or an app with no pull hook) still runs push, so
+    // a tier-1 re-run under MLVC_DIRECTION=adaptive is always safe.
+    parse_direction_mode(env, &options.direction);
   }
   if (const char* env = std::getenv("MLVC_URING_DEPTH")) {
     const unsigned d = static_cast<unsigned>(std::strtoul(env, nullptr, 10));

@@ -89,6 +89,14 @@ struct SuperstepStats {
     return modeled_total_seconds() + offthread_sort_seconds;
   }
 
+  /// Direction optimization (DESIGN.md §4e; all zero under push-only).
+  /// Intervals this superstep consumed through the transpose-CSR pull path,
+  /// and the log-record bytes the previous superstep's senders did NOT
+  /// write because their destination interval had already chosen pull —
+  /// the traffic class the direction switch exists to delete.
+  std::uint64_t intervals_pulled = 0;
+  std::uint64_t log_bytes_avoided = 0;
+
   // Edge-log optimizer observability (Figure 9).
   std::uint64_t pages_touched = 0;
   std::uint64_t pages_inefficient = 0;
@@ -115,6 +123,17 @@ struct RunStats {
   std::string combine_placement = "host";
   /// Striped devices of the run's Storage (1 = single-file layout).
   std::uint64_t num_devices = 1;
+  /// Message movement direction the run resolved to ("push" / "pull" /
+  /// "adaptive") after MLVC_DIRECTION and the eligibility gates.
+  std::string direction = "push";
+  /// Why a requested pull/adaptive run fell back to push (empty when pull
+  /// was available): e.g. "store has no transpose" for v1 stores.
+  std::string direction_fallback;
+  /// FNV-1a over the final vertex values, streamed chunk-by-chunk (never
+  /// the O(V) values() vector). Filled by callers that verify results
+  /// (mlvc_run --json, mlvc_serve --verify); 0 + false when not computed.
+  std::uint64_t values_hash = 0;
+  bool has_values_hash = false;
   std::vector<SuperstepStats> supersteps;
   double build_seconds = 0;  // graph/shard materialization, excluded from run
 
@@ -235,6 +254,16 @@ struct RunStats {
   double ready_latency_seconds() const {
     double t = 0;
     for (const auto& s : supersteps) t += s.ready_latency_seconds;
+    return t;
+  }
+  std::uint64_t intervals_pulled() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.intervals_pulled;
+    return t;
+  }
+  std::uint64_t log_bytes_avoided() const {
+    std::uint64_t t = 0;
+    for (const auto& s : supersteps) t += s.log_bytes_avoided;
     return t;
   }
   std::uint64_t io_retries() const {

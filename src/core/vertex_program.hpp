@@ -55,6 +55,25 @@ concept VertexApp = requires(const A app, VertexId v) {
   { app.name() } -> std::convertible_to<const char*>;
 };
 
+/// Detection for the optional pull-gather capability marker (direction
+/// optimization, DESIGN.md §4e). An app opts in with
+/// `static constexpr bool kHasPullGather = true;`, asserting that every
+/// message it emits via send_to_all_neighbors carries the same payload to
+/// all out-neighbors. That uniformity is what lets the engine capture one
+/// broadcast message per sender and regenerate the per-edge deliveries from
+/// the stored transpose CSR inside a pull interval instead of logging them.
+/// Apps without the marker (or with it false) always run push.
+template <typename App>
+constexpr bool has_pull_gather() {
+  if constexpr (requires {
+                  { App::kHasPullGather } -> std::convertible_to<bool>;
+                }) {
+    return App::kHasPullGather;
+  } else {
+    return false;
+  }
+}
+
 /// Helper: apply the app's combine operator if it has one (compile-time
 /// dispatched so apps without combine need not define it).
 template <VertexApp App>

@@ -11,6 +11,7 @@
 // genuinely tiny.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <span>
 #include <vector>
@@ -135,8 +136,25 @@ class VertexValueStore {
     }
   }
 
-  /// Convenience for result extraction (not page-efficient; fine at the end
-  /// of a run).
+  /// Stream the whole store in ascending bounded chunks:
+  /// fn(VertexId chunk_begin, std::span<const Value> values). Whole-store
+  /// consumers (result hashing, JSON export, checkpoint save) should use
+  /// this instead of all() — peak memory is one chunk, not O(V).
+  template <typename Fn>
+  void for_each_chunk(Fn&& fn, std::size_t chunk_values = 1u << 16) const {
+    MLVC_CHECK(chunk_values > 0);
+    VertexId begin = 0;
+    while (begin < num_vertices_) {
+      const VertexId end = static_cast<VertexId>(std::min<std::uint64_t>(
+          num_vertices_, static_cast<std::uint64_t>(begin) + chunk_values));
+      const std::vector<Value> chunk = load_range(begin, end);
+      fn(begin, std::span<const Value>(chunk));
+      begin = end;
+    }
+  }
+
+  /// Convenience for result extraction (not page-efficient and O(V) peak
+  /// memory; prefer for_each_chunk for anything that only scans).
   std::vector<Value> all() const { return load_range(0, num_vertices_); }
 
  private:

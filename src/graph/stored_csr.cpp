@@ -115,6 +115,43 @@ StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
     write_interval(i, local_rowptr, colidx, val);
   }
   write_meta();
+  if (options_.with_transpose) build_transpose(csr);
+}
+
+void StoredCsrGraph::build_transpose(const CsrGraph& csr) {
+  // Counting sort: in-degree histogram -> prefix sum -> scatter. Scanning
+  // sources ascending leaves each vertex's in-neighbor list ascending, the
+  // order the pull path's frontier filter and gather expect.
+  const VertexId n = csr.num_vertices();
+  const auto row_ptr = csr.row_ptr();
+  const auto col_idx = csr.col_idx();
+  std::vector<EdgeIndex> trowptr(static_cast<std::size_t>(n) + 1, 0);
+  for (const VertexId dst : col_idx) ++trowptr[dst + 1];
+  for (VertexId v = 0; v < n; ++v) trowptr[v + 1] += trowptr[v];
+  std::vector<VertexId> tcol(csr.num_edges());
+  std::vector<EdgeIndex> cursor(trowptr.begin(), trowptr.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    for (EdgeIndex e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+      tcol[cursor[col_idx[e]]++] = u;
+    }
+  }
+  // Feed the streaming constructor so the transpose shares every storage
+  // path (chunked appends, v2 block encoding, meta blob) with the forward
+  // graph instead of duplicating them.
+  VertexId v = 0;
+  EdgeIndex e = 0;
+  const std::function<bool(Edge&)> next = [&](Edge& out) {
+    while (v < n && e == trowptr[v + 1]) ++v;
+    if (v >= n) return false;
+    out = Edge{v, tcol[e], 1.0f};
+    ++e;
+    return true;
+  };
+  Options topt = options_;
+  topt.with_weights = false;
+  topt.with_transpose = false;
+  transpose_ = std::make_unique<StoredCsrGraph>(storage_, prefix_ + "/t",
+                                                intervals_, next, topt);
 }
 
 StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
@@ -125,6 +162,9 @@ StoredCsrGraph::StoredCsrGraph(ssd::Storage& storage, std::string name_prefix,
       prefix_(std::move(name_prefix)),
       intervals_(std::move(intervals)),
       options_(options) {
+  // A transpose cannot be derived from one forward-sorted pass; streaming
+  // builds are push-only until mlvc_convert rewrites them (see Options).
+  options_.with_transpose = false;
   const IntervalId n_int = intervals_.count();
   degrees_.assign(intervals_.num_vertices(), 0);
   interval_edges_.assign(n_int, 0);
@@ -269,6 +309,9 @@ void StoredCsrGraph::set_adjacency_cache(std::size_t capacity_bytes) {
       capacity_bytes == 0
           ? nullptr
           : std::make_shared<ssd::PageCache>(storage_, capacity_bytes);
+  // One cache serves both directions — forward and transpose colidx pages
+  // compete for the same capacity rather than doubling host memory.
+  if (transpose_) transpose_->set_adjacency_cache(adjacency_cache_);
 }
 
 void StoredCsrGraph::set_adjacency_cache(std::shared_ptr<ssd::PageCache> cache) {
@@ -276,6 +319,7 @@ void StoredCsrGraph::set_adjacency_cache(std::shared_ptr<ssd::PageCache> cache) 
                  "shared adjacency cache must be backed by this graph's "
                  "storage");
   adjacency_cache_ = std::move(cache);
+  if (transpose_) transpose_->set_adjacency_cache(adjacency_cache_);
 }
 
 void StoredCsrGraph::read_adjacency_v2(IntervalId i, EdgeIndex lo,
@@ -439,6 +483,15 @@ std::unique_ptr<StoredCsrGraph> StoredCsrGraph::open(ssd::Storage& storage,
   auto g = std::unique_ptr<StoredCsrGraph>(
       new StoredCsrGraph(storage, std::move(name_prefix)));
   g->load_meta();
+  // Attach the transpose sibling when one was stored. Its own recursive
+  // check looks for "<prefix>/t/t/csr/meta", which never exists, so this
+  // terminates after one level.
+  if (storage.has_blob(g->prefix_ + "/t/csr/meta")) {
+    g->transpose_ = open(storage, g->prefix_ + "/t");
+    g->options_.with_transpose = true;
+  } else {
+    g->options_.with_transpose = false;
+  }
   return g;
 }
 
@@ -535,6 +588,14 @@ const ssd::Blob& StoredCsrGraph::rowptr_blob(IntervalId i) const {
 
 void StoredCsrGraph::buffer_update(const StructuralUpdate& update) {
   MLVC_CHECK(update.src < num_vertices() && update.dst < num_vertices());
+  // Mirror u->v as v->u into the transpose so both directions keep
+  // describing the same logical graph (each side merges on its own
+  // threshold; overlay_pending covers the not-yet-merged window).
+  if (transpose_) {
+    StructuralUpdate rev = update;
+    std::swap(rev.src, rev.dst);
+    transpose_->buffer_update(rev);
+  }
   const IntervalId i = intervals_.interval_of(update.src);
   bool merge_now = false;
   {

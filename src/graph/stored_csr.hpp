@@ -47,6 +47,14 @@ struct StoredCsrOptions {
   /// resident skip index (colidx.skip blob); reads decode transparently.
   /// rowptr and val stay fixed-width in both formats.
   OnDiskFormat format = OnDiskFormat::kV2;
+  /// Also store the transposed (in-edge) CSR as a sibling graph under
+  /// `<prefix>/t` — same interval boundaries, same on-disk format, no
+  /// weights. The engine's pull direction (DESIGN.md §4e) streams it to
+  /// gather messages without log writes; stores built without it simply run
+  /// push-only. The streaming constructor ignores this flag (a transpose
+  /// cannot be built from one sorted forward pass); use mlvc_convert to add
+  /// one later.
+  bool with_transpose = true;
 };
 
 /// Edges per compressed adjacency block (v2). Each block is independently
@@ -163,6 +171,25 @@ class StoredCsrGraph {
   const ssd::Blob& colidx_blob(IntervalId i) const;
   const ssd::Blob& rowptr_blob(IntervalId i) const;
 
+  // ---- transposed (in-edge) CSR ------------------------------------------
+
+  /// Whether a transpose sibling is stored/attached. open() auto-attaches
+  /// one when `<prefix>/t/csr/meta` exists, so v1-era stores (no transpose)
+  /// keep opening fine and report false here.
+  bool has_transpose() const noexcept { return transpose_ != nullptr; }
+
+  /// The transposed graph: vertex v's "out-edges" there are v's in-neighbors
+  /// here, ascending. Shares this graph's interval boundaries, so interval i
+  /// of the transpose is exactly the in-adjacency of interval i's vertices.
+  StoredCsrGraph& transpose() {
+    MLVC_CHECK_MSG(transpose_ != nullptr, "store has no transpose");
+    return *transpose_;
+  }
+  const StoredCsrGraph& transpose() const {
+    MLVC_CHECK_MSG(transpose_ != nullptr, "store has no transpose");
+    return *transpose_;
+  }
+
   /// On-disk bytes of interval i's adjacency stream (compressed bytes under
   /// v2, raw element bytes under v1). For compression-ratio reporting.
   std::uint64_t adjacency_stored_bytes(IntervalId i) const;
@@ -191,6 +218,9 @@ class StoredCsrGraph {
   StoredCsrGraph(ssd::Storage& storage, std::string name_prefix);
 
   std::string blob_name(IntervalId i, const char* what) const;
+  /// Counting-sort the reverse CSR out of `csr` and materialize it as the
+  /// `<prefix>/t` sibling (in-memory construction only).
+  void build_transpose(const CsrGraph& csr);
   void write_interval(IntervalId i, std::span<const EdgeIndex> local_rowptr,
                       std::span<const VertexId> colidx,
                       std::span<const float> val);
@@ -224,6 +254,11 @@ class StoredCsrGraph {
   /// RuntimeContext-owned cache can be installed across many graphs/queries
   /// while a privately sized cache keeps working for one-shot runs.
   mutable std::shared_ptr<ssd::PageCache> adjacency_cache_;
+
+  /// Transposed sibling graph (nullptr when not stored). Structural updates
+  /// buffered here are mirrored into it, and cache installs propagate, so
+  /// the two stay views of the same logical graph.
+  std::unique_ptr<StoredCsrGraph> transpose_;
 
   mutable std::mutex updates_mutex_;
   std::vector<std::vector<StructuralUpdate>> pending_;  // per interval

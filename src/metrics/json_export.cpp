@@ -63,6 +63,15 @@ void write_io(std::ostream& out, const ssd::IoStatsSnapshot& io) {
 
 }  // namespace
 
+std::uint64_t fnv1a_append(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 void write_json(const core::RunStats& stats, std::ostream& out) {
   out << std::setprecision(9);
   out << "{\"engine\":";
@@ -76,6 +85,15 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
   out << ",\"combine_placement\":";
   write_escaped(out, stats.combine_placement);
   out << ",\"num_devices\":" << stats.num_devices;
+  out << ",\"direction\":";
+  write_escaped(out, stats.direction);
+  out << ",\"direction_fallback\":";
+  write_escaped(out, stats.direction_fallback);
+  if (stats.has_values_hash) {
+    // Hex string: 64-bit values do not survive JSON number parsers.
+    out << ",\"values_hash\":\"0x" << std::hex << stats.values_hash
+        << std::dec << '"';
+  }
   out << ",\"query\":{"
       << "\"id\":" << stats.query_id
       << ",\"cache_hit_pages\":" << stats.query_cache_hit_pages
@@ -109,6 +127,8 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
       << stats.device_combine_records_in()
       << ",\"device_combine_records_out\":"
       << stats.device_combine_records_out()
+      << ",\"intervals_pulled\":" << stats.intervals_pulled()
+      << ",\"log_bytes_avoided\":" << stats.log_bytes_avoided()
       << ",\"effective_rounds\":" << stats.effective_rounds()
       << ",\"intervals_scheduled\":" << stats.intervals_scheduled()
       << ",\"schedule_reorder_depth\":" << stats.schedule_reorder_depth()
@@ -140,6 +160,8 @@ void write_json(const core::RunStats& stats, std::ostream& out) {
         << ",\"intervals_scheduled\":" << s.intervals_scheduled
         << ",\"schedule_reorder_depth\":" << s.schedule_reorder_depth
         << ",\"ready_latency_seconds\":" << s.ready_latency_seconds
+        << ",\"intervals_pulled\":" << s.intervals_pulled
+        << ",\"log_bytes_avoided\":" << s.log_bytes_avoided
         << ",\"pages_touched\":" << s.pages_touched
         << ",\"pages_inefficient\":" << s.pages_inefficient
         << ",\"pages_inefficient_predicted\":"

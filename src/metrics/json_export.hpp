@@ -2,6 +2,8 @@
 // plotting scripts downstream users inevitably write.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -13,5 +15,24 @@ namespace mlvc::metrics {
 /// { engine, app, totals{...}, supersteps: [ {...}, ... ] }.
 void write_json(const core::RunStats& stats, std::ostream& out);
 std::string to_json(const core::RunStats& stats);
+
+/// Fold `n` raw bytes into a running FNV-1a state (seed with
+/// `kFnv1aSeed`). The chunk-at-a-time shape is what the streamed value
+/// accessor hands out, so verify/export paths hash without ever
+/// materializing the O(V) values() vector.
+inline constexpr std::uint64_t kFnv1aSeed = 1469598103934665603ull;
+std::uint64_t fnv1a_append(std::uint64_t h, const void* data, std::size_t n);
+
+/// FNV-1a over an engine's final vertex values, streamed in id-ascending
+/// chunks via `Engine::for_each_value_chunk`. Store the result in
+/// `RunStats::values_hash` (+ has_values_hash) to export it.
+template <typename Engine>
+std::uint64_t streamed_values_hash(const Engine& engine) {
+  std::uint64_t h = kFnv1aSeed;
+  engine.for_each_value_chunk([&](VertexId, auto chunk) {
+    h = fnv1a_append(h, chunk.data(), chunk.size_bytes());
+  });
+  return h;
+}
 
 }  // namespace mlvc::metrics

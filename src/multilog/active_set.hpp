@@ -37,6 +37,12 @@ class ActiveSet {
     return out;
   }
 
+  /// Active-vertex count within [begin, end) — the per-interval density the
+  /// direction heuristic feeds on. Word-masked popcount, not a per-bit scan.
+  std::size_t count_in_range(VertexId begin, VertexId end) const {
+    return bits_.count_in_range(begin, end);
+  }
+
   /// Snapshot to a plain bitset (for the history predictor).
   DynamicBitset snapshot() const { return bits_.snapshot(); }
 

@@ -689,8 +689,19 @@ void Storage::publish_blob(const std::string& from, const std::string& to) {
 }
 
 bool Storage::has_blob(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(blobs_mutex_);
-  return blobs_.count(name) != 0;
+  {
+    std::lock_guard<std::mutex> lock(blobs_mutex_);
+    if (blobs_.count(name) != 0) return true;
+  }
+  // Mirror open_blob's recovery fallback: blobs left on disk by a previous
+  // process count as present even before a handle exists — otherwise
+  // presence probes on a reopened store (e.g. the stored-transpose
+  // auto-attach) say "no" for blobs open_blob would happily serve.
+  const std::vector<std::filesystem::path> paths = blob_paths(name);
+  std::error_code ec;
+  return std::any_of(paths.begin(), paths.end(), [&](const auto& p) {
+    return std::filesystem::is_regular_file(p, ec) && !ec;
+  });
 }
 
 void Storage::set_fault_injector(std::shared_ptr<FaultInjector> injector) {

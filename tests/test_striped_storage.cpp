@@ -492,8 +492,31 @@ TEST(StripedEngineMatrix, PageRankMatchesWithinFloatTolerance) {
   }
 }
 
+// The near-storage combine operates on pushed log records; pin the
+// direction so the adaptive CI leg (MLVC_DIRECTION=adaptive), which pulls
+// PageRank's dense supersteps and deletes that log traffic outright,
+// doesn't erase the quantity under test.
+class ScopedPushDirection {
+ public:
+  ScopedPushDirection() {
+    if (const char* v = std::getenv("MLVC_DIRECTION")) prev_ = v;
+    ::setenv("MLVC_DIRECTION", "push", 1);
+  }
+  ~ScopedPushDirection() {
+    if (prev_) {
+      ::setenv("MLVC_DIRECTION", prev_->c_str(), 1);
+    } else {
+      ::unsetenv("MLVC_DIRECTION");
+    }
+  }
+
+ private:
+  std::optional<std::string> prev_;
+};
+
 TEST(StripedEngineMatrix, DeviceCombineShrinksBusTraffic) {
   ScopedStripeEnv env;
+  ScopedPushDirection push_env;
   const auto csr = stripe_graph();
   const auto run_stats = [&](CombinePlacement placement) {
     ssd::TempDir dir;

@@ -53,6 +53,15 @@ in a way absolute numbers are not. Two suites:
     enforced geomean (ISSUE acceptance: >= 1.6x modeled aggregate
     bandwidth at 4 devices; device placement must cut bus bytes).
 
+  --suite direction
+    bench_direction's custom BENCH_direction.json (same
+    metric/ratio/enforced shape as compress): push/adaptive ratios of
+    message-log bytes and modeled work time for BFS/WCC/PageRank — what
+    the direction-optimizing pull path bought over the pure push wave.
+    Byte counts are deterministic, so the geomean is dominated by the
+    (large) log-byte cuts and is stable across hosts; bench_direction
+    itself enforces the per-app floors at generation time.
+
 Individual configurations are noisy at CI bench durations (a single 0.02 s
 run can swing ±30%), so the gate is the *geometric mean* of the ratios over
 all enforced configurations: a genuine regression shifts every
@@ -182,7 +191,7 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("--suite",
                     choices=("scatter", "io", "serve", "compress", "async",
-                             "stripe"),
+                             "stripe", "direction"),
                     default="scatter")
     ap.add_argument("--max-regression", type=float, default=0.30,
                     help="fail when ratio drops by more than this fraction")
@@ -222,6 +231,11 @@ def main():
         cur_all, cur = load_compress_ratios(args.current)
         base_all, base = load_compress_ratios(args.baseline)
         label = "striped/single-device"
+    elif args.suite == "direction":
+        # Same custom JSON shape as compress: runs[{metric, ratio, enforced}].
+        cur_all, cur = load_compress_ratios(args.current)
+        base_all, base = load_compress_ratios(args.baseline)
+        label = "push/adaptive"
     else:
         cur_all, cur = load_io_ratios(args.current, args.min_depth)
         base_all, base = load_io_ratios(args.baseline, args.min_depth)

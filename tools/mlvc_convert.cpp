@@ -65,7 +65,9 @@ void print_store_stats(graph::StoredCsrGraph& g) {
   std::cout << "format " << to_string(g.format()) << ", "
             << g.num_vertices() << " vertices, " << g.num_edges()
             << " edges, " << iv.count() << " intervals"
-            << (g.has_weights() ? ", weighted" : "") << "\n";
+            << (g.has_weights() ? ", weighted" : "")
+            << (g.has_transpose() ? ", +transpose" : ", no transpose")
+            << "\n";
   std::cout << "interval  edges       stored_B    logical_B   ratio  B/edge\n";
   for (IntervalId i = 0; i < iv.count(); ++i) {
     const std::uint64_t stored = g.adjacency_stored_bytes(i);
@@ -153,12 +155,15 @@ int store_mode(const ArgParser& args) {
   const auto list = read_back(*src);
   const auto csr = graph::CsrGraph::from_edge_list(list);
   ssd::Storage out_storage{std::filesystem::path(out_dir), out_device};
-  graph::StoredCsrGraph converted(
-      out_storage, prefix, csr, src->intervals(),
-      {.with_weights = src->has_weights(), .format = format});
+  const bool transpose = args.get_int("transpose", 1) != 0;
+  graph::StoredCsrGraph converted(out_storage, prefix, csr, src->intervals(),
+                                  {.with_weights = src->has_weights(),
+                                   .format = format,
+                                   .with_transpose = transpose});
   std::cout << "wrote " << out_dir << " (" << to_string(src->format())
             << " -> " << to_string(format) << ", " << storage.num_devices()
-            << " -> " << out_storage.num_devices() << " devices): "
+            << " -> " << out_storage.num_devices() << " devices"
+            << (converted.has_transpose() ? ", +transpose" : "") << "): "
             << converted.num_vertices() << " vertices, "
             << converted.num_edges() << " edges\n";
   print_store_stats(converted);
@@ -210,7 +215,11 @@ int main(int argc, char** argv) {
               "restripe --out-store across this many devices (default "
               "MLVC_DEVICES or 1)",
               "-")
-      .option("stripe", "stripe unit bytes for --out-store, e.g. 128K", "-");
+      .option("stripe", "stripe unit bytes for --out-store, e.g. 128K", "-")
+      .option("transpose",
+              "store the in-edge CSR in --out-store for pull execution: "
+              "1 | 0 (conversion is also how a v1-era store gains one)",
+              "1");
   try {
     args.parse(argc, argv);
   } catch (const Error& e) {

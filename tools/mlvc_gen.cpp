@@ -37,7 +37,11 @@ int main(int argc, char** argv) {
       .option("devices",
               "striped devices for --store (default MLVC_DEVICES or 1)", "-")
       .option("stripe", "stripe unit bytes for --store, e.g. 128K", "-")
-      .option("format", "on-disk format for --store: v1 | v2", "-");
+      .option("format", "on-disk format for --store: v1 | v2", "-")
+      .option("transpose",
+              "also store the in-edge CSR for pull execution (--store): "
+              "1 | 0",
+              "1");
   try {
     args.parse(argc, argv);
   } catch (const Error& e) {
@@ -122,12 +126,16 @@ int main(int argc, char** argv) {
       const auto intervals = graph::VertexIntervals::partition_by_in_degree(
           in_degrees, sizeof(multilog::Record<float>),
           core::EngineOptions{}.sort_budget());
+      const bool transpose = args.get_int("transpose", 1) != 0;
       graph::StoredCsrGraph stored(storage, "g", csr, intervals,
-                                   {.with_weights = false, .format = format});
+                                   {.with_weights = false,
+                                    .format = format,
+                                    .with_transpose = transpose});
       std::cout << "wrote store " << store_dir << " ("
                 << to_string(stored.format()) << ", "
                 << storage.num_devices() << " device"
-                << (storage.num_devices() == 1 ? "" : "s") << ")\n";
+                << (storage.num_devices() == 1 ? "" : "s")
+                << (stored.has_transpose() ? ", +transpose" : "") << ")\n";
     }
     return 0;
   } catch (const std::exception& e) {

@@ -1,17 +1,153 @@
-// mlvc_info — print statistics of a binary MLVC graph file.
+// mlvc_info — print statistics of a binary MLVC graph file or a stored-CSR
+// directory.
 //
 //   mlvc_info --graph g.mlvc
+//   mlvc_info --store run_dir                 # layers, B/edge, transpose
+//   mlvc_info --store run_dir --stripes       # + per-blob stripe layout
+#include <iomanip>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/args.hpp"
 #include "common/format.hpp"
 #include "graph/graph_stats.hpp"
 #include "graph/serialization.hpp"
+#include "graph/stored_csr.hpp"
+#include "ssd/storage.hpp"
+
+namespace {
+
+using namespace mlvc;
+
+/// One on-disk layer of a stored graph (rowptr / colidx / skip index / val),
+/// summed across its per-interval blobs.
+struct LayerBytes {
+  std::string label;
+  std::uint64_t bytes = 0;
+  std::size_t blobs = 0;
+};
+
+void tally(ssd::Storage& storage, const std::string& blob, LayerBytes& layer,
+           std::vector<std::string>& blob_names) {
+  if (!storage.has_blob(blob)) return;
+  layer.bytes += storage.open_blob(blob).size();
+  ++layer.blobs;
+  blob_names.push_back(blob);
+}
+
+/// Collect the layer totals of the graph stored under `prefix` (forward CSR
+/// or the `<prefix>/t` transpose — both use the same blob naming scheme).
+std::vector<LayerBytes> collect_layers(ssd::Storage& storage,
+                                       const std::string& prefix,
+                                       IntervalId intervals,
+                                       std::vector<std::string>& blob_names) {
+  std::vector<LayerBytes> layers = {
+      {"rowptr"}, {"colidx"}, {"colidx.skip"}, {"val"}, {"meta"}};
+  for (IntervalId i = 0; i < intervals; ++i) {
+    const std::string base = prefix + "/csr/" + std::to_string(i) + "/";
+    tally(storage, base + "rowptr", layers[0], blob_names);
+    tally(storage, base + "colidx", layers[1], blob_names);
+    tally(storage, base + "colidx.skip", layers[2], blob_names);
+    tally(storage, base + "val", layers[3], blob_names);
+  }
+  tally(storage, prefix + "/csr/meta", layers[4], blob_names);
+  return layers;
+}
+
+void print_layers(const std::string& heading,
+                  const std::vector<LayerBytes>& layers, EdgeIndex edges) {
+  std::cout << "  " << heading << ":\n";
+  for (const auto& l : layers) {
+    if (l.blobs == 0) continue;
+    std::cout << "    " << std::left << std::setw(12) << l.label
+              << std::right << std::setw(10) << format_bytes(l.bytes) << " in "
+              << std::setw(4) << l.blobs << " blobs";
+    if (edges > 0) {
+      std::cout << "  (" << std::setprecision(3)
+                << static_cast<double>(l.bytes) / static_cast<double>(edges)
+                << " B/edge)";
+    }
+    std::cout << "\n";
+  }
+}
+
+int store_mode(const ArgParser& args) {
+  const std::string dir = args.get_string("store");
+  const std::string prefix = args.get_string("prefix", "g");
+  ssd::Storage storage{std::filesystem::path(dir)};
+  const auto g = graph::StoredCsrGraph::open(storage, prefix);
+
+  std::cout << dir << " (prefix '" << prefix << "')\n  "
+            << g->num_vertices() << " vertices, " << g->num_edges()
+            << " edges, " << g->intervals().count() << " intervals, format "
+            << to_string(g->format())
+            << (g->has_weights() ? ", weighted" : "") << "\n  transpose: "
+            << (g->has_transpose() ? "yes (in-edge CSR for pull execution)"
+                                   : "no (push-only store)")
+            << "\n";
+
+  std::vector<std::string> blob_names;
+  print_layers("forward CSR layers",
+               collect_layers(storage, prefix, g->intervals().count(),
+                              blob_names),
+               g->num_edges());
+  if (g->has_transpose()) {
+    print_layers("transpose CSR layers",
+                 collect_layers(storage, prefix + "/t",
+                                g->intervals().count(), blob_names),
+                 g->num_edges());
+  }
+
+  const unsigned ndev = storage.num_devices();
+  std::cout << "  stripe layout: " << ndev << " device"
+            << (ndev == 1 ? "" : "s");
+  if (ndev > 1) {
+    std::cout << ", unit " << format_bytes(storage.stripe_unit());
+  }
+  std::cout << "\n";
+  // Per-device byte totals — and, with --stripes, the per-blob split, so an
+  // imbalanced layout (e.g. many sub-unit blobs landing on device 0) is
+  // visible without strace.
+  std::vector<std::uint64_t> dev_bytes(ndev, 0);
+  const bool per_blob = args.get_flag("stripes");
+  for (const auto& name : blob_names) {
+    const std::uint64_t size = storage.open_blob(name).size();
+    std::vector<std::uint64_t> split(ndev, 0);
+    ssd::for_each_stripe_segment(
+        0, size, storage.stripe_unit(), ndev,
+        [&](unsigned dev, std::uint64_t, std::size_t, std::size_t seg) {
+          split[dev] += seg;
+          dev_bytes[dev] += seg;
+        });
+    if (per_blob) {
+      std::cout << "    " << std::left << std::setw(28) << name << std::right
+                << std::setw(10) << format_bytes(size);
+      for (unsigned d = 0; d < ndev; ++d) {
+        std::cout << "  dev" << d << ":" << format_bytes(split[d]);
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "  bytes by device:";
+  for (unsigned d = 0; d < ndev; ++d) {
+    std::cout << " dev" << d << ":" << format_bytes(dev_bytes[d]);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mlvc;
-  ArgParser args("mlvc_info", "inspect a binary MLVC graph file");
-  args.option("graph", "MLVC graph file");
+  ArgParser args("mlvc_info",
+                 "inspect a binary MLVC graph file or a stored-CSR directory");
+  args.option("graph", "MLVC graph file", "-")
+      .option("store", "stored-CSR storage directory to inspect", "-")
+      .option("prefix", "stored graph name prefix inside the store", "g")
+      .option("stripes", "list the per-blob stripe layout (--store)",
+              "false");
   try {
     args.parse(argc, argv);
   } catch (const Error& e) {
@@ -19,9 +155,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const auto csr = graph::load_csr(args.get_string("graph"));
+    if (args.get_string("store", "-") != "-") return store_mode(args);
+    const std::string graph_path = args.get_string("graph", "-");
+    if (graph_path == "-") {
+      std::cerr << "need --graph or --store\n" << args.usage();
+      return 2;
+    }
+    const auto csr = graph::load_csr(graph_path);
     const auto stats = graph::compute_stats(csr);
-    std::cout << args.get_string("graph") << "\n  " << stats.to_string()
+    std::cout << graph_path << "\n  " << stats.to_string()
               << "\n  weights: " << (csr.has_weights() ? "yes" : "no")
               << "\n  on-disk CSR size: "
               << format_bytes((csr.num_vertices() + 1) * sizeof(EdgeIndex) +

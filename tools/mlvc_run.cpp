@@ -107,6 +107,10 @@ int run_app(const graph::CsrGraph& csr, App app, const RunConfig& cfg) {
                                   .format = cfg.format});
     core::MultiLogVCEngine<App> engine(stored, app, opts);
     stats = engine.run();
+    // Streamed over the value store; the export never materializes the
+    // O(V) values() vector.
+    stats.values_hash = metrics::streamed_values_hash(engine);
+    stats.has_values_hash = true;
   } else if (cfg.engine == "graphchi") {
     graphchi::GraphChiOptions opts;
     opts.memory_budget_bytes = cfg.budget;
@@ -183,6 +187,10 @@ int main(int argc, char** argv) {
       .option("combine-placement",
               "combine site: host | device (default MLVC_COMBINE_PLACEMENT "
               "or host; mlvc engine, striped stores)",
+              "-")
+      .option("direction",
+              "execution direction: push | pull | adaptive (default "
+              "MLVC_DIRECTION or push; mlvc engine, sync model)",
               "-")
       .option("json", "write run statistics to this JSON file", "-");
   try {
@@ -264,6 +272,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       setenv("MLVC_COMBINE_PLACEMENT", to_string(placement), /*overwrite=*/1);
+    }
+    // --direction: resolve-then-pin like --schedule; the engine re-reads
+    // MLVC_DIRECTION at construction.
+    const std::string direction_arg = args.get_string("direction", "-");
+    if (direction_arg != "-") {
+      DirectionMode direction;
+      if (!parse_direction_mode(direction_arg.c_str(), &direction)) {
+        std::cerr << "unknown --direction '" << direction_arg
+                  << "' (push | pull | adaptive)\n";
+        return 2;
+      }
+      setenv("MLVC_DIRECTION", to_string(direction), /*overwrite=*/1);
     }
     const std::string model_arg = args.get_string("model", "sync");
     core::ComputationModel model;

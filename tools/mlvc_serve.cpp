@@ -52,6 +52,7 @@
 #include "core/engine.hpp"
 #include "core/runtime_context.hpp"
 #include "graph/serialization.hpp"
+#include "metrics/json_export.hpp"
 #include "ssd/io_backend.hpp"
 
 namespace {
@@ -59,15 +60,12 @@ namespace {
 using namespace mlvc;
 
 // FNV-1a over the raw value bytes: the "results bit-identical" check.
-template <typename T>
-std::uint64_t hash_values(const std::vector<T>& values) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto* p = reinterpret_cast<const unsigned char*>(values.data());
-  for (std::size_t i = 0; i < values.size() * sizeof(T); ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
+// Streams the values in id-ascending chunks via Engine::for_each_value_chunk
+// instead of materializing the O(V) vector values() returns, so --verify
+// stays within the memory budget on big graphs.
+template <typename Engine>
+std::uint64_t hash_values(const Engine& engine) {
+  return metrics::streamed_values_hash(engine);
 }
 
 struct Spec {
@@ -171,7 +169,7 @@ QueryResult run_query(core::RuntimeContext& ctx, graph::StoredCsrGraph& graph,
   const core::RunStats stats = engine.run();
   r.wall_seconds = wall.elapsed_seconds();
   r.supersteps = stats.supersteps.size();
-  r.value_hash = hash_values(engine.values());
+  r.value_hash = hash_values(engine);
   r.cache_hits = stats.query_cache_hit_pages;
   r.cache_misses = stats.query_cache_miss_pages;
   r.cache_bypasses = stats.query_cache_bypass_pages;
@@ -191,7 +189,7 @@ std::uint64_t serial_hash(graph::StoredCsrGraph& graph, App app,
   opts.adjacency_cache_bytes = 0;
   core::MultiLogVCEngine<App> engine(graph, app, opts);
   engine.run();
-  return hash_values(engine.values());
+  return hash_values(engine);
 }
 
 QueryResult dispatch(core::RuntimeContext& ctx, graph::StoredCsrGraph& graph,

@@ -1,11 +1,11 @@
 #!/usr/bin/env sh
 # Run the substrate sweeps and emit BENCH_scatter.json + BENCH_io.json +
 # BENCH_serve.json + BENCH_compress.json + BENCH_async.json +
-# BENCH_stripe.json.
+# BENCH_stripe.json + BENCH_direction.json.
 #
 #   tools/run_bench.sh [build-dir] [scatter-out.json] [io-out.json] \
 #       [serve-out.json] [compress-out.json] [async-out.json] \
-#       [stripe-out.json]
+#       [stripe-out.json] [direction-out.json]
 #
 # Environment:
 #   MLVC_BENCH_MIN_TIME   per-benchmark min time in seconds (default 0.05;
@@ -46,6 +46,14 @@
 #   MLVC_BENCH_STRIPE_MIN_GEOMEAN  absolute floor on the striped/single-
 #                         device geomean over the enforced configs
 #                         (default 1.3; set empty to disable)
+#   MLVC_BENCH_DIRECTION_BASELINE  baseline JSON for the direction-
+#                         optimization guard (default:
+#                         bench/baselines/direction.json; skipped if absent)
+#   MLVC_BENCH_DIRECTION_MIN_GEOMEAN  absolute floor on the push/adaptive
+#                         geomean over the enforced configs (default 2.0;
+#                         set empty to disable). bench_direction itself
+#                         additionally enforces the per-app log-byte and
+#                         modeled-time floors and exits nonzero on failure.
 set -eu
 
 build_dir="${1:-build}"
@@ -55,6 +63,7 @@ serve_out="${4:-BENCH_serve.json}"
 compress_out="${5:-BENCH_compress.json}"
 async_out="${6:-BENCH_async.json}"
 stripe_out="${7:-BENCH_stripe.json}"
+direction_out="${8:-BENCH_direction.json}"
 min_time="${MLVC_BENCH_MIN_TIME:-0.05}"
 filter="${MLVC_BENCH_FILTER:-BM_ScatterAppend}"
 
@@ -109,6 +118,13 @@ if [ ! -x "$stripe_bench" ]; then
   exit 1
 fi
 "$stripe_bench" "$stripe_out"
+
+direction_bench="$build_dir/bench/bench_direction"
+if [ ! -x "$direction_bench" ]; then
+  echo "error: $direction_bench not built (cmake --build $build_dir --target bench_direction)" >&2
+  exit 1
+fi
+"$direction_bench" "$direction_out"
 
 # Regression guards: compare guarded throughput ratios against the committed
 # baselines. Skipped when no baseline exists or MLVC_BENCH_CHECK=0.
@@ -184,4 +200,18 @@ if [ "$check" != "0" ] && [ -f "$stripe_baseline" ]; then
   fi
 elif [ "$check" != "0" ]; then
   echo "no baseline at $stripe_baseline, skipping stripe regression guard"
+fi
+direction_baseline="${MLVC_BENCH_DIRECTION_BASELINE:-$repo_root/bench/baselines/direction.json}"
+direction_min_geomean="${MLVC_BENCH_DIRECTION_MIN_GEOMEAN-2.0}"
+if [ "$check" != "0" ] && [ -f "$direction_baseline" ]; then
+  if [ -n "$direction_min_geomean" ]; then
+    python3 "$repo_root/tools/check_bench_regression.py" "$direction_out" \
+      "$direction_baseline" --suite direction \
+      --max-regression "$max_regression" --min-ratio "$direction_min_geomean"
+  else
+    python3 "$repo_root/tools/check_bench_regression.py" "$direction_out" \
+      "$direction_baseline" --suite direction --max-regression "$max_regression"
+  fi
+elif [ "$check" != "0" ]; then
+  echo "no baseline at $direction_baseline, skipping direction regression guard"
 fi
